@@ -1,0 +1,195 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation and times the core operations with Bechamel.
+
+     dune exec bench/main.exe                 (moderate sizes, all figures)
+     dune exec bench/main.exe -- --full       (paper-scale sizes, slower)
+     dune exec bench/main.exe -- --figure 5b  (one figure)
+     dune exec bench/main.exe -- --no-bechamel
+
+   One [Test.make] per table/figure: the Bechamel section times the
+   computation underlying each figure on a small fixed instance (engine
+   analysis runs for Figs 5–6, metric-counting runs for Figs 7–9) plus
+   data-structure ablations; the tables themselves are then printed by the
+   harnesses in [ft_tsan] and [ft_rapid]. *)
+
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Vc = Ft_core.Vector_clock
+module Ol = Ft_core.Ordered_list
+module Db_sim = Ft_workloads.Db_sim
+module Classic = Ft_workloads.Classic
+module Harness = Ft_tsan.Harness
+module Experiment = Ft_rapid.Experiment
+
+(* --- options -------------------------------------------------------------- *)
+
+type options = {
+  mutable figure : string;
+  mutable full : bool;
+  mutable bechamel : bool;
+  mutable events : int option;
+  mutable runs : int option;
+}
+
+let options = { figure = "all"; full = false; bechamel = true; events = None; runs = None }
+
+let parse_args () =
+  let spec =
+    [
+      ("--figure", Arg.String (fun s -> options.figure <- s), "FIG  only this figure (5a..9)");
+      ("--full", Arg.Unit (fun () -> options.full <- true), "  paper-scale sizes");
+      ("--no-bechamel", Arg.Unit (fun () -> options.bechamel <- false), "  skip micro-timings");
+      ("--events", Arg.Int (fun n -> options.events <- Some n), "N  events per DB trace");
+      ("--runs", Arg.Int (fun n -> options.runs <- Some n), "K  offline repetitions");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "bench/main.exe [options]"
+
+let wants fig = options.figure = "all" || options.figure = fig
+
+(* --- bechamel section ------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let tpcc = Option.get (Db_sim.profile "tpcc") in
+  let trace = Db_sim.generate tpcc ~seed:3 ~target_events:20_000 in
+  let sampler = Sampler.bernoulli ~rate:0.03 ~seed:3 in
+  let clock_size = 64 in
+  let engine_run id () = Engine.run_instrumented id ~sampler ~clock_size trace in
+  let pc = Option.get (Classic.find "producerconsumer") in
+  let pc_trace = pc.Classic.generate ~seed:3 ~scale:4 in
+  let offline id rate () =
+    let s = if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed:3 in
+    Engine.run id ~sampler:s pc_trace
+  in
+  (* ablation micro-benches: the data-structure operations the figures hinge
+     on — a full vector-clock join versus ordered-list prefix absorption *)
+  let vc_a = Vc.create 64 and vc_b = Vc.create 64 in
+  Vc.set vc_b 7 1_000_000;
+  let ol = Ol.create 64 in
+  Ol.set ol 7 1_000_000;
+  [
+    Test.make ~name:"fig5a: NT replay" (Staged.stage (fun () -> Detector.replay_only trace));
+    Test.make ~name:"fig5a: ET instrumented replay"
+      (Staged.stage (fun () -> Detector.replay_instrumented trace));
+    Test.make ~name:"fig5a: FT full detection" (Staged.stage (engine_run Engine.Fasttrack));
+    Test.make ~name:"fig5a: ST 3% analysis" (Staged.stage (engine_run Engine.St));
+    Test.make ~name:"fig5b: SU 3% analysis" (Staged.stage (engine_run Engine.Su));
+    Test.make ~name:"fig5b: SO 3% analysis" (Staged.stage (engine_run Engine.So));
+    Test.make ~name:"fig6: SU metrics run" (Staged.stage (offline Engine.Su 0.03));
+    Test.make ~name:"fig6: SO metrics run" (Staged.stage (offline Engine.So 0.03));
+    Test.make ~name:"fig7-9: SU-(100%) offline" (Staged.stage (offline Engine.Su 1.0));
+    Test.make ~name:"fig7-9: SO-(100%) offline" (Staged.stage (offline Engine.So 1.0));
+    Test.make ~name:"ablation: vector-clock join (T=64)"
+      (Staged.stage (fun () -> Vc.join ~into:vc_a vc_b));
+    Test.make ~name:"ablation: ordered-list 1-entry absorb (T=64)"
+      (Staged.stage (fun () ->
+           let stale = ref 0 in
+           Ol.iter_prefix ol 1 (fun _ v -> stale := v);
+           !stale));
+    Test.make ~name:"ablation: ordered-list deep copy (T=64)"
+      (Staged.stage (fun () -> Ol.deep_copy ol));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "Bechamel micro-timings (one test per table/figure)";
+  print_endline "==================================================";
+  let cfg = Benchmark.cfg ~limit:1200 ~quota:(Time.second 0.4) ~kde:None () in
+  let instances = [ Instance.monotonic_clock ] in
+  let tests = Test.make_grouped ~name:"freshtrack" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      Printf.printf "  %-45s %s/run\n" name pretty)
+    rows;
+  print_newline ()
+
+(* --- figures ---------------------------------------------------------------- *)
+
+let show title body =
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '=');
+  print_string body
+
+let () =
+  parse_args ();
+  let target_events =
+    match options.events with Some n -> n | None -> if options.full then 1_000_000 else 150_000
+  in
+  let runs = match options.runs with Some k -> k | None -> if options.full then 30 else 12 in
+  let scale = if options.full then 8 else 4 in
+  let clock_size = if options.full then 256 else Harness.default_clock_size in
+  let repeats = 3 in
+  Printf.printf
+    "freshtrack bench: events/db-trace=%d, offline runs=%d, scale=%d, clock=%d%s\n"
+    target_events runs scale clock_size
+    (if options.full then " (full)" else " (use --full for paper-scale sizes)");
+  let tsan_figures = List.exists wants [ "5a"; "5b"; "6a"; "6b"; "6c" ] in
+  let rapid_figures = List.exists wants [ "7"; "8"; "9" ] in
+  if tsan_figures then begin
+    let nseeds = if options.full then 3 else 2 in
+    let ms = Harness.run_all ~repeats ~clock_size ~nseeds ~target_events () in
+    if wants "5a" then show "Fig 5a: latency relative to NT" (Harness.fig5a ms);
+    if wants "5b" then
+      show "Fig 5b: algorithmic-overhead improvement over ST" (Harness.fig5b ms);
+    if wants "6a" then
+      show "Fig 6a: racy locations relative to FT (fixed time budget)" (Harness.fig6a ms);
+    if wants "6b" then
+      show "Fig 6b: share of sync events with O(T) work under SU" (Harness.fig6b ms);
+    if wants "6c" then
+      show "Fig 6c: mean ordered-list entries per acquire under SO" (Harness.fig6c ms);
+    show "Summary (paper §6.2.3–6.2.4 headline numbers)" (Harness.summary ms)
+  end;
+  if rapid_figures then begin
+    let rows = Experiment.run ~runs ~scale () in
+    if wants "7" then
+      show "Fig 7: acquires skipped / total acquires (offline, 26 benchmarks)"
+        (Experiment.fig7 rows);
+    if wants "8" then
+      show "Fig 8: releases processed (SU) and deep copies (SO) / total releases"
+        (Experiment.fig8 rows);
+    if wants "9" then
+      show "Fig 9: ordered-list saving ratio (SO engines)" (Experiment.fig9 rows);
+    show "Summary (paper §A.1.2 observations)" (Experiment.summary rows)
+  end;
+  if wants "ablation" || options.figure = "all" then begin
+    let ae = target_events / 2 in
+    show "Ablation: all engines, tpcc, 3% sampling"
+      (Ft_tsan.Ablation.engines_table ~repeats ~rate:0.03 ~clock_size ~target_events:ae ());
+    show "Ablation: clock-width sweep (analysis time)"
+      (Ft_tsan.Ablation.clock_sweep ~repeats ~rate:0.03 ~target_events:ae ());
+    show "Ablation: many-locks microbenchmark (O(T) clock operations)"
+      (Ft_tsan.Ablation.lock_sweep ~target_events:ae ());
+    show "Extension: sampling strategies (SO engine)"
+      (Ft_tsan.Ablation.sampler_table ~clock_size ~target_events:ae ());
+    show "Extension: Eraser lockset baseline vs ground truth (unsoundness, §7)"
+      (Experiment.eraser_comparison ())
+  end;
+  (* Bechamel last: its GC stabilization (per-sample compactions) perturbs
+     the wall-clock comparisons above if run first. *)
+  if options.bechamel then begin
+    print_newline ();
+    run_bechamel ()
+  end

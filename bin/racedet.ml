@@ -1,0 +1,407 @@
+(* racedet — command-line front end for the FreshTrack library.
+
+   Subcommands:
+     generate     render a workload to a trace file (textual or .ftb binary)
+     analyze      run a detection engine over a trace file
+     compare      run every engine over a trace and tabulate
+     report       describe a trace (sync mix, contention, hot locations)
+     oracle       brute-force ground truth for small traces
+     experiments  regenerate the paper's tables and figures
+     list         show available workloads and engines *)
+
+module Trace = Ft_trace.Trace
+module Trace_format = Ft_trace.Trace_format
+module Trace_gen = Ft_trace.Trace_gen
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Race = Ft_core.Race
+module Db_sim = Ft_workloads.Db_sim
+module Classic = Ft_workloads.Classic
+
+open Cmdliner
+
+(* --- shared arguments --------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (determinism knob).")
+
+let rate_arg =
+  Arg.(
+    value
+    & opt float 0.03
+    & info [ "rate" ] ~docv:"RATE" ~doc:"Sampling rate in [0,1]; 1 samples every access.")
+
+let clock_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clock-size" ]
+        ~docv:"N"
+        ~doc:
+          "Vector-clock width (default: thread count). Use 256 to mimic \
+           ThreadSanitizer v3's fixed clocks.")
+
+(* binary (.ftb) or textual, by extension *)
+let load_trace file =
+  let parsed =
+    if Filename.check_suffix file ".ftb" then Ft_trace.Trace_binary.of_file file
+    else Trace_format.parse_file file
+  in
+  match parsed with
+  | Error msg -> Error ("racedet: " ^ msg)
+  | Ok trace -> (
+    match Trace.well_formed trace with
+    | Error msg -> Error ("racedet: ill-formed trace: " ^ msg)
+    | Ok () -> Ok trace)
+
+
+(* --- generate ------------------------------------------------------------ *)
+
+let workload_doc =
+  "Workload to render: db:NAME (BenchBase profile), classic:NAME (RAPID-suite benchmark), or \
+   random."
+
+let generate_cmd =
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:workload_doc)
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (default: stdout).")
+  in
+  let events =
+    Arg.(value & opt int 100_000 & info [ "events" ] ~docv:"N"
+           ~doc:"Target event count (db and random workloads).")
+  in
+  let scale =
+    Arg.(value & opt int 10 & info [ "scale" ] ~docv:"K" ~doc:"Scale factor (classic workloads).")
+  in
+  let run workload output events scale seed =
+    let trace =
+      match String.split_on_char ':' workload with
+      | [ "db"; name ] -> (
+        match Db_sim.profile name with
+        | Some p -> Ok (Db_sim.generate p ~seed ~target_events:events)
+        | None -> Error (Printf.sprintf "unknown db profile %S (try: racedet list)" name))
+      | [ "classic"; name ] -> (
+        match Classic.find name with
+        | Some b -> Ok (b.Classic.generate ~seed ~scale)
+        | None -> Error (Printf.sprintf "unknown classic benchmark %S (try: racedet list)" name))
+      | [ "random" ] ->
+        let prng = Ft_support.Prng.create ~seed in
+        Ok (Trace_gen.random prng { Trace_gen.default with Trace_gen.length = events })
+      | _ -> Error (Printf.sprintf "cannot parse workload %S" workload)
+    in
+    match trace with
+    | Error msg ->
+      prerr_endline ("racedet: " ^ msg);
+      1
+    | Ok trace -> (
+      match output with
+      | Some path ->
+        if Filename.check_suffix path ".ftb" then Ft_trace.Trace_binary.to_file path trace
+        else Trace_format.to_file path trace;
+        Printf.printf "wrote %d events to %s\n" (Trace.length trace) path;
+        0
+      | None ->
+        print_string (Trace_format.to_string trace);
+        0)
+  in
+  let term = Term.(const run $ workload $ output $ events $ scale $ seed_arg) in
+  Cmd.v (Cmd.info "generate" ~doc:"Render a workload to a textual trace.") term
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file to analyse.")
+  in
+  let engine =
+    Arg.(value & opt string "so" & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Engine: djit, fasttrack, fasttrack-tc, st, su, so or sl.")
+  in
+  let show_races =
+    Arg.(value & flag & info [ "races" ] ~doc:"Print every race declaration.")
+  in
+  let run file engine rate seed clock_size show_races =
+    match Engine.of_name engine with
+    | None ->
+      prerr_endline ("racedet: unknown engine " ^ engine);
+      1
+    | Some id -> (
+      match load_trace file with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok trace ->
+        begin
+          let sampler =
+            if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
+          in
+          let result = Engine.run id ~sampler ?clock_size trace in
+          let locs = Detector.racy_locations result in
+          Printf.printf "engine          : %s\n" result.Detector.engine;
+          Printf.printf "events          : %d\n" (Trace.length trace);
+          Printf.printf "sampled accesses: %d\n"
+            result.Detector.metrics.Metrics.sampled_accesses;
+          Printf.printf "race declarations: %d\n" (List.length result.Detector.races);
+          Printf.printf "racy locations  : %d%s\n" (List.length locs)
+            (if locs = [] then ""
+             else
+               "  (" ^ String.concat ", " (List.map (Printf.sprintf "x%d") locs) ^ ")");
+          Printf.printf "sync work       : %d/%d acquires skipped, %d/%d releases copied, %d deep copies\n"
+            result.Detector.metrics.Metrics.acquires_skipped
+            result.Detector.metrics.Metrics.acquires
+            result.Detector.metrics.Metrics.releases_processed
+            result.Detector.metrics.Metrics.releases
+            result.Detector.metrics.Metrics.deep_copies;
+          if show_races then
+            List.iter
+              (fun race -> Format.printf "%a@." Race.pp race)
+              result.Detector.races;
+          if locs = [] then 0 else 2
+        end)
+  in
+  let term =
+    Term.(const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ show_races)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run a race-detection engine over a trace file (exit 2 if races found).")
+    term
+
+(* --- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file to analyse.")
+  in
+  let run file rate seed clock_size =
+    match load_trace file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok trace ->
+      let sampler =
+        if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
+      in
+      let rows =
+        List.map
+          (fun id ->
+            let result = Engine.run id ~sampler ?clock_size trace in
+            let m = result.Detector.metrics in
+            [|
+              Engine.name id;
+              string_of_int m.Metrics.sampled_accesses;
+              string_of_int (List.length result.Detector.races);
+              string_of_int (List.length (Detector.racy_locations result));
+              Printf.sprintf "%d/%d" m.Metrics.acquires_skipped m.Metrics.acquires;
+              Printf.sprintf "%d/%d" m.Metrics.releases_processed m.Metrics.releases;
+              string_of_int m.Metrics.deep_copies;
+              string_of_int m.Metrics.vc_full_ops;
+            |])
+          Engine.all
+      in
+      Ft_support.Tabulate.print
+        ~title:(Printf.sprintf "all engines on %s (rate %g, seed %d)" file rate seed)
+        ~header:
+          [| "engine"; "|S|"; "races"; "racy locs"; "acq skipped"; "rel copied"; "deep"; "O(T) ops" |]
+        rows;
+      0
+  in
+  let term = Term.(const run $ file $ rate_arg $ seed_arg $ clock_size_arg) in
+  Cmd.v (Cmd.info "compare" ~doc:"Run every engine over a trace and tabulate the results.") term
+
+(* --- report ----------------------------------------------------------------- *)
+
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file to analyse.")
+  in
+  let run file =
+    match load_trace file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok trace ->
+      print_string (Ft_rapid.Trace_report.render (Ft_rapid.Trace_report.analyze trace));
+      0
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Describe a trace: sync/access mix, contention, hot locations.")
+    Term.(const run $ file)
+
+(* --- oracle ----------------------------------------------------------------- *)
+
+let oracle_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file to analyse.")
+  in
+  let pairs =
+    Arg.(value & flag & info [ "pairs" ] ~doc:"Print every racy pair, not just locations.")
+  in
+  let run file rate seed pairs =
+    match load_trace file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok trace ->
+      if Trace.length trace > 20_000 then begin
+        prerr_endline "racedet: oracle is quadratic; refusing traces over 20k events";
+        1
+      end
+      else begin
+        let sampler =
+          if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
+        in
+        let sampled = Sampler.to_sampled_array sampler trace in
+        let locs = Ft_trace.Hb.racy_locations trace ~sampled in
+        Printf.printf "events: %d, sampled: %d\n" (Trace.length trace)
+          (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 sampled);
+        Printf.printf "ground-truth racy locations: %d%s\n" (List.length locs)
+          (if locs = [] then ""
+           else "  (" ^ String.concat ", " (List.map (Printf.sprintf "x%d") locs) ^ ")");
+        if pairs then
+          List.iter
+            (fun (i, j) ->
+              Format.printf "  %a  ∥  %a  (events %d, %d)@."
+                Ft_trace.Event.pp (Trace.get trace i)
+                Ft_trace.Event.pp (Trace.get trace j) i j)
+            (Ft_trace.Hb.racy_pairs_sampled trace ~sampled);
+        if locs = [] then 0 else 2
+      end
+  in
+  let term = Term.(const run $ file $ rate_arg $ seed_arg $ pairs) in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:"Brute-force ground truth (quadratic; small traces only, exit 2 if races).")
+    term
+
+(* --- experiments ---------------------------------------------------------- *)
+
+let experiments_cmd =
+  let figure =
+    Arg.(value & opt string "all" & info [ "figure" ] ~docv:"FIG"
+           ~doc:"Which figure to regenerate: 5a, 5b, 6a, 6b, 6c, 7, 8, 9 or all.")
+  in
+  let events =
+    Arg.(value & opt int 200_000 & info [ "events" ] ~docv:"N"
+           ~doc:"Events per DB benchmark trace (figures 5–6).")
+  in
+  let runs =
+    Arg.(value & opt int 30 & info [ "runs" ] ~docv:"K"
+           ~doc:"Seeded repetitions for the offline experiment (figures 7–9).")
+  in
+  let scale =
+    Arg.(value & opt int 4 & info [ "scale" ] ~docv:"K"
+           ~doc:"Classic benchmark scale (figures 7–9).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Also write raw data as CSV files into this directory.")
+  in
+  let run figure events runs scale seed clock_size csv =
+    let clock_size = Option.value clock_size ~default:Ft_tsan.Harness.default_clock_size in
+    let need_tsan = List.mem figure [ "5a"; "5b"; "6a"; "6b"; "6c"; "all" ] in
+    let need_rapid = List.mem figure [ "7"; "8"; "9"; "all" ] in
+    let need_ablation = List.mem figure [ "ablation"; "all" ] in
+    let write_csv name contents =
+      match csv with
+      | None -> ()
+      | Some dir ->
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    in
+    if not (need_tsan || need_rapid || need_ablation) then begin
+      prerr_endline ("racedet: unknown figure " ^ figure);
+      1
+    end
+    else begin
+      if need_tsan then begin
+        let ms =
+          Ft_tsan.Harness.run_all ~seed ~clock_size ~target_events:events ()
+        in
+        let show title body = Printf.printf "\n%s\n%s\n%s" title (String.make (String.length title) '=') body in
+        if figure = "5a" || figure = "all" then
+          show "Fig 5a: latency relative to NT" (Ft_tsan.Harness.fig5a ms);
+        if figure = "5b" || figure = "all" then
+          show "Fig 5b: algorithmic-overhead improvement" (Ft_tsan.Harness.fig5b ms);
+        if figure = "6a" || figure = "all" then
+          show "Fig 6a: racy locations relative to FT (fixed time budget)"
+            (Ft_tsan.Harness.fig6a ms);
+        if figure = "6b" || figure = "all" then
+          show "Fig 6b: SU full-traversal share of sync events" (Ft_tsan.Harness.fig6b ms);
+        if figure = "6c" || figure = "all" then
+          show "Fig 6c: SO ordered-list entries per acquire" (Ft_tsan.Harness.fig6c ms);
+        print_newline ();
+        print_string (Ft_tsan.Harness.summary ms);
+        write_csv "tsan_latency.csv" (Ft_tsan.Harness.to_csv ms)
+      end;
+      if need_rapid then begin
+        let rows = Ft_rapid.Experiment.run ~runs ~scale ~base_seed:seed () in
+        let show title body = Printf.printf "\n%s\n%s\n%s" title (String.make (String.length title) '=') body in
+        if figure = "7" || figure = "all" then
+          show "Fig 7: acquires skipped / total acquires" (Ft_rapid.Experiment.fig7 rows);
+        if figure = "8" || figure = "all" then
+          show "Fig 8: releases processed (SU) and deep copies (SO) / total releases"
+            (Ft_rapid.Experiment.fig8 rows);
+        if figure = "9" || figure = "all" then
+          show "Fig 9: ordered-list saving ratio" (Ft_rapid.Experiment.fig9 rows);
+        print_newline ();
+        print_string (Ft_rapid.Experiment.summary rows);
+        write_csv "rapid_metrics.csv" (Ft_rapid.Experiment.to_csv rows)
+      end;
+      if need_ablation then begin
+        let show title body = Printf.printf "\n%s\n%s\n%s" title (String.make (String.length title) '=') body in
+        show "Ablation: all engines"
+          (Ft_tsan.Ablation.engines_table ~clock_size ~target_events:events ());
+        show "Ablation: clock-width sweep"
+          (Ft_tsan.Ablation.clock_sweep ~target_events:events ());
+        show "Ablation: many-locks microbenchmark"
+          (Ft_tsan.Ablation.lock_sweep ~target_events:events ());
+        show "Extension: sampling strategies"
+          (Ft_tsan.Ablation.sampler_table ~clock_size ~target_events:events ());
+        show "Extension: Eraser lockset baseline vs ground truth"
+          (Ft_rapid.Experiment.eraser_comparison ())
+      end;
+      0
+    end
+  in
+  let term =
+    Term.(const run $ figure $ events $ runs $ scale $ seed_arg $ clock_size_arg $ csv)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's evaluation tables and figures.")
+    term
+
+(* --- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "engines (HB-exact):";
+    List.iter (fun id -> Printf.printf "  %s\n" (Engine.name id)) Engine.all;
+    print_endline "engines (baselines):";
+    print_endline "  eraser  (lockset analysis; unsound, for comparison)";
+    print_endline "db profiles (workload db:NAME):";
+    List.iter (fun (p : Db_sim.profile) -> Printf.printf "  %s\n" p.Db_sim.name) Db_sim.profiles;
+    print_endline "classic benchmarks (workload classic:NAME):";
+    List.iter
+      (fun (b : Classic.benchmark) ->
+        Printf.printf "  %-18s %s\n" b.Classic.name b.Classic.description)
+      Classic.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List engines and workloads.") Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "sampling-based dynamic race detection with efficient timestamping" in
+  let info = Cmd.info "racedet" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ generate_cmd; analyze_cmd; compare_cmd; report_cmd; oracle_cmd; experiments_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

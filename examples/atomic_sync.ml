@@ -1,0 +1,74 @@
+(* Non-mutex synchronization (paper appendix A.2).
+
+   Atomic variables synchronize through release-stores and acquire-loads:
+   a relst does not follow an acquire by the same thread, so the lock-clock
+   monotonicity Algorithm 3 relies on is gone — SU must publish on every
+   release-store, while Algorithm 4's shallow copies need no special case
+   ("the innovations of Algorithm 4 can always be adopted").
+
+   The program below is a seqlock-flavoured message-passing pattern: a
+   producer writes a payload and publishes a flag with a release-store;
+   consumers spin with acquire-loads and then read the payload.  Properly
+   synchronized reads are race-free; one consumer occasionally reads the
+   payload *before* loading the flag — a genuine race the detectors find.
+
+     dune exec examples/atomic_sync.exe *)
+
+module Trace = Ft_trace.Trace
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Prng = Ft_support.Prng
+
+let () =
+  let b = Trace.Builder.create () in
+  let producer = Trace.Builder.fresh_thread b in
+  let good = Trace.Builder.fresh_thread b in
+  let sloppy = Trace.Builder.fresh_thread b in
+  let flag = Trace.Builder.fresh_lock b in
+  let ack_good = Trace.Builder.fresh_lock b in
+  let ack_sloppy = Trace.Builder.fresh_lock b in
+  let payload = Trace.Builder.fresh_loc b in
+  let prng = Prng.create ~seed:11 in
+  let early_reads = ref 0 in
+  for round = 1 to 50 do
+    (* producer waits for both acks before overwriting the payload *)
+    if round > 1 then begin
+      Trace.Builder.acquire_load b producer ack_good;
+      Trace.Builder.acquire_load b producer ack_sloppy
+    end;
+    Trace.Builder.write b producer payload;
+    Trace.Builder.release_store b producer flag;
+    (* disciplined consumer: load-acquire, read, acknowledge *)
+    Trace.Builder.acquire_load b good flag;
+    Trace.Builder.read b good payload;
+    Trace.Builder.release_store b good ack_good;
+    (* sloppy consumer: sometimes reads before synchronizing *)
+    if Prng.bernoulli prng ~p:0.2 then begin
+      incr early_reads;
+      Trace.Builder.read b sloppy payload
+    end;
+    Trace.Builder.acquire_load b sloppy flag;
+    Trace.Builder.read b sloppy payload;
+    Trace.Builder.release_store b sloppy ack_sloppy
+  done;
+  let trace = Trace.Builder.build b in
+  Printf.printf "message-passing trace: %d events, %d undisciplined early reads\n"
+    (Trace.length trace) !early_reads;
+  List.iter
+    (fun engine ->
+      let r = Engine.run engine ~sampler:Sampler.all trace in
+      let m = r.Detector.metrics in
+      Printf.printf
+        "  %-4s races declared: %3d on locations [%s] | release-stores published: %d | acquires skipped: %d/%d\n"
+        (Engine.name engine)
+        (List.length r.Detector.races)
+        (String.concat ","
+           (List.map (Printf.sprintf "x%d") (Detector.racy_locations r)))
+        m.Metrics.releases_processed m.Metrics.acquires_skipped m.Metrics.acquires)
+    [ Engine.St; Engine.Su; Engine.So ];
+  print_newline ();
+  print_endline "Only the sloppy consumer's early reads race with the producer's writes.";
+  print_endline "SU publishes on every release-store (the monotonicity caveat of A.2);";
+  print_endline "its acquire-side skip stays sound and fires when the flag carries no news."

@@ -1,0 +1,58 @@
+(* Sampling-based race detection on a database-server workload.
+
+   Generates a TPC-C-like execution with the Db_sim substrate (the stand-in
+   for the paper's MySQL + BenchBase setup), then compares the naïve sampling
+   detector ST with the freshness (SU) and ordered-list (SO) engines at a 3%
+   sampling rate: analysis time, skipped synchronization work, and the races
+   they expose.
+
+     dune exec examples/db_sampling.exe *)
+
+module Trace = Ft_trace.Trace
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Db_sim = Ft_workloads.Db_sim
+module Tabulate = Ft_support.Tabulate
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let profile = Option.get (Db_sim.profile "tpcc") in
+  let trace = Db_sim.generate profile ~seed:42 ~target_events:400_000 in
+  let stats = Trace.stats trace in
+  Printf.printf
+    "tpcc-like trace: %d events (%d accesses, %d sync), %d workers, %d locks in use\n"
+    stats.Trace.n_events stats.Trace.n_accesses stats.Trace.n_syncs
+    (trace.Trace.nthreads - 1) stats.Trace.locks_touched;
+
+  let sampler = Sampler.bernoulli ~rate:0.03 ~seed:42 in
+  let clock_size = 64 in
+  let row engine =
+    let result, seconds =
+      time (fun () -> Engine.run_instrumented engine ~sampler ~clock_size trace)
+    in
+    let m = result.Detector.metrics in
+    [|
+      Engine.name engine;
+      Printf.sprintf "%.0f ms" (1000.0 *. seconds);
+      string_of_int m.Metrics.sampled_accesses;
+      Tabulate.pct (Metrics.acquires_skipped_ratio m);
+      string_of_int m.Metrics.releases_processed;
+      string_of_int m.Metrics.deep_copies;
+      string_of_int (List.length (Detector.racy_locations result));
+    |]
+  in
+  Tabulate.print ~title:"ST vs SU vs SO at a 3% sampling rate (64-entry clocks)"
+    ~header:[| "engine"; "time"; "|S|"; "acq skipped"; "rel copied"; "deep copies"; "racy locs" |]
+    (List.map row [ Engine.St; Engine.Su; Engine.So ]);
+
+  print_newline ();
+  print_endline "ST pays a full vector-clock operation at every synchronization event;";
+  print_endline "SU skips the redundant ones via freshness timestamps; SO additionally";
+  print_endline "replaces release-side copies with O(1) shallow copies and traverses only";
+  print_endline "the stale prefix of the ordered list at acquires."

@@ -1,0 +1,73 @@
+(* A guided tour of the paper's running example (Figures 1 and 2).
+
+   Prints, for each event of the 18-event execution:
+   - the DJIT+ timestamp C_FT (middle table of Fig. 1),
+   - the sampling timestamp C_sam for S = {e5, e15, e16} (right table),
+   - the update counter VT and freshness timestamp U (Fig. 2),
+   and then shows which acquires Algorithms 3 and 4 skip — e12 and e14, as
+   worked out in §4.2 — and the single-entry traversals of Algorithm 4.
+
+     dune exec examples/fig1_walkthrough.exe *)
+
+module Event = Ft_trace.Event
+module Trace = Ft_trace.Trace
+module Hb = Ft_trace.Hb
+module Litmus = Ft_trace.Litmus
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Tabulate = Ft_support.Tabulate
+
+let vec ts = "⟨" ^ String.concat "," (Array.to_list (Array.map string_of_int ts)) ^ "⟩"
+
+let () =
+  let { Litmus.trace; sampled; _ } = Litmus.fig1 in
+  let c_ft = Hb.timestamps_ft trace in
+  let c_sam = Hb.timestamps_sam trace ~sampled in
+  let vt = Hb.vt trace ~sampled in
+  let u = Hb.u_timestamps trace ~sampled in
+  let rows =
+    List.init (Trace.length trace) (fun i ->
+        let e = Trace.get trace i in
+        [|
+          Printf.sprintf "e%d" (i + 1);
+          Event.to_string e;
+          (if sampled.(i) then "S" else "");
+          vec c_ft.(i);
+          vec c_sam.(i);
+          string_of_int vt.(i);
+          vec u.(i);
+        |])
+  in
+  Tabulate.print ~title:"Fig 1/2: timestamps of the running example"
+    ~header:[| "event"; "op"; "in S"; "C_FT"; "C_sam"; "VT"; "U" |]
+    rows;
+
+  print_newline ();
+  print_endline "Things to notice (quoted from §4.1–4.2 of the paper):";
+  print_endline "  - e7 and e11 get distinct C_FT (⟨2,0⟩ vs ⟨3,0⟩) but identical C_sam:";
+  print_endline "    neither is sampled, so the Analysis Problem need not distinguish them.";
+  print_endline "  - e15 and e16 share both timestamps: they sit in one epoch.";
+  print_endline "  - t2's C_sam is unchanged across e8, e12, e14: the releases e10 and e13";
+  print_endline "    transmitted nothing new, which the freshness timestamp U detects.";
+
+  (* Run the real engines and show the skipping the paper works out. *)
+  let sampler = Sampler.fixed sampled in
+  let show engine =
+    let r = Engine.run engine ~sampler trace in
+    let m = r.Detector.metrics in
+    Printf.printf
+      "  %-4s acquires: %d total, %d skipped | releases: %d total, %d copied | deep copies: %d | entries traversed: %d\n"
+      (Engine.name engine) m.Metrics.acquires m.Metrics.acquires_skipped m.Metrics.releases
+      m.Metrics.releases_processed m.Metrics.deep_copies m.Metrics.entries_traversed
+  in
+  print_newline ();
+  print_endline "Engine work on this execution (S = {e5, e15, e16}):";
+  List.iter show [ Engine.St; Engine.Su; Engine.So ];
+  print_newline ();
+  print_endline "SU and SO skip 6 of 8 acquires: t1's four virgin locks plus e12 and e14";
+  print_endline "(shaded blue in Fig. 2).  SO never deep-copies here: thread t1 only ever";
+  print_endline "changes its clock through the externalized local epoch, and t2 never";
+  print_endline "shares its list.  The two non-skipped acquires (e8, e18) each traverse";
+  print_endline "exactly one ordered-list entry — compare Fig. 3's d = 1 traversal."

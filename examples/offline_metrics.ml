@@ -1,0 +1,30 @@
+(* Offline work-count analysis, RAPID style (paper appendix A.1).
+
+   Runs the four appendix engines — SU and SO at a 3% rate and at 100% —
+   over a few classic concurrency benchmarks, 10 seeded runs each, and
+   prints the three quantities of Figs 7–9: acquires skipped, releases
+   processed / deep copies, and the ordered-list saving ratio.
+
+     dune exec examples/offline_metrics.exe *)
+
+module Experiment = Ft_rapid.Experiment
+module Classic = Ft_workloads.Classic
+
+let pick names =
+  List.filter_map Classic.find names
+
+let () =
+  let benchmarks = pick [ "pingpong"; "producerconsumer"; "moldyn"; "wronglock"; "montecarlo" ] in
+  let rows = Experiment.run ~benchmarks ~runs:10 ~scale:4 () in
+  print_endline "Acquires skipped / total acquires (Fig 7):";
+  print_string (Experiment.fig7 rows);
+  print_newline ();
+  print_endline "Releases processed (SU) and deep copies (SO) / total releases (Fig 8):";
+  print_string (Experiment.fig8 rows);
+  print_newline ();
+  print_endline "Ordered-list saving ratio (Fig 9):";
+  print_string (Experiment.fig9 rows);
+  print_newline ();
+  print_endline "Note how pingpong — whose threads take the two locks in reverse order —";
+  print_endline "skips most acquires even at a 100% rate: the information carried by the";
+  print_endline "lock is usually stale, exactly observation (3b) of the paper's §A.1.2."

@@ -1,0 +1,53 @@
+(* Quickstart: build an execution, sample it, detect races.
+
+   Two threads update a shared counter; one update is protected by a lock,
+   the other is not.  We mark a handful of events as the sample set S and ask
+   the ordered-list engine (Algorithm 4) whether S contains a race.
+
+     dune exec examples/quickstart.exe *)
+
+module Trace = Ft_trace.Trace
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Race = Ft_core.Race
+
+let () =
+  (* 1. Build a well-formed execution with the trace builder. *)
+  let b = Trace.Builder.create () in
+  let main = Trace.Builder.fresh_thread b in
+  let worker = Trace.Builder.fresh_thread b in
+  let lock = Trace.Builder.fresh_lock b in
+  let counter = Trace.Builder.fresh_loc b in
+  Trace.Builder.fork b main worker;
+  (* main updates the counter under the lock *)
+  Trace.Builder.acquire b main lock;
+  Trace.Builder.read b main counter;
+  Trace.Builder.write b main counter;
+  Trace.Builder.release b main lock;
+  (* the worker forgets the lock: a data race *)
+  Trace.Builder.read b worker counter;
+  Trace.Builder.write b worker counter;
+  Trace.Builder.join b main worker;
+  let trace = Trace.Builder.build b in
+  Format.printf "execution (%d events):@.%a@." (Trace.length trace) Trace.pp trace;
+
+  (* 2. Detect on the full execution first. *)
+  let full = Engine.run Engine.So ~sampler:Sampler.all trace in
+  Format.printf "full detection: %d race declaration(s)@."
+    (List.length full.Detector.races);
+  List.iter (fun race -> Format.printf "  %a@." Race.pp race) full.Detector.races;
+
+  (* 3. Now sample 50%% of the accesses (seeded, hence reproducible). *)
+  let sampler = Sampler.bernoulli ~rate:0.5 ~seed:7 in
+  let sampled = Engine.run Engine.So ~sampler trace in
+  Format.printf "sampled detection (50%%): %d race declaration(s), racy locations: %s@."
+    (List.length sampled.Detector.races)
+    (String.concat ", "
+       (List.map (Printf.sprintf "x%d") (Detector.racy_locations sampled)));
+
+  (* 4. The three sampling engines always agree (Lemmas 7 and 8). *)
+  let indices engine = Race.indices (Engine.run engine ~sampler trace).Detector.races in
+  assert (indices Engine.St = indices Engine.Su);
+  assert (indices Engine.Su = indices Engine.So);
+  Format.printf "ST, SU and SO agree on every race. Done.@."

@@ -1,0 +1,75 @@
+(** Common interface of all race-detection engines.
+
+    A detector is created for a fixed universe (threads/locks/locations) and
+    a sampler, consumes events in streaming fashion, and exposes its race
+    reports and work counters.  The first-class-module plumbing keeps the
+    per-event dispatch identical across engines, which matters for the
+    latency experiments. *)
+
+type config = {
+  nthreads : int;
+  nlocks : int;
+  nlocs : int;
+  clock_size : int;
+      (** Number of entries in every vector clock / ordered list; at least
+          [nthreads].  ThreadSanitizer v3 uses a fixed 256-entry clock
+          (§6.2.6) regardless of the live thread count, which is what makes
+          full traversals expensive and skipping them worthwhile; setting
+          this reproduces that cost model.  Detection results are unaffected
+          (padding entries stay 0 — checked by the test suite). *)
+  sampler : Sampler.t;
+}
+
+val config_of_trace :
+  ?sampler:Sampler.t -> ?clock_size:int -> Ft_trace.Trace.t -> config
+(** Universe sizes from the trace; [sampler] defaults to {!Sampler.all} and
+    [clock_size] to the trace's thread count. *)
+
+type result = {
+  engine : string;
+  races : Race.t list;    (** in declaration order *)
+  metrics : Metrics.t;
+}
+
+val racy_locations : result -> Ft_trace.Event.loc list
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : config -> t
+
+  val handle : t -> int -> Ft_trace.Event.t -> unit
+  (** [handle d index event].  Indices must be fed in increasing order; they
+      key the sampling decision. *)
+
+  val result : t -> result
+end
+
+type packed = (module S)
+
+val run :
+  packed ->
+  ?sampler:Sampler.t ->
+  ?clock_size:int ->
+  ?limit:int ->
+  Ft_trace.Trace.t ->
+  result
+(** Create, feed the whole trace (or its first [limit] events), collect the
+    result.  [limit] models the paper's fixed-time-budget runs: a slower
+    configuration gets through a shorter prefix of the workload (§6.2.5). *)
+
+val run_instrumented :
+  packed -> ?sampler:Sampler.t -> ?clock_size:int -> Ft_trace.Trace.t -> result
+(** Like {!run}, but every event additionally pays the simulated
+    instrumentation cost ({!Instrumentation}); this is how the latency
+    harness times detectors so that [latency − ET] isolates analysis cost. *)
+
+val replay_only : Ft_trace.Trace.t -> int
+(** Iterate the trace calling no handlers (the NT baseline of §6.2.2);
+    returns a checksum so the loop cannot be optimized away. *)
+
+val replay_instrumented : Ft_trace.Trace.t -> int
+(** Iterate the trace paying only the instrumentation cost (the ET
+    baseline: instrumented, no detection). *)

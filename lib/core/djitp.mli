@@ -1,0 +1,8 @@
+(** DJIT+ — the classical vector-clock race detector (Algorithm 1).
+
+    Processes every event; the sampler in the configuration is ignored.
+    This is the unoptimized baseline whose O(N·T) timestamping cost the
+    paper attacks, and the specification against which FastTrack's racy
+    locations are checked. *)
+
+include Detector.S

@@ -1,0 +1,45 @@
+type id = Djit | Fasttrack | Fasttrack_tc | St | Su | So | Sl | Sn | Eraser
+
+let all = [ Djit; Fasttrack; Fasttrack_tc; St; Su; So; Sl; Sn ]
+
+let name = function
+  | Djit -> "djit"
+  | Fasttrack -> "fasttrack"
+  | Fasttrack_tc -> "fasttrack-tc"
+  | St -> "st"
+  | Su -> "su"
+  | So -> "so"
+  | Sl -> "sl"
+  | Sn -> "su-noskip"
+  | Eraser -> "eraser"
+
+let of_name = function
+  | "djit" -> Some Djit
+  | "fasttrack" | "ft" -> Some Fasttrack
+  | "fasttrack-tc" | "ft-tc" | "tc" -> Some Fasttrack_tc
+  | "st" -> Some St
+  | "su" -> Some Su
+  | "so" -> Some So
+  | "sl" | "so-nomtf" -> Some Sl
+  | "su-noskip" | "sn" -> Some Sn
+  | "eraser" | "lockset" -> Some Eraser
+  | _ -> None
+
+let detector : id -> Detector.packed = function
+  | Djit -> (module Djitp)
+  | Fasttrack -> (module Fasttrack)
+  | Fasttrack_tc -> (module Fasttrack_tc)
+  | St -> (module Sampling_naive)
+  | Su -> (module Sampling_uclock)
+  | So -> (module Sampling_ordered_list)
+  | Sl -> (module Sampling_lazy)
+  | Sn -> (module Sampling_uclock_noskip)
+  | Eraser -> (module Lockset)
+
+let sampling_engines = [ St; Su; So ]
+
+let run id ?sampler ?clock_size ?limit trace =
+  Detector.run (detector id) ?sampler ?clock_size ?limit trace
+
+let run_instrumented id ?sampler ?clock_size trace =
+  Detector.run_instrumented (detector id) ?sampler ?clock_size trace

@@ -1,0 +1,38 @@
+(** Registry of the detection engines evaluated in the paper (§6.2.2).
+
+    - ["djit"]      — Algorithm 1 (full detection, no sampling);
+    - ["fasttrack"] — FT, DJIT+ with the epoch optimization;
+    - ["fasttrack-tc"] — FastTrack over tree clocks (§7 comparison);
+    - ["st"]        — Algorithm 2, naïve sampling;
+    - ["su"]        — Algorithm 3, freshness timestamps;
+    - ["so"]        — Algorithm 4, ordered lists + lazy copy;
+    - ["sl"]        — ablation: Algorithm 4 without the ordered list;
+    - ["su-noskip"] — ablation: Algorithm 3 without the release-side skip;
+    - ["eraser"]    — the unsound lockset baseline ({!Lockset}); resolvable
+      by name but deliberately {e not} in {!all}, whose members share exact
+      HB semantics. *)
+
+type id = Djit | Fasttrack | Fasttrack_tc | St | Su | So | Sl | Sn | Eraser
+
+val all : id list
+(** The HB-exact engines (everything except [Eraser]). *)
+
+val name : id -> string
+val of_name : string -> id option
+val detector : id -> Detector.packed
+
+val sampling_engines : id list
+(** [St; Su; So] — the engines that honour the sampler. *)
+
+val run :
+  id ->
+  ?sampler:Sampler.t ->
+  ?clock_size:int ->
+  ?limit:int ->
+  Ft_trace.Trace.t ->
+  Detector.result
+(** Convenience wrapper around {!Detector.run}. *)
+
+val run_instrumented :
+  id -> ?sampler:Sampler.t -> ?clock_size:int -> Ft_trace.Trace.t -> Detector.result
+(** Wrapper around {!Detector.run_instrumented}. *)

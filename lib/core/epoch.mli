@@ -1,0 +1,24 @@
+(** Epochs — scalar timestamps [c@t] (FastTrack).
+
+    An epoch packs a clock value and a thread id into one immediate integer,
+    so that the common same-epoch / ordered-epoch checks of FastTrack are
+    single comparisons instead of O(T) clock traversals.  Thread ids must fit
+    in 16 bits and clock values in the remaining 46. *)
+
+type t = private int
+
+val none : t
+(** The ⊥ epoch [0@0] — compares ≤ everything. *)
+
+val make : time:int -> tid:int -> t
+val time : t -> int
+val tid : t -> int
+
+val leq_vc : t -> Vector_clock.t -> bool
+(** [leq_vc (c@t) V] is [c ≤ V(t)] — the O(1) ordering check. *)
+
+val of_vc_entry : Vector_clock.t -> int -> t
+(** [of_vc_entry v t] is [v(t)@t]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+module E = Ft_trace.Event
+module Vc = Vector_clock
+
+(* Read history: [rvc = None] means epoch mode ([repoch]); otherwise shared
+   mode with the full clock. *)
+type read_state = {
+  mutable repoch : Epoch.t;
+  mutable rindex : int;  (* trace index behind [repoch] *)
+  mutable rvc : Vc.t option;
+  mutable rvc_index : int array;  (* per-thread indices, allocated with [rvc] *)
+}
+
+type t = {
+  nthreads : int;
+  clocks : Vc.t array;
+  lock_clocks : Vc.t option array;
+  writes : Epoch.t array;              (* W_x *)
+  w_index : int array;                 (* trace index behind W_x *)
+  reads : read_state option array;     (* R_x, lazily allocated *)
+  metrics : Metrics.t;
+  mutable races : Race.t list;
+}
+
+let name = "fasttrack"
+
+let create (cfg : Detector.config) =
+  let clocks =
+    Array.init cfg.Detector.clock_size (fun i ->
+        let c = Vc.create cfg.Detector.clock_size in
+        Vc.set c i 1;
+        c)
+  in
+  {
+    nthreads = cfg.Detector.clock_size;
+    clocks;
+    lock_clocks = Array.make (Stdlib.max 1 cfg.Detector.nlocks) None;
+    writes = Array.make (Stdlib.max 1 cfg.Detector.nlocs) Epoch.none;
+    w_index = Array.make (Stdlib.max 1 cfg.Detector.nlocs) (-1);
+    reads = Array.make (Stdlib.max 1 cfg.Detector.nlocs) None;
+    metrics = Metrics.create ();
+    races = [];
+  }
+
+let declare d index tid x ~with_write ~with_read ~prior =
+  d.metrics.Metrics.races <- d.metrics.Metrics.races + 1;
+  let prior = if prior < 0 then None else Some prior in
+  d.races <- Race.make ~index ~thread:tid ~loc:x ~with_write ~with_read ?prior () :: d.races
+
+let read_state d x =
+  match d.reads.(x) with
+  | Some r -> r
+  | None ->
+    let r = { repoch = Epoch.none; rindex = -1; rvc = None; rvc_index = [||] } in
+    d.reads.(x) <- Some r;
+    r
+
+let lock_clock d l =
+  match d.lock_clocks.(l) with
+  | Some c -> c
+  | None ->
+    let c = Vc.create d.nthreads in
+    d.lock_clocks.(l) <- Some c;
+    c
+
+let handle d index (e : E.t) =
+  let m = d.metrics in
+  m.Metrics.events <- m.Metrics.events + 1;
+  let t = e.E.thread in
+  let ct = d.clocks.(t) in
+  match e.E.op with
+  | E.Read x ->
+    m.Metrics.reads <- m.Metrics.reads + 1;
+    let own = Epoch.make ~time:(Vc.get ct t) ~tid:t in
+    let r = read_state d x in
+    let same_epoch =
+      match r.rvc with
+      | None -> Epoch.equal r.repoch own
+      | Some rv -> Vc.get rv t = Vc.get ct t
+    in
+    if not same_epoch then begin
+      m.Metrics.race_checks <- m.Metrics.race_checks + 1;
+      if not (Epoch.leq_vc d.writes.(x) ct) then
+        declare d index t x ~with_write:true ~with_read:false ~prior:d.w_index.(x);
+      match r.rvc with
+      | Some rv ->
+        Vc.set rv t (Vc.get ct t);
+        r.rvc_index.(t) <- index
+      | None ->
+        if Epoch.equal r.repoch Epoch.none || Epoch.leq_vc r.repoch ct then begin
+          (* exclusive read *)
+          r.repoch <- own;
+          r.rindex <- index
+        end
+        else begin
+          (* inflate to shared mode *)
+          let rv = Vc.create d.nthreads in
+          let ri = Array.make d.nthreads (-1) in
+          Vc.set rv (Epoch.tid r.repoch) (Epoch.time r.repoch);
+          ri.(Epoch.tid r.repoch) <- r.rindex;
+          Vc.set rv t (Vc.get ct t);
+          ri.(t) <- index;
+          r.rvc <- Some rv;
+          r.rvc_index <- ri
+        end
+    end
+  | E.Write x ->
+    m.Metrics.writes <- m.Metrics.writes + 1;
+    let own = Epoch.make ~time:(Vc.get ct t) ~tid:t in
+    if not (Epoch.equal d.writes.(x) own) then begin
+      m.Metrics.race_checks <- m.Metrics.race_checks + 2;
+      let pw = if Epoch.leq_vc d.writes.(x) ct then -1 else d.w_index.(x) in
+      let pr =
+        match d.reads.(x) with
+        | None -> -1
+        | Some r -> (
+          match r.rvc with
+          | None -> if Epoch.leq_vc r.repoch ct then -1 else r.rindex
+          | Some rv ->
+            m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+            let rec stale i =
+              if i >= Vc.size rv then -1
+              else if Vc.get rv i > Vc.get ct i then r.rvc_index.(i)
+              else stale (i + 1)
+            in
+            stale 0)
+      in
+      let with_write = pw >= 0 and with_read = pr >= 0 in
+      if with_write || with_read then
+        declare d index t x ~with_write ~with_read
+          ~prior:(if with_write then pw else pr);
+      d.writes.(x) <- own;
+      d.w_index.(x) <- index;
+      (* a successful shared-read check lets us fall back to epoch mode *)
+      match d.reads.(x) with
+      | Some r when r.rvc <> None && not with_read ->
+        r.rvc <- None;
+        r.repoch <- Epoch.none
+      | Some _ | None -> ()
+    end
+  | E.Acquire l | E.Acquire_load l ->
+    m.Metrics.acquires <- m.Metrics.acquires + 1;
+    (match d.lock_clocks.(l) with
+    | None -> ()
+    | Some cl ->
+      m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+      Vc.join ~into:ct cl)
+  | E.Release l | E.Release_store l ->
+    m.Metrics.releases <- m.Metrics.releases + 1;
+    m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+    m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
+    Vc.copy_into ~into:(lock_clock d l) ct;
+    Vc.inc ct t
+  | E.Fork u ->
+    m.Metrics.releases <- m.Metrics.releases + 1;
+    m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
+    m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+    Vc.join ~into:d.clocks.(u) ct;
+    Vc.inc ct t
+  | E.Join u ->
+    m.Metrics.acquires <- m.Metrics.acquires + 1;
+    m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+    Vc.join ~into:ct d.clocks.(u)
+
+let result d =
+  { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }

@@ -1,0 +1,11 @@
+(** FastTrack over tree clocks — the §7 comparison point.
+
+    Identical detection logic to {!Fasttrack}, but thread and lock clocks
+    are {!Tree_clock}s: acquires traverse only updated subtrees and releases
+    perform pruned monotone copies.  This is the vt-work-optimal algorithm
+    for the {e full} happens-before relation; the ablation benchmarks pit it
+    against the sampling engines to demonstrate the paper's claim that tree
+    clocks cannot exploit the redundancy of the sampling partial order the
+    way ordered lists do.  The sampler is ignored (full detection). *)
+
+include Detector.S

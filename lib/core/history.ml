@@ -1,0 +1,108 @@
+type loc_state = {
+  mutable write : Vector_clock.t option;
+  mutable write_index : int;
+  mutable read : Vector_clock.t option;
+  mutable read_index : int array;  (* allocated together with [read] *)
+}
+
+type t = {
+  locs : loc_state option array;
+  clock_size : int;
+}
+
+let create ~nlocs ~clock_size =
+  { locs = Array.make (Stdlib.max 1 nlocs) None; clock_size }
+
+let state t x =
+  match t.locs.(x) with
+  | Some s -> s
+  | None ->
+    let s = { write = None; write_index = -1; read = None; read_index = [||] } in
+    t.locs.(x) <- Some s;
+    s
+
+(* First entry of [h] strictly above the current timestamp, or -1. *)
+let first_stale h ~bound =
+  let n = Vector_clock.size h in
+  let rec loop i =
+    if i >= n then -1 else if Vector_clock.get h i > bound i then i else loop (i + 1)
+  in
+  loop 0
+
+let stale_write t x clock ~tid ~epoch =
+  match t.locs.(x) with
+  | None -> -1
+  | Some s -> (
+    match s.write with
+    | None -> -1
+    | Some h ->
+      let bound i = if i = tid then epoch else Vector_clock.get clock i in
+      if first_stale h ~bound < 0 then -1 else s.write_index)
+
+let stale_read t x clock ~tid ~epoch =
+  match t.locs.(x) with
+  | None -> -1
+  | Some s -> (
+    match s.read with
+    | None -> -1
+    | Some h ->
+      let bound i = if i = tid then epoch else Vector_clock.get clock i in
+      let offender = first_stale h ~bound in
+      if offender < 0 then -1 else s.read_index.(offender))
+
+let ol_stale_write t x olist ~tid ~epoch =
+  match t.locs.(x) with
+  | None -> -1
+  | Some s -> (
+    match s.write with
+    | None -> -1
+    | Some h ->
+      let bound i = if i = tid then epoch else Ordered_list.get olist i in
+      if first_stale h ~bound < 0 then -1 else s.write_index)
+
+let ol_stale_read t x olist ~tid ~epoch =
+  match t.locs.(x) with
+  | None -> -1
+  | Some s -> (
+    match s.read with
+    | None -> -1
+    | Some h ->
+      let bound i = if i = tid then epoch else Ordered_list.get olist i in
+      let offender = first_stale h ~bound in
+      if offender < 0 then -1 else s.read_index.(offender))
+
+let write_clock t s =
+  match s.write with
+  | Some h -> h
+  | None ->
+    let h = Vector_clock.create t.clock_size in
+    s.write <- Some h;
+    h
+
+let record_write_vc t x clock ~tid ~epoch ~index =
+  let s = state t x in
+  let h = write_clock t s in
+  Vector_clock.copy_into ~into:h clock;
+  Vector_clock.set h tid epoch;
+  s.write_index <- index
+
+let record_write_ol t x olist ~tid ~epoch ~index =
+  let s = state t x in
+  let h = write_clock t s in
+  Ordered_list.iter olist (fun tid' time -> Vector_clock.set h tid' time);
+  Vector_clock.set h tid epoch;
+  s.write_index <- index
+
+let record_read t x ~tid ~epoch ~index =
+  let s = state t x in
+  let h =
+    match s.read with
+    | Some h -> h
+    | None ->
+      let h = Vector_clock.create t.clock_size in
+      s.read <- Some h;
+      s.read_index <- Array.make t.clock_size (-1);
+      h
+  in
+  Vector_clock.set h tid epoch;
+  s.read_index.(tid) <- index

@@ -1,0 +1,47 @@
+(** Access histories for the vector-clock detectors (Alg 1/2, read/write
+    handlers).
+
+    Per memory location we keep the write history [C_x^w] (timestamp of the
+    last recorded write) and the read history [C_x^r] (per-thread local time
+    of the last recorded read), lazily allocated on first touch, together
+    with the trace indices of the events behind the entries so that race
+    reports can name the concrete earlier access.
+
+    The race checks compare a history against the *current event's*
+    timestamp, which for the sampling detectors is the thread clock with its
+    own component replaced by the local epoch [e_t] — the clock's own entry
+    only holds the time of the last {e sampled} event flushed at a release,
+    so comparing against it directly would mis-order same-thread accesses.
+    (DJIT+ passes [e_t = C_t(t)], making the check the plain pointwise
+    comparison.)
+
+    The [stale_*] checks return the trace index of a conflicting earlier
+    event when the history is {e not} ordered before the current access, and
+    [-1] when it is ordered (no race). *)
+
+type t
+
+val create : nlocs:int -> clock_size:int -> t
+
+val stale_write : t -> Ft_trace.Event.loc -> Vector_clock.t -> tid:int -> epoch:int -> int
+(** Is [C_x^w ⊑ clock[tid ↦ epoch]]?  [-1] if so, otherwise the index of
+    the recorded write. *)
+
+val stale_read : t -> Ft_trace.Event.loc -> Vector_clock.t -> tid:int -> epoch:int -> int
+(** Is [C_x^r ⊑ clock[tid ↦ epoch]]?  [-1] if so, otherwise the index of
+    the offending thread's recorded read. *)
+
+val ol_stale_write : t -> Ft_trace.Event.loc -> Ordered_list.t -> tid:int -> epoch:int -> int
+val ol_stale_read : t -> Ft_trace.Event.loc -> Ordered_list.t -> tid:int -> epoch:int -> int
+(** As above, when the thread clock is an ordered list whose own entry is
+    externalized (Alg 4 with the local-epoch optimization). *)
+
+val record_write_vc :
+  t -> Ft_trace.Event.loc -> Vector_clock.t -> tid:int -> epoch:int -> index:int -> unit
+(** [C_x^w ← C_t[t ↦ e_t]], remembering the event's trace [index]. *)
+
+val record_write_ol :
+  t -> Ft_trace.Event.loc -> Ordered_list.t -> tid:int -> epoch:int -> index:int -> unit
+
+val record_read : t -> Ft_trace.Event.loc -> tid:int -> epoch:int -> index:int -> unit
+(** [C_x^r ← C_x^r[t ↦ e_t]], remembering the event's trace [index]. *)

@@ -1,0 +1,33 @@
+type t = {
+  shadow : int array;       (* 4 cells per location *)
+  sync_meta : int array;    (* 1 cell per sync object *)
+  mutable cursor : int;     (* rotating victim cell, as in TSan's eviction *)
+}
+
+let create ~nlocs ~nlocks =
+  {
+    shadow = Array.make (4 * Stdlib.max 1 nlocs) 0;
+    sync_meta = Array.make (Stdlib.max 1 nlocks) 0;
+    cursor = 0;
+  }
+
+(* A cheap stand-in for TSan's shadow-cell scan: hash the access, read the
+   location's four shadow cells, overwrite one in rotation. *)
+let touch t (e : Ft_trace.Event.t) =
+  match e.Ft_trace.Event.op with
+  | Ft_trace.Event.Read x | Ft_trace.Event.Write x ->
+    let base = 4 * x in
+    let h = (x * 0x9E3779B1) lxor (e.Ft_trace.Event.thread * 0x85EBCA77) in
+    let acc =
+      Array.unsafe_get t.shadow base
+      + Array.unsafe_get t.shadow (base + 1)
+      + Array.unsafe_get t.shadow (base + 2)
+      + Array.unsafe_get t.shadow (base + 3)
+    in
+    let victim = base + (t.cursor land 3) in
+    Array.unsafe_set t.shadow victim ((acc + h) land 0xFFFF);
+    t.cursor <- t.cursor + 1
+  | Ft_trace.Event.Acquire l | Ft_trace.Event.Release l
+  | Ft_trace.Event.Release_store l | Ft_trace.Event.Acquire_load l ->
+    t.sync_meta.(l) <- (t.sync_meta.(l) + e.Ft_trace.Event.thread + 1) land 0xFFFF
+  | Ft_trace.Event.Fork _ | Ft_trace.Event.Join _ -> ()

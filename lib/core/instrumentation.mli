@@ -1,0 +1,20 @@
+(** Simulated instrumentation cost — the ET component of §6.2.2.
+
+    In ThreadSanitizer every instrumented access computes a shadow-memory
+    address and inspects a group of shadow cells before (and independent of)
+    any analysis logic; this is the overhead that remains when detection is
+    compiled out (the paper's Empty-TSan baseline, ≈3.1× NT).  We model it
+    with a shadow array of four cells per memory location (TSan's shadow
+    cell group), touched on every access event, plus a one-cell metadata
+    touch on sync events.
+
+    The harness applies the {e same} instrumentation work to every
+    configuration, so [AO(S) = latency(S) − latency(ET)] isolates exactly
+    the analysis cost, as in the paper. *)
+
+type t
+
+val create : nlocs:int -> nlocks:int -> t
+
+val touch : t -> Ft_trace.Event.t -> unit
+(** Shadow work for one event. *)

@@ -1,0 +1,20 @@
+(** Eraser-style lockset analysis (Savage et al. 1997) — the classical
+    {e unsound and incomplete} baseline the paper's related work contrasts
+    HB detectors with (§7: "lockset-based race detectors … are lightweight
+    but unsound").
+
+    Each location carries the Eraser state machine
+    (Virgin → Exclusive(t) → Shared → Shared-Modified) and a candidate
+    lockset, intersected with the accessing thread's held locks; a warning
+    fires when the candidate set of a Shared-Modified location empties.
+    A location warns at most once.
+
+    Included for comparison and teaching, not detection quality: the test
+    suite exhibits both its false positives (fork/join-ordered accesses
+    without common locks) and its false negatives are impossible — it
+    over-approximates — while HB engines are exact for the observed trace.
+    The sampler is honoured the same way as in the sampling engines: only
+    sampled accesses update or check locksets.  Not a member of
+    {!Engine.all}; reach it through {!Engine.of_name} ["eraser"]. *)
+
+include Detector.S

@@ -1,0 +1,80 @@
+type t = {
+  mutable events : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable sampled_accesses : int;
+  mutable acquires : int;
+  mutable releases : int;
+  mutable acquires_skipped : int;
+  mutable releases_processed : int;
+  mutable deep_copies : int;
+  mutable shallow_copies : int;
+  mutable vc_full_ops : int;
+  mutable entries_traversed : int;
+  mutable entries_saved : int;
+  mutable race_checks : int;
+  mutable races : int;
+}
+
+let create () =
+  {
+    events = 0;
+    reads = 0;
+    writes = 0;
+    sampled_accesses = 0;
+    acquires = 0;
+    releases = 0;
+    acquires_skipped = 0;
+    releases_processed = 0;
+    deep_copies = 0;
+    shallow_copies = 0;
+    vc_full_ops = 0;
+    entries_traversed = 0;
+    entries_saved = 0;
+    race_checks = 0;
+    races = 0;
+  }
+
+let copy m = { m with events = m.events }
+
+let add ~into m =
+  into.events <- into.events + m.events;
+  into.reads <- into.reads + m.reads;
+  into.writes <- into.writes + m.writes;
+  into.sampled_accesses <- into.sampled_accesses + m.sampled_accesses;
+  into.acquires <- into.acquires + m.acquires;
+  into.releases <- into.releases + m.releases;
+  into.acquires_skipped <- into.acquires_skipped + m.acquires_skipped;
+  into.releases_processed <- into.releases_processed + m.releases_processed;
+  into.deep_copies <- into.deep_copies + m.deep_copies;
+  into.shallow_copies <- into.shallow_copies + m.shallow_copies;
+  into.vc_full_ops <- into.vc_full_ops + m.vc_full_ops;
+  into.entries_traversed <- into.entries_traversed + m.entries_traversed;
+  into.entries_saved <- into.entries_saved + m.entries_saved;
+  into.race_checks <- into.race_checks + m.race_checks;
+  into.races <- into.races + m.races
+
+let acquire_total m = m.acquires
+let release_total m = m.releases
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let acquires_skipped_ratio m = ratio m.acquires_skipped m.acquires
+let releases_processed_ratio m = ratio m.releases_processed m.releases
+let deep_copy_ratio m = ratio m.deep_copies m.releases
+let saved_traversal_ratio m = ratio m.entries_saved (m.entries_saved + m.entries_traversed)
+
+let sync_full_work_ratio m =
+  let total = m.acquires + m.releases in
+  let full = m.acquires - m.acquires_skipped + m.releases_processed in
+  ratio full total
+
+let mean_entries_per_acquire m = ratio m.entries_traversed m.acquires
+
+let pp fmt m =
+  Format.fprintf fmt
+    "@[<v>events=%d reads=%d writes=%d sampled=%d@ acquires=%d (skipped %d) releases=%d \
+     (processed %d)@ deep=%d shallow=%d vc_full=%d traversed=%d saved=%d@ checks=%d races=%d@]"
+    m.events m.reads m.writes m.sampled_accesses m.acquires m.acquires_skipped m.releases
+    m.releases_processed m.deep_copies m.shallow_copies m.vc_full_ops m.entries_traversed
+    m.entries_saved m.race_checks m.races

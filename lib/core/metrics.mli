@@ -1,0 +1,60 @@
+(** Fine-grained work counters (§6.2.6, §A.1.2).
+
+    Every detector owns one of these and bumps the counters relevant to it;
+    the experiment harnesses read them to reproduce Figs 6–9.  All counters
+    start at zero. *)
+
+type t = {
+  mutable events : int;          (** events processed *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable sampled_accesses : int;  (** |S| as realized on this trace *)
+  mutable acquires : int;          (** acquire + acquire-load + join edges *)
+  mutable releases : int;          (** release + release-store + fork edges *)
+  mutable acquires_skipped : int;
+      (** acquires whose freshness check avoided the O(T) join
+          (Alg 3 line 7 false; Alg 4 line 7 false) *)
+  mutable releases_processed : int;
+      (** SU: releases that performed the O(T) copy; copy semantics makes
+          this the Fig 8 numerator for SU *)
+  mutable deep_copies : int;       (** SO: lazy copies materialized *)
+  mutable shallow_copies : int;    (** SO: O(1) release hand-offs *)
+  mutable vc_full_ops : int;       (** O(T) vector-clock traversals performed *)
+  mutable entries_traversed : int; (** SO: ordered-list entries examined at acquires *)
+  mutable entries_saved : int;
+      (** SO: T − traversed, summed over non-skipped acquires (Fig 9) *)
+  mutable race_checks : int;       (** access-history comparisons *)
+  mutable races : int;             (** race declarations *)
+}
+
+val create : unit -> t
+
+val copy : t -> t
+
+val add : into:t -> t -> unit
+(** Pointwise accumulation, for aggregating repeated runs. *)
+
+val acquire_total : t -> int
+val release_total : t -> int
+
+val acquires_skipped_ratio : t -> float
+(** Skipped / total acquires (Fig 7). 0 when no acquires. *)
+
+val releases_processed_ratio : t -> float
+(** Processed (SU) / total releases (Fig 8). *)
+
+val deep_copy_ratio : t -> float
+(** Deep copies (SO) / total releases (Fig 8). *)
+
+val saved_traversal_ratio : t -> float
+(** SavedTraversals / AllTraversals over non-skipped acquires (Fig 9). *)
+
+val sync_full_work_ratio : t -> float
+(** Fraction of acquire+release events that triggered an O(T) traversal
+    (Fig 6b). *)
+
+val mean_entries_per_acquire : t -> float
+(** Ordered-list entries examined per acquire, averaged over all acquires
+    (Fig 6c). *)
+
+val pp : Format.formatter -> t -> unit

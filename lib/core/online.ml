@@ -1,0 +1,164 @@
+module E = Ft_trace.Event
+
+type rejection = { event : E.t; reason : string }
+
+type lock_style = Unused | Mutex | Atomic
+
+(* Incremental well-formedness state, mirroring Trace.well_formed. *)
+type validator = {
+  holder : int array;
+  style : lock_style array;
+  started : bool array;
+  forked : bool array;
+  joined : bool array;
+}
+
+type t = {
+  handle : int -> E.t -> unit;
+  get_result : unit -> Detector.result;
+  live_metrics : Metrics.t;
+  validator : validator;
+  on_race : (Race.t -> unit) option;
+  nthreads : int;
+  nlocks : int;
+  nlocs : int;
+  mutable seen : int;
+  mutable reported : int;  (* races already surfaced through on_race *)
+}
+
+let create ?on_race ?(engine = Engine.So) ?(sampler = Sampler.all) ?clock_size ~nthreads
+    ~nlocks ~nlocs () =
+  let config =
+    {
+      Detector.nthreads;
+      nlocks;
+      nlocs;
+      clock_size =
+        (match clock_size with
+        | None -> nthreads
+        | Some s ->
+          if s < nthreads then invalid_arg "Online.create: clock_size below thread count";
+          s);
+      sampler;
+    }
+  in
+  let (module D : Detector.S) = Engine.detector engine in
+  let state = D.create config in
+  {
+    handle = (fun i e -> D.handle state i e);
+    get_result = (fun () -> D.result state);
+    live_metrics = (D.result state).Detector.metrics;
+    validator =
+      {
+        holder = Array.make (Stdlib.max 1 nlocks) (-1);
+        style = Array.make (Stdlib.max 1 nlocks) Unused;
+        started = Array.make nthreads false;
+        forked = Array.make nthreads false;
+        joined = Array.make nthreads false;
+      };
+    on_race;
+    nthreads;
+    nlocks;
+    nlocs;
+    seen = 0;
+    reported = 0;
+  }
+
+let check t (e : E.t) =
+  let v = t.validator in
+  let tid = e.E.thread in
+  let fail reason = Error { event = e; reason } in
+  if tid < 0 || tid >= t.nthreads then fail "thread id out of range"
+  else if v.joined.(tid) then fail "thread acts after being joined"
+  else begin
+    let check_lock l want =
+      if l < 0 || l >= t.nlocks then fail "sync object id out of range"
+      else
+        match (v.style.(l), want) with
+        | Unused, _ | Mutex, Mutex | Atomic, Atomic -> Ok ()
+        | Mutex, Atomic | Atomic, Mutex ->
+          fail "sync object mixes mutex and atomic operations"
+        | _, Unused -> assert false
+    in
+    match e.E.op with
+    | E.Read x | E.Write x ->
+      if x < 0 || x >= t.nlocs then fail "location id out of range" else Ok ()
+    | E.Acquire l -> (
+      match check_lock l Mutex with
+      | Error _ as err -> err
+      | Ok () ->
+        if v.holder.(l) >= 0 then
+          fail (Printf.sprintf "lock %d already held by thread %d" l v.holder.(l))
+        else Ok ())
+    | E.Release l -> (
+      match check_lock l Mutex with
+      | Error _ as err -> err
+      | Ok () ->
+        if v.holder.(l) <> tid then fail "thread releases a lock it does not hold" else Ok ())
+    | E.Release_store l | E.Acquire_load l -> check_lock l Atomic
+    | E.Fork u ->
+      if u < 0 || u >= t.nthreads then fail "forked thread id out of range"
+      else if u = tid then fail "thread forks itself"
+      else if v.forked.(u) || v.started.(u) then fail "thread forked twice or already running"
+      else Ok ()
+    | E.Join u ->
+      if u < 0 || u >= t.nthreads then fail "joined thread id out of range"
+      else if u = tid then fail "thread joins itself"
+      else if v.joined.(u) then fail "thread joined twice"
+      else Ok ()
+  end
+
+let commit t (e : E.t) =
+  let v = t.validator in
+  v.started.(e.E.thread) <- true;
+  match e.E.op with
+  | E.Acquire l ->
+    v.style.(l) <- Mutex;
+    v.holder.(l) <- e.E.thread
+  | E.Release l ->
+    v.style.(l) <- Mutex;
+    v.holder.(l) <- -1
+  | E.Release_store l | E.Acquire_load l -> v.style.(l) <- Atomic
+  | E.Fork u -> v.forked.(u) <- true
+  | E.Join u -> v.joined.(u) <- true
+  | E.Read _ | E.Write _ -> ()
+
+let races t = (t.get_result ()).Detector.races
+
+let feed t e =
+  match check t e with
+  | Error _ as err -> err
+  | Ok () ->
+    commit t e;
+    t.handle t.seen e;
+    t.seen <- t.seen + 1;
+    (match t.on_race with
+    | None -> ()
+    | Some callback ->
+      (* the shared metrics record makes the new-race check O(1) *)
+      let total = t.live_metrics.Metrics.races in
+      if total > t.reported then begin
+        let all = races t in
+        (* surface the new declarations, oldest first *)
+        let fresh = ref [] in
+        List.iteri (fun i r -> if i >= t.reported then fresh := r :: !fresh) all;
+        List.iter callback (List.rev !fresh);
+        t.reported <- total
+      end);
+    Ok ()
+
+let feed_exn t e =
+  match feed t e with
+  | Ok () -> ()
+  | Error { reason; _ } -> invalid_arg ("Online.feed: " ^ reason)
+
+let events_seen t = t.seen
+let racy_locations t = Race.locations (races t)
+let metrics t = (t.get_result ()).Detector.metrics
+
+let read t tid x = feed t (E.mk tid (E.Read x))
+let write t tid x = feed t (E.mk tid (E.Write x))
+let acquire t tid l = feed t (E.mk tid (E.Acquire l))
+let release t tid l = feed t (E.mk tid (E.Release l))
+let fork t ~parent ~child = feed t (E.mk parent (E.Fork child))
+let join t ~parent ~child = feed t (E.mk parent (E.Join child))

@@ -1,0 +1,62 @@
+(** Online race monitoring.
+
+    The detectors consume pre-recorded traces; this module wraps one behind
+    a monitor suitable for {e live} event streams, the paper's actual
+    deployment setting (§1: callbacks inserted at every event of interest):
+
+    - events are validated incrementally against the semantics of §2 (lock
+      ownership, fork/join lifecycle, sync-style consistency) — a violating
+      event is rejected with an explanation instead of silently corrupting
+      clock state;
+    - races can be reported through a callback the moment they are declared;
+    - the monitor can be queried at any time for races, racy locations and
+      work metrics.
+
+    The universe (threads/locks/locations) must be sized up front, as in
+    TSan's fixed shadow state. *)
+
+type t
+
+type rejection = {
+  event : Ft_trace.Event.t;
+  reason : string;  (** why the event violates the execution semantics *)
+}
+
+val create :
+  ?on_race:(Race.t -> unit) ->
+  ?engine:Engine.id ->
+  ?sampler:Sampler.t ->
+  ?clock_size:int ->
+  nthreads:int ->
+  nlocks:int ->
+  nlocs:int ->
+  unit ->
+  t
+(** [create ~nthreads ~nlocks ~nlocs ()] builds a monitor around [engine]
+    (default {!Engine.So}) and [sampler] (default {!Sampler.all}).
+    [on_race] fires synchronously at each race declaration. *)
+
+val feed : t -> Ft_trace.Event.t -> (unit, rejection) result
+(** Validate and process one event.  Rejected events leave the monitor's
+    state untouched. *)
+
+val feed_exn : t -> Ft_trace.Event.t -> unit
+(** Like {!feed}; raises [Invalid_argument] on rejection. *)
+
+val events_seen : t -> int
+
+val races : t -> Race.t list
+(** Races declared so far, in declaration order. *)
+
+val racy_locations : t -> Ft_trace.Event.loc list
+
+val metrics : t -> Metrics.t
+(** Live work counters (shared with the underlying detector — read-only). *)
+
+(** Convenience emitters mirroring {!Ft_trace.Trace.Builder}. *)
+val read : t -> Ft_trace.Event.tid -> Ft_trace.Event.loc -> (unit, rejection) result
+val write : t -> Ft_trace.Event.tid -> Ft_trace.Event.loc -> (unit, rejection) result
+val acquire : t -> Ft_trace.Event.tid -> Ft_trace.Event.lock -> (unit, rejection) result
+val release : t -> Ft_trace.Event.tid -> Ft_trace.Event.lock -> (unit, rejection) result
+val fork : t -> parent:Ft_trace.Event.tid -> child:Ft_trace.Event.tid -> (unit, rejection) result
+val join : t -> parent:Ft_trace.Event.tid -> child:Ft_trace.Event.tid -> (unit, rejection) result

@@ -1,0 +1,60 @@
+(** The ordered-list timestamp of §5.
+
+    An ordered list stores a vector timestamp in a doubly linked list whose
+    node order records *recency of update*: {!set} and {!increment} move the
+    touched node to the head in O(1).  By Proposition 6, if a reader's
+    freshness lag behind the writer is [d], only the first [d] nodes can hold
+    entries the reader does not already know — so an acquire traverses a
+    [d]-prefix instead of the whole vector (Alg 4, line 10).
+
+    Representation: each thread owns exactly one node, so nodes are indexed
+    by thread id and the list is three int arrays plus a head index.  A deep
+    copy is O(T) and preserves the recency order; a shallow copy is O(1)
+    reference sharing, resolved lazily by the detector (the [shared] flag
+    lives in the detector, not here). *)
+
+type t
+
+val create : int -> t
+(** [create n]: the ⊥ timestamp over [n] threads.  Initial order is
+    [0 < 1 < … < n−1] from head to tail (arbitrary, as all entries are 0). *)
+
+val size : t -> int
+
+val get : t -> int -> int
+(** O(1); does not change the order. *)
+
+val set : t -> int -> int -> unit
+(** [set o t v] stores [v] and moves [t]'s node to the head. O(1). *)
+
+val increment : t -> int -> int -> unit
+(** [increment o t k] adds [k] and moves [t]'s node to the head. O(1). *)
+
+val deep_copy : t -> t
+(** Fresh structure with identical values *and identical order*. O(T). *)
+
+val iter_prefix : t -> int -> (int -> int -> unit) -> unit
+(** [iter_prefix o d f] applies [f tid time] to the first [min d T] nodes,
+    head first — the [O_ℓ[0:d]] traversal of Alg 4. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** All nodes, head first. *)
+
+val leq_vc : t -> Vector_clock.t -> bool
+(** Pointwise [⊑] against a plain vector clock. O(T). *)
+
+val vc_leq : Vector_clock.t -> t -> bool
+(** [vc_leq v o] is [v ⊑ o]. O(T). *)
+
+val to_vc : t -> Vector_clock.t
+(** Snapshot as a plain vector clock. O(T). *)
+
+val order : t -> int list
+(** Thread ids from head to tail (tests and pretty-printing). *)
+
+val check_invariants : t -> bool
+(** Structural sanity: the node chain is a permutation of all thread ids and
+    forward/backward links agree.  For tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders head-to-tail as [[t3:7 t0:2 …]]. *)

@@ -1,0 +1,30 @@
+type t = {
+  index : int;
+  thread : Ft_trace.Event.tid;
+  loc : Ft_trace.Event.loc;
+  with_write : bool;
+  with_read : bool;
+  prior : int option;
+}
+
+let make ~index ~thread ~loc ~with_write ~with_read ?prior () =
+  { index; thread; loc; with_write; with_read; prior }
+
+let locations races =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace tbl r.loc ()) races;
+  List.sort compare (Hashtbl.fold (fun x () acc -> x :: acc) tbl [])
+
+let indices races = List.sort compare (List.map (fun r -> r.index) races)
+
+let pairs races =
+  List.filter_map (fun r -> Option.map (fun p -> (p, r.index)) r.prior) races
+
+let pp fmt r =
+  Format.fprintf fmt "race at event %d: thread t%d on x%d (vs %s%s)" r.index r.thread r.loc
+    (match (r.with_write, r.with_read) with
+    | true, true -> "earlier write and read"
+    | true, false -> "earlier write"
+    | false, true -> "earlier read"
+    | false, false -> "??")
+    (match r.prior with Some p -> Printf.sprintf ", event %d" p | None -> "")

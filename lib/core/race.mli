@@ -1,0 +1,41 @@
+(** Race reports.
+
+    A detector declares a race *at* an event: the current access conflicts
+    with some earlier unordered access recorded in the location's access
+    history (Alg 1/2, read/write handlers).  The access histories also
+    remember the trace index of the event behind each entry, so reports can
+    name a concrete earlier event ([prior]); the test suite verifies that
+    every reported pair really is conflicting and HB-unordered. *)
+
+type t = {
+  index : int;  (** trace index of the event where the race was declared *)
+  thread : Ft_trace.Event.tid;
+  loc : Ft_trace.Event.loc;
+  with_write : bool;  (** the write access history was unordered *)
+  with_read : bool;   (** the read access history was unordered *)
+  prior : int option;
+      (** trace index of a conflicting earlier unordered access (the stale
+          history entry that failed the check), when tracked *)
+}
+
+val make :
+  index:int ->
+  thread:Ft_trace.Event.tid ->
+  loc:Ft_trace.Event.loc ->
+  with_write:bool ->
+  with_read:bool ->
+  ?prior:int ->
+  unit ->
+  t
+
+val locations : t list -> Ft_trace.Event.loc list
+(** Distinct racy locations, sorted — the Fig 6(a) metric. *)
+
+val indices : t list -> int list
+(** Sorted event indices at which races were declared (for the ST ≡ SU ≡ SO
+    equivalence checks of Lemmas 7 and 8). *)
+
+val pairs : t list -> (int * int) list
+(** The [(prior, index)] pairs of reports that carry a prior. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type t = { name : string; decide : int -> Ft_trace.Event.t -> bool }
+
+let name s = s.name
+let decide s i e = s.decide i e
+
+(* Stateless hash of (seed, index): one splitmix64 round. *)
+let hash01 seed index =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let bernoulli ~rate ~seed =
+  {
+    name = Printf.sprintf "bernoulli(%.4g%%,seed=%d)" (100.0 *. rate) seed;
+    decide = (fun i _ -> hash01 seed i < rate);
+  }
+
+let all = { name = "all"; decide = (fun _ _ -> true) }
+let none = { name = "none"; decide = (fun _ _ -> false) }
+
+let fixed mask =
+  {
+    name = "fixed";
+    decide = (fun i _ -> i < Array.length mask && mask.(i));
+  }
+
+let every_nth n =
+  assert (n > 0);
+  { name = Printf.sprintf "every_nth(%d)" n; decide = (fun i _ -> i mod n = 0) }
+
+let by_location pred ~name =
+  {
+    name;
+    decide =
+      (fun _ e ->
+        match Ft_trace.Event.accessed_loc e with Some x -> pred x | None -> false);
+  }
+
+let windowed ~period ~duty =
+  assert (period > 0 && duty >= 0.0 && duty <= 1.0);
+  let on = int_of_float (Float.round (duty *. float_of_int period)) in
+  {
+    name = Printf.sprintf "windowed(period=%d,duty=%.2g)" period duty;
+    decide = (fun i _ -> i mod period < on);
+  }
+
+let access_count tbl x =
+  let c = try Hashtbl.find tbl x with Not_found -> 0 in
+  Hashtbl.replace tbl x (c + 1);
+  c
+
+let cold_region ~threshold =
+  assert (threshold > 0);
+  let counts = Hashtbl.create 256 in
+  {
+    name = Printf.sprintf "cold_region(threshold=%d)" threshold;
+    decide =
+      (fun _ e ->
+        match Ft_trace.Event.accessed_loc e with
+        | None -> false
+        | Some x -> access_count counts x < threshold);
+  }
+
+let fixed_count ~k ~length ~seed =
+  assert (k >= 0 && length >= 0);
+  let prng = Ft_support.Prng.create ~seed in
+  let indices = Array.init length Fun.id in
+  Ft_support.Prng.shuffle prng indices;
+  let chosen = Hashtbl.create (Stdlib.max 1 k) in
+  for i = 0 to Stdlib.min k length - 1 do
+    Hashtbl.replace chosen indices.(i) ()
+  done;
+  {
+    name = Printf.sprintf "fixed_count(k=%d,seed=%d)" k seed;
+    decide = (fun i _ -> Hashtbl.mem chosen i);
+  }
+
+let adaptive ~base_rate =
+  assert (base_rate > 0);
+  let counts = Hashtbl.create 256 in
+  {
+    name = Printf.sprintf "adaptive(base_rate=%d)" base_rate;
+    decide =
+      (fun i e ->
+        match Ft_trace.Event.accessed_loc e with
+        | None -> false
+        | Some x ->
+          let c = access_count counts x in
+          let p = Stdlib.max 0.001 (0.5 ** float_of_int (c / base_rate)) in
+          hash01 (x + 1) i < p);
+  }
+
+let to_sampled_array s trace =
+  Array.init (Ft_trace.Trace.length trace) (fun i ->
+      let e = Ft_trace.Trace.get trace i in
+      Ft_trace.Event.is_access e && s.decide i e)

@@ -1,0 +1,65 @@
+(** Sampling strategies — who decides membership of the set S (§3, §6.1).
+
+    The algorithms are agnostic to how S is chosen; the evaluation uses
+    independent Bernoulli sampling of access events.  A sampler is a pure
+    function of the event's trace index, so that every engine analysing the
+    same trace with the same seed sees exactly the same set S regardless of
+    the order or number of queries — the apples-to-apples requirement of the
+    paper's offline experiments (§A.1.1).
+
+    Only access events (reads/writes) are ever queried; synchronization
+    events are never part of S. *)
+
+type t
+
+val name : t -> string
+
+val decide : t -> int -> Ft_trace.Event.t -> bool
+(** [decide s index event] — is this access event in S? *)
+
+val bernoulli : rate:float -> seed:int -> t
+(** Each access sampled independently with probability [rate]; decisions are
+    a pure hash of [(seed, index)]. *)
+
+val all : t
+(** Sample everything — the 100%-rate engines of the appendix. *)
+
+val none : t
+
+val fixed : bool array -> t
+(** Membership given explicitly per event index (litmus executions). *)
+
+val every_nth : int -> t
+(** Deterministic systematic sampling: indices divisible by [n]. *)
+
+val by_location : (Ft_trace.Event.loc -> bool) -> name:string -> t
+(** Sample all accesses to selected memory locations — the RaceMob-style
+    static sample sets mentioned in §3. *)
+
+val windowed : period:int -> duty:float -> t
+(** Pacer-style alternating sampling and non-sampling periods (§3, §7):
+    within every window of [period] consecutive events, the first
+    [duty × period] are sampled.  Pure in the event index. *)
+
+val cold_region : threshold:int -> t
+(** LiteRace-style cold-region sampling: every memory location is sampled
+    for its first [threshold] accesses and never afterwards — the
+    cold-region hypothesis says races hide in rarely executed code.
+    Stateful, but deterministic for any detector that queries each access
+    event exactly once in trace order (all engines here do); the state is
+    {e per sampler value}, so share one sampler across engines only via
+    {!to_sampled_array}. *)
+
+val fixed_count : k:int -> length:int -> seed:int -> t
+(** RPT-style sampling (§7): exactly [min k length] event indices drawn
+    uniformly without replacement from [\[0, length)].  Requires the trace
+    length up front (RPT likewise budgets a constant number of samples per
+    execution). *)
+
+val adaptive : base_rate:int -> t
+(** LiteRace's decaying variant: location [x]'s sampling probability starts
+    at 1 and halves every [base_rate] accesses to [x], with a 0.1% floor.
+    Same determinism caveat as {!cold_region}. *)
+
+val to_sampled_array : t -> Ft_trace.Trace.t -> bool array
+(** Materialize S over a trace (for oracles and reporting). *)

@@ -1,0 +1,12 @@
+(** ST — Algorithm 2, the naïve sampling detector.
+
+    Computes the sampling timestamp [C_sam] (Eq 7): thread-local clocks are
+    incremented only at the first release after a sampled event
+    ([RelAfter_S], Eq 5), the thread clock's own component holds the local
+    time of the last *sampled* event, and the running local time lives in
+    the separate epoch [e_t].  Race checks and access-history updates happen
+    only at sampled events.  Synchronization events still pay a full O(T)
+    vector-clock operation each — this is the baseline the freshness
+    timestamp (SU) and ordered lists (SO) improve on. *)
+
+include Detector.S

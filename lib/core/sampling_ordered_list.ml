@@ -1,0 +1,172 @@
+module E = Ft_trace.Event
+module Vc = Vector_clock
+module Ol = Ordered_list
+
+type t = {
+  nthreads : int;
+  sampler : Sampler.t;
+  mutable olists : Ol.t array;
+      (* O_t; the thread's *own* component is externalized into [own] (the
+         local-epoch optimization) and the own node's value is stale *)
+  own : int array;               (* flushed own component, C_t(t) *)
+  uclocks : Vc.t array;          (* U_t *)
+  epochs : int array;            (* e_t *)
+  pending : bool array;
+  shared : bool array;           (* shared_t: some lock references O_t *)
+  lock_ol : Ol.t option array;   (* O_ℓ: shared reference *)
+  lock_own : int array;          (* releaser's own component at release time *)
+  lock_lr : int array;           (* LR_ℓ, -1 = NIL *)
+  lock_u : int array;            (* U_ℓ scalar *)
+  history : History.t;
+  metrics : Metrics.t;
+  mutable races : Race.t list;
+}
+
+let name = "so"
+
+let create (cfg : Detector.config) =
+  let n = cfg.Detector.clock_size in
+  let nlocks = Stdlib.max 1 cfg.Detector.nlocks in
+  {
+    nthreads = n;
+    sampler = cfg.Detector.sampler;
+    olists = Array.init n (fun _ -> Ol.create n);
+    own = Array.make n 0;
+    uclocks = Array.init n (fun _ -> Vc.create n);
+    epochs = Array.make n 1;
+    pending = Array.make n false;
+    shared = Array.make n false;
+    lock_ol = Array.make nlocks None;
+    lock_own = Array.make nlocks 0;
+    lock_lr = Array.make nlocks (-1);
+    lock_u = Array.make nlocks 0;
+    history = History.create ~nlocs:cfg.Detector.nlocs ~clock_size:n;
+    metrics = Metrics.create ();
+    races = [];
+  }
+
+let declare d index tid x ~with_write ~with_read ~prior =
+  d.metrics.Metrics.races <- d.metrics.Metrics.races + 1;
+  let prior = if prior < 0 then None else Some prior in
+  d.races <- Race.make ~index ~thread:tid ~loc:x ~with_write ~with_read ?prior () :: d.races
+
+(* Ensure thread [t] owns its list before mutating it (lazy copy). *)
+let touch_olist d t =
+  if d.shared.(t) then begin
+    d.olists.(t) <- Ol.deep_copy d.olists.(t);
+    d.shared.(t) <- false;
+    d.metrics.Metrics.deep_copies <- d.metrics.Metrics.deep_copies + 1;
+    d.metrics.Metrics.vc_full_ops <- d.metrics.Metrics.vc_full_ops + 1
+  end
+
+(* Thanks to the local-epoch optimization, flushing the pending sampled
+   epoch touches only scalars — never the (possibly shared) list. *)
+let flush_pending d t =
+  if d.pending.(t) then begin
+    d.own.(t) <- d.epochs.(t);
+    Vc.inc d.uclocks.(t) t;
+    d.epochs.(t) <- d.epochs.(t) + 1;
+    d.pending.(t) <- false
+  end
+
+(* Raise thread [t]'s entry for [t'] to [v] if it is news, counting the
+   change into the freshness clock. *)
+let absorb_entry d t t' v =
+  if v > Ol.get d.olists.(t) t' then begin
+    touch_olist d t;
+    Ol.set d.olists.(t) t' v;
+    Vc.inc d.uclocks.(t) t
+  end
+
+let handle d index (e : E.t) =
+  let m = d.metrics in
+  m.Metrics.events <- m.Metrics.events + 1;
+  let t = e.E.thread in
+  match e.E.op with
+  | E.Read x ->
+    m.Metrics.reads <- m.Metrics.reads + 1;
+    if Sampler.decide d.sampler index e then begin
+      m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
+      m.Metrics.race_checks <- m.Metrics.race_checks + 1;
+      let epoch = d.epochs.(t) in
+      let pw = History.ol_stale_write d.history x d.olists.(t) ~tid:t ~epoch in
+      if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
+      History.record_read d.history x ~tid:t ~epoch ~index;
+      d.pending.(t) <- true
+    end
+  | E.Write x ->
+    m.Metrics.writes <- m.Metrics.writes + 1;
+    if Sampler.decide d.sampler index e then begin
+      m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
+      m.Metrics.race_checks <- m.Metrics.race_checks + 2;
+      let epoch = d.epochs.(t) in
+      let ol = d.olists.(t) in
+      let pr = History.ol_stale_read d.history x ol ~tid:t ~epoch in
+      let pw = History.ol_stale_write d.history x ol ~tid:t ~epoch in
+      if pr >= 0 || pw >= 0 then
+        declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
+          ~prior:(if pw >= 0 then pw else pr);
+      History.record_write_ol d.history x ol ~tid:t ~epoch ~index;
+      d.pending.(t) <- true
+    end
+  | E.Acquire l | E.Acquire_load l -> (
+    m.Metrics.acquires <- m.Metrics.acquires + 1;
+    match d.lock_lr.(l) with
+    | -1 -> m.Metrics.acquires_skipped <- m.Metrics.acquires_skipped + 1
+    | lr ->
+      let ut = d.uclocks.(t) in
+      if d.lock_u.(l) <= Vc.get ut lr then
+        m.Metrics.acquires_skipped <- m.Metrics.acquires_skipped + 1
+      else begin
+        let delta = d.lock_u.(l) - Vc.get ut lr in
+        Vc.set ut lr d.lock_u.(l);
+        (* the releaser's own component travels as a scalar *)
+        if lr <> t then absorb_entry d t lr d.lock_own.(l);
+        let ol = Option.get d.lock_ol.(l) in
+        let traversed = ref 0 in
+        Ol.iter_prefix ol delta (fun t' v ->
+            incr traversed;
+            (* skip our own entry (we know it best) and the releaser's node,
+               whose authoritative value is the scalar absorbed above *)
+            if t' <> t && t' <> lr then absorb_entry d t t' v);
+        m.Metrics.entries_traversed <- m.Metrics.entries_traversed + !traversed;
+        m.Metrics.entries_saved <- m.Metrics.entries_saved + (d.nthreads - !traversed)
+      end)
+  | E.Release l | E.Release_store l ->
+    m.Metrics.releases <- m.Metrics.releases + 1;
+    flush_pending d t;
+    d.lock_ol.(l) <- Some d.olists.(t);
+    d.lock_own.(l) <- d.own.(t);
+    d.lock_lr.(l) <- t;
+    d.lock_u.(l) <- Vc.get d.uclocks.(t) t;
+    d.shared.(t) <- true;
+    m.Metrics.shallow_copies <- m.Metrics.shallow_copies + 1
+  | E.Fork u ->
+    m.Metrics.releases <- m.Metrics.releases + 1;
+    flush_pending d t;
+    m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    (* the child inherits the parent's full state; count every inherited
+       entry into the child's own freshness counter *)
+    let changed = ref 0 in
+    Ol.iter d.olists.(t) (fun t' v ->
+        if t' <> t && t' <> u && v > Ol.get d.olists.(u) t' then begin
+          Ol.set d.olists.(u) t' v;
+          incr changed
+        end);
+    if d.own.(t) > Ol.get d.olists.(u) t then begin
+      Ol.set d.olists.(u) t d.own.(t);
+      incr changed
+    end;
+    Vc.join ~into:d.uclocks.(u) d.uclocks.(t);
+    Vc.set d.uclocks.(u) u (Vc.get d.uclocks.(u) u + !changed)
+  | E.Join u ->
+    m.Metrics.acquires <- m.Metrics.acquires + 1;
+    (* the child's end-of-thread acts as its final release *)
+    flush_pending d u;
+    m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    Vc.join ~into:d.uclocks.(t) d.uclocks.(u);
+    Ol.iter d.olists.(u) (fun t' v -> if t' <> t && t' <> u then absorb_entry d t t' v);
+    if u <> t then absorb_entry d t u d.own.(u)
+
+let result d =
+  { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }

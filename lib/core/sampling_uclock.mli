@@ -1,0 +1,23 @@
+(** SU — Algorithm 3: sampling timestamps plus the freshness timestamp.
+
+    Every thread and lock carries, besides the [C_sam] clock, a freshness
+    clock [U] counting component-updates of thread clocks (Eqs 8–10), and
+    every lock remembers its last releaser [LR_ℓ].  An acquire whose lock
+    carries nothing fresh — [U_ℓ(LR_ℓ) ≤ U_t(LR_ℓ)], sound by Prop 5 — is
+    skipped entirely; a release whose thread communicated nothing new since
+    the lock last saw it — [U_t(t) = U_ℓ(t)] — skips the O(T) copy.
+
+    Release-stores on sync variables (appendix A.2) are never skipped on the
+    release side: without a preceding acquire by the same thread the lock
+    clock is not monotone and the skip would leave a stale snapshot behind.
+    The acquire-side skip remains sound there and is kept. *)
+
+include Detector.S
+
+(** The implementation, parameterized by the release-side-skip policy; used
+    to derive the {!Sampling_uclock_noskip} ablation without duplication. *)
+module Make (_ : sig
+  val name : string
+  val release_skip : bool
+end) : Detector.S
+

@@ -1,0 +1,4 @@
+include Sampling_uclock.Make (struct
+  let name = "su-noskip"
+  let release_skip = false
+end)

@@ -1,0 +1,10 @@
+(** SN — ablation engine: Algorithm 3 {e without} the release-side skip.
+
+    Identical to {!Sampling_uclock} except that every mutex release copies
+    the thread's C and U clocks into the lock even when the lock already
+    carries the thread's latest information; comparing SN with SU isolates
+    the contribution of the release-side freshness check (the
+    ["redundant release"] skip of Lemma 7).  Race declarations are identical
+    to ST/SU/SO. *)
+
+include Detector.S

@@ -1,0 +1,141 @@
+module Trace = Ft_trace.Trace
+module Event = Ft_trace.Event
+module Tabulate = Ft_support.Tabulate
+
+type lock_row = {
+  lock : Event.lock;
+  acquisitions : int;
+  distinct_threads : int;
+  handoffs : int;
+}
+
+type loc_row = {
+  loc : Event.loc;
+  reads : int;
+  writes : int;
+  distinct_threads : int;
+}
+
+type t = {
+  stats : Trace.stats;
+  sync_access_ratio : float;
+  events_per_thread : int array;
+  locks : lock_row list;
+  hot_locations : loc_row list;
+}
+
+let analyze ?(top = 10) trace =
+  let stats = Trace.stats trace in
+  let nthreads = trace.Trace.nthreads in
+  let nlocks = Stdlib.max 1 trace.Trace.nlocks in
+  let nlocs = Stdlib.max 1 trace.Trace.nlocs in
+  let events_per_thread = Array.make nthreads 0 in
+  let acqs = Array.make nlocks 0 in
+  let handoffs = Array.make nlocks 0 in
+  let last_releaser = Array.make nlocks (-1) in
+  let lock_threads = Array.make nlocks [] in
+  let reads = Array.make nlocs 0 in
+  let writes = Array.make nlocs 0 in
+  let loc_threads = Array.make nlocs [] in
+  let note_thread arr i tid = if not (List.mem tid arr.(i)) then arr.(i) <- tid :: arr.(i) in
+  Trace.iteri
+    (fun _ (e : Event.t) ->
+      let tid = e.Event.thread in
+      events_per_thread.(tid) <- events_per_thread.(tid) + 1;
+      match e.Event.op with
+      | Event.Read x ->
+        reads.(x) <- reads.(x) + 1;
+        note_thread loc_threads x tid
+      | Event.Write x ->
+        writes.(x) <- writes.(x) + 1;
+        note_thread loc_threads x tid
+      | Event.Acquire l | Event.Acquire_load l ->
+        acqs.(l) <- acqs.(l) + 1;
+        note_thread lock_threads l tid;
+        if last_releaser.(l) >= 0 && last_releaser.(l) <> tid then
+          handoffs.(l) <- handoffs.(l) + 1
+      | Event.Release l | Event.Release_store l ->
+        note_thread lock_threads l tid;
+        last_releaser.(l) <- tid
+      | Event.Fork _ | Event.Join _ -> ())
+    trace;
+  let locks =
+    List.filter (fun r -> r.acquisitions > 0)
+      (List.init nlocks (fun l ->
+           {
+             lock = l;
+             acquisitions = acqs.(l);
+             distinct_threads = List.length lock_threads.(l);
+             handoffs = handoffs.(l);
+           }))
+    |> List.sort (fun a b -> compare b.acquisitions a.acquisitions)
+  in
+  let hot_locations =
+    List.filter (fun r -> r.reads + r.writes > 0)
+      (List.init nlocs (fun x ->
+           {
+             loc = x;
+             reads = reads.(x);
+             writes = writes.(x);
+             distinct_threads = List.length loc_threads.(x);
+           }))
+    |> List.sort (fun a b -> compare (b.reads + b.writes) (a.reads + a.writes))
+    |> List.filteri (fun i _ -> i < top)
+  in
+  {
+    stats;
+    sync_access_ratio =
+      Ft_support.Stats.ratio stats.Trace.n_syncs (Stdlib.max 1 stats.Trace.n_accesses);
+    events_per_thread;
+    locks;
+    hot_locations;
+  }
+
+let handoff_ratio t =
+  let total = List.fold_left (fun acc r -> acc + r.acquisitions) 0 t.locks in
+  let hand = List.fold_left (fun acc r -> acc + r.handoffs) 0 t.locks in
+  Ft_support.Stats.ratio hand total
+
+let render t =
+  let buf = Buffer.create 2048 in
+  let s = t.stats in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "events: %d  (reads %d, writes %d, acquires %d, releases %d, forks %d, joins %d, \
+        atomics %d)\n"
+       s.Trace.n_events s.Trace.n_reads s.Trace.n_writes s.Trace.n_acquires s.Trace.n_releases
+       s.Trace.n_forks s.Trace.n_joins
+       (s.Trace.n_release_stores + s.Trace.n_acquire_loads));
+  Buffer.add_string buf
+    (Printf.sprintf "sync:access ratio: %.3f   lock hand-off ratio: %s\n" t.sync_access_ratio
+       (Tabulate.pct (handoff_ratio t)));
+  Buffer.add_string buf
+    (Printf.sprintf "threads: %d (busiest handles %d events)\n"
+       (Array.length t.events_per_thread)
+       (Array.fold_left Stdlib.max 0 t.events_per_thread));
+  Buffer.add_string buf "\nmost contended locks:\n";
+  Buffer.add_string buf
+    (Tabulate.render
+       ~header:[| "lock"; "acquisitions"; "threads"; "hand-offs" |]
+       (List.filteri (fun i _ -> i < 10) t.locks
+       |> List.map (fun r ->
+              [|
+                Printf.sprintf "L%d" r.lock;
+                string_of_int r.acquisitions;
+                string_of_int r.distinct_threads;
+                string_of_int r.handoffs;
+              |])));
+  Buffer.add_string buf "\nhottest locations:\n";
+  Buffer.add_string buf
+    (Tabulate.render
+       ~header:[| "location"; "reads"; "writes"; "threads" |]
+       (List.map
+          (fun r ->
+            [|
+              Printf.sprintf "x%d" r.loc;
+              string_of_int r.reads;
+              string_of_int r.writes;
+              string_of_int r.distinct_threads;
+            |])
+          t.hot_locations));
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Descriptive analysis of an execution trace.
+
+    The RAPID-style offline setting begins by understanding the trace: how
+    synchronization-heavy it is, where lock contention concentrates, how
+    skewed the memory accesses are.  These are the statistics that predict
+    how much the paper's algorithms can save (§6.2.4: benchmarks "perform
+    very few synchronizations relative to memory accesses" are the ones
+    where optimizing synchronization handling cannot help). *)
+
+type lock_row = {
+  lock : Ft_trace.Event.lock;
+  acquisitions : int;
+  distinct_threads : int;
+  handoffs : int;
+      (** acquisitions whose previous release came from a different thread —
+          the communication the timestamping algorithms actually pay for *)
+}
+
+type loc_row = {
+  loc : Ft_trace.Event.loc;
+  reads : int;
+  writes : int;
+  distinct_threads : int;
+}
+
+type t = {
+  stats : Ft_trace.Trace.stats;
+  sync_access_ratio : float;
+  events_per_thread : int array;
+  locks : lock_row list;       (** sorted by acquisitions, descending *)
+  hot_locations : loc_row list;  (** top locations by access count *)
+}
+
+val analyze : ?top:int -> Ft_trace.Trace.t -> t
+(** [analyze ?top trace] ([top] defaults to 10 hot locations; all locks are
+    reported). *)
+
+val render : t -> string
+(** Human-readable report. *)
+
+val handoff_ratio : t -> float
+(** Cross-thread acquisitions over all acquisitions — an upper bound on the
+    fraction of acquires that can carry new information. *)

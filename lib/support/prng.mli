@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    The evaluation in the paper fixes seeds so that every engine analyses the
+    same distribution of requests and the same sampling decisions (§6.2.2,
+    §A.1.1).  We use splitmix64, a small, fast, statistically solid generator
+    that is trivially reproducible across platforms — the [Random] module of
+    the standard library does not guarantee a stable stream across OCaml
+    versions. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** Independent clone with identical future stream. *)
+
+val split : t -> t
+(** [split g] derives a new generator from [g], advancing [g]; the two
+    subsequent streams are statistically independent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli g ~p] is [true] with probability [p]. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p]);
+    used for burst lengths in workload generators. [p] must be in (0, 1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_weighted : t -> ('a * float) array -> 'a
+(** Element drawn with probability proportional to its weight.
+    Weights must be non-negative and not all zero. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,53 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (acc /. float_of_int n)
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let ys = sorted xs in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then ys.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+    end
+  end
+
+let median xs = percentile xs 50.0
+
+let min xs = if Array.length xs = 0 then 0.0 else Array.fold_left Stdlib.min xs.(0) xs
+let max xs = if Array.length xs = 0 then 0.0 else Array.fold_left Stdlib.max xs.(0) xs
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let sum_int xs = Array.fold_left ( + ) 0 xs
+
+let mean_int xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else float_of_int (sum_int xs) /. float_of_int n

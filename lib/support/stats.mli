@@ -1,0 +1,25 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0. on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0. if fewer than 2 points. *)
+
+val median : float array -> float
+(** Median (does not modify its argument); 0. on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0, 100], linear interpolation. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val ratio : int -> int -> float
+(** [ratio num den] as a float; 0. when [den = 0]. *)
+
+val sum_int : int array -> int
+val mean_int : int array -> float

@@ -1,0 +1,66 @@
+type align = Left | Right
+
+(* Display width: count UTF-8 scalar values, not bytes, so that table cells
+   containing ⟨…⟩ clock renderings still line up. *)
+let display_width s =
+  let n = String.length s in
+  let rec loop i acc =
+    if i >= n then acc
+    else begin
+      let c = Char.code s.[i] in
+      let step =
+        if c < 0x80 then 1
+        else if c < 0xE0 then 2
+        else if c < 0xF0 then 3
+        else 4
+      in
+      loop (i + step) (acc + 1)
+    end
+  in
+  loop 0 0
+
+let pad a width s =
+  let n = display_width s in
+  if n >= width then s
+  else begin
+    let blanks = String.make (width - n) ' ' in
+    match a with Left -> s ^ blanks | Right -> blanks ^ s
+  end
+
+let render ?align ~header rows =
+  let ncols = Array.length header in
+  let cell row j = if j < Array.length row then row.(j) else "" in
+  let widths =
+    Array.init ncols (fun j ->
+        List.fold_left
+          (fun w row -> Stdlib.max w (display_width (cell row j)))
+          (display_width header.(j))
+          rows)
+  in
+  let align_of j =
+    match align with
+    | Some a when j < Array.length a -> a.(j)
+    | Some _ | None -> if j = 0 then Left else Right
+  in
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    for j = 0 to ncols - 1 do
+      if j > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad (align_of j) widths.(j) (cells j))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (fun j -> header.(j));
+  emit_row (fun j -> String.make widths.(j) '-');
+  List.iter (fun row -> emit_row (cell row)) rows;
+  Buffer.contents buf
+
+let print ?align ~title ~header rows =
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '=');
+  print_string (render ?align ~header rows)
+
+let fl x = Printf.sprintf "%.3f" x
+let fl1 x = Printf.sprintf "%.1f" x
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

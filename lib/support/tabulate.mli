@@ -1,0 +1,33 @@
+(** Plain-text table rendering for the figure harnesses.
+
+    Every experiment in the paper is a table or a bar chart; we render both as
+    aligned text tables so that the bench output can be diffed against
+    EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align array ->
+  header:string array ->
+  string array list ->
+  string
+(** [render ~header rows] lays out [rows] under [header] with column
+    alignment ([Right] by default for every column except the first).
+    Rows shorter than the header are padded with empty cells. *)
+
+val print :
+  ?align:align array ->
+  title:string ->
+  header:string array ->
+  string array list ->
+  unit
+(** [print ~title ~header rows] writes a titled table to stdout. *)
+
+val fl : float -> string
+(** Compact float formatting, 3 significant decimals ("2.134"). *)
+
+val fl1 : float -> string
+(** One-decimal float formatting ("2.1"). *)
+
+val pct : float -> string
+(** Ratio rendered as a percentage ("37.2%"). *)

@@ -1,0 +1,55 @@
+type tid = int
+type lock = int
+type loc = int
+
+type op =
+  | Read of loc
+  | Write of loc
+  | Acquire of lock
+  | Release of lock
+  | Fork of tid
+  | Join of tid
+  | Release_store of lock
+  | Acquire_load of lock
+
+type t = { thread : tid; op : op }
+
+let mk thread op = { thread; op }
+
+let is_access e =
+  match e.op with
+  | Read _ | Write _ -> true
+  | Acquire _ | Release _ | Fork _ | Join _ | Release_store _ | Acquire_load _ -> false
+
+let is_sync e = not (is_access e)
+
+let accessed_loc e =
+  match e.op with
+  | Read x | Write x -> Some x
+  | Acquire _ | Release _ | Fork _ | Join _ | Release_store _ | Acquire_load _ -> None
+
+let conflicting e1 e2 =
+  e1.thread <> e2.thread
+  &&
+  match (e1.op, e2.op) with
+  | Write x, Write y | Write x, Read y | Read x, Write y -> x = y
+  | Read _, Read _ -> false
+  | _, _ -> false
+
+let pp_op fmt = function
+  | Read x -> Format.fprintf fmt "r(x%d)" x
+  | Write x -> Format.fprintf fmt "w(x%d)" x
+  | Acquire l -> Format.fprintf fmt "acq(L%d)" l
+  | Release l -> Format.fprintf fmt "rel(L%d)" l
+  | Fork u -> Format.fprintf fmt "fork(t%d)" u
+  | Join u -> Format.fprintf fmt "join(t%d)" u
+  | Release_store l -> Format.fprintf fmt "rel-st(V%d)" l
+  | Acquire_load l -> Format.fprintf fmt "acq-ld(V%d)" l
+
+let pp fmt e = Format.fprintf fmt "%a@@t%d" pp_op e.op e.thread
+
+let to_string e = Format.asprintf "%a" pp e
+
+let equal e1 e2 = e1.thread = e2.thread && e1.op = e2.op
+
+let compare_op (a : op) (b : op) = Stdlib.compare a b

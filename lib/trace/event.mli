@@ -1,0 +1,58 @@
+(** Events of a concurrent-program execution (§2 of the paper).
+
+    An event is an operation performed by a thread: a read or write of a
+    memory location, an acquire or release of a lock, or a fork/join edge.
+    The paper's core development uses only [Read]/[Write]/[Acquire]/[Release];
+    fork and join are needed by realistic workloads and are treated by every
+    detector as unskippable synchronization edges, which is sound and keeps
+    the complexity bounds intact (they occur O(threads) times).
+
+    [Release_store] and [Acquire_load] model the non-mutex synchronization of
+    appendix A.2 (atomic variables, message passing): a release-store does not
+    require a preceding acquire by the same thread, which breaks the lock-VC
+    monotonicity that Algorithm 3 relies on. Sync-variable ids share the lock
+    id space. *)
+
+type tid = int
+(** Thread identifier, dense in [\[0, nthreads)]. *)
+
+type lock = int
+(** Lock / sync-object identifier, dense in [\[0, nlocks)]. *)
+
+type loc = int
+(** Memory-location identifier, dense in [\[0, nlocs)]. *)
+
+type op =
+  | Read of loc
+  | Write of loc
+  | Acquire of lock
+  | Release of lock
+  | Fork of tid          (** child thread id *)
+  | Join of tid          (** child thread id *)
+  | Release_store of lock  (** atomic store-release on a sync variable *)
+  | Acquire_load of lock   (** atomic load-acquire on a sync variable *)
+
+type t = { thread : tid; op : op }
+
+val mk : tid -> op -> t
+
+val is_access : t -> bool
+(** [true] on reads and writes — the events eligible for sampling. *)
+
+val is_sync : t -> bool
+(** [true] on acquire/release/fork/join/atomic events. *)
+
+val accessed_loc : t -> loc option
+(** The memory location of a read/write, [None] otherwise. *)
+
+val conflicting : t -> t -> bool
+(** Two access events of different threads touching a common location,
+    not both reads (§2, "conflicting pair"). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as in the paper, e.g. ["w(x3)@t1"]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare_op : op -> op -> int

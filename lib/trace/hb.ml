@@ -1,0 +1,197 @@
+(* Bitset over event indices. *)
+module Bits = struct
+  type t = Bytes.t
+
+  let create n = Bytes.make ((n + 7) / 8) '\000'
+
+  let set b i =
+    let byte = i lsr 3 and bit = i land 7 in
+    Bytes.unsafe_set b byte
+      (Char.chr (Char.code (Bytes.unsafe_get b byte) lor (1 lsl bit)))
+
+  let test b i =
+    let byte = i lsr 3 and bit = i land 7 in
+    Char.code (Bytes.unsafe_get b byte) land (1 lsl bit) <> 0
+
+  let union ~into src =
+    for k = 0 to Bytes.length into - 1 do
+      Bytes.unsafe_set into k
+        (Char.chr (Char.code (Bytes.unsafe_get into k) lor Char.code (Bytes.unsafe_get src k)))
+    done
+
+
+end
+
+type t = { sets : Bits.t array }
+
+let is_release_like (op : Event.op) =
+  match op with
+  | Event.Release _ | Event.Fork _ | Event.Release_store _ -> true
+  | Event.Acquire _ | Event.Join _ | Event.Acquire_load _ | Event.Read _ | Event.Write _ -> false
+
+let closure trace =
+  let n = Trace.length trace in
+  let nthreads = trace.Trace.nthreads in
+  let nlocks = Stdlib.max 1 trace.Trace.nlocks in
+  let sets = Array.init n (fun _ -> Bits.create n) in
+  (* index of the last event of each thread so far, -1 if none *)
+  let last_of_thread = Array.make nthreads (-1) in
+  (* predecessor set of the last release of each sync object.  Copy (not
+     union) semantics: an acquire-load synchronizes with the latest
+     release-store only, as in TSan's ReleaseStore handler; for mutexes the
+     two coincide because lock discipline makes release sets monotone. *)
+  let sync_last = Array.make nlocks None in
+  (* set inherited by a forked thread at its first event *)
+  let inherit_set : Bits.t option array = Array.make nthreads None in
+  for i = 0 to n - 1 do
+    let e = Trace.get trace i in
+    let tid = e.Event.thread in
+    let s = sets.(i) in
+    Bits.set s i;
+    (if last_of_thread.(tid) >= 0 then Bits.union ~into:s sets.(last_of_thread.(tid))
+     else
+       match inherit_set.(tid) with
+       | Some parent -> Bits.union ~into:s parent
+       | None -> ());
+    (match e.Event.op with
+    | Event.Acquire l | Event.Acquire_load l -> (
+      match sync_last.(l) with Some u -> Bits.union ~into:s u | None -> ())
+    | Event.Join u ->
+      if last_of_thread.(u) >= 0 then Bits.union ~into:s sets.(last_of_thread.(u))
+    | Event.Read _ | Event.Write _ | Event.Release _ | Event.Release_store _ | Event.Fork _ -> ());
+    (match e.Event.op with
+    | Event.Release l | Event.Release_store l -> sync_last.(l) <- Some s
+    | Event.Fork u -> inherit_set.(u) <- Some s
+    | Event.Acquire _ | Event.Acquire_load _ | Event.Join _ | Event.Read _ | Event.Write _ -> ());
+    last_of_thread.(tid) <- i
+  done;
+  { sets }
+
+let ordered c i j = if i = j then true else if i > j then false else Bits.test c.sets.(j) i
+
+let racy_pairs trace =
+  let c = closure trace in
+  let n = Trace.length trace in
+  (* bucket access events per location to avoid the full quadratic pair scan *)
+  let by_loc = Hashtbl.create 64 in
+  let races = ref [] in
+  for j = 0 to n - 1 do
+    let e2 = Trace.get trace j in
+    match Event.accessed_loc e2 with
+    | None -> ()
+    | Some x ->
+      let earlier = try Hashtbl.find by_loc x with Not_found -> [] in
+      List.iter
+        (fun i ->
+          let e1 = Trace.get trace i in
+          if Event.conflicting e1 e2 && not (ordered c i j) then races := (i, j) :: !races)
+        earlier;
+      Hashtbl.replace by_loc x (j :: earlier)
+  done;
+  List.rev !races
+
+let racy_pairs_sampled trace ~sampled =
+  List.filter (fun (i, j) -> sampled.(i) && sampled.(j)) (racy_pairs trace)
+
+let racy_locations trace ~sampled =
+  let locs = Hashtbl.create 8 in
+  List.iter
+    (fun (i, _) ->
+      match Event.accessed_loc (Trace.get trace i) with
+      | Some x -> Hashtbl.replace locs x ()
+      | None -> ())
+    (racy_pairs_sampled trace ~sampled);
+  List.sort compare (Hashtbl.fold (fun x () acc -> x :: acc) locs [])
+
+let has_sampled_race trace ~sampled = racy_pairs_sampled trace ~sampled <> []
+
+let local_times_ft trace =
+  let n = Trace.length trace in
+  let counts = Array.make trace.Trace.nthreads 0 in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let e = Trace.get trace i in
+    out.(i) <- counts.(e.Event.thread) + 1;
+    if is_release_like e.Event.op then counts.(e.Event.thread) <- counts.(e.Event.thread) + 1
+  done;
+  out
+
+let timestamps_of_local trace locals ~eligible =
+  let c = closure trace in
+  let n = Trace.length trace in
+  let nthreads = trace.Trace.nthreads in
+  Array.init n (fun j ->
+      let ts = Array.make nthreads 0 in
+      for i = 0 to j do
+        let e = Trace.get trace i in
+        if eligible i && ordered c i j && locals.(i) > ts.(e.Event.thread) then
+          ts.(e.Event.thread) <- locals.(i)
+      done;
+      ts)
+
+let timestamps_ft trace =
+  timestamps_of_local trace (local_times_ft trace) ~eligible:(fun _ -> true)
+
+let rel_after_s trace ~sampled =
+  let n = Trace.length trace in
+  let pending = Array.make trace.Trace.nthreads false in
+  let out = Array.make n false in
+  for i = 0 to n - 1 do
+    let e = Trace.get trace i in
+    let tid = e.Event.thread in
+    if Event.is_access e && sampled.(i) then pending.(tid) <- true;
+    if is_release_like e.Event.op && pending.(tid) then begin
+      out.(i) <- true;
+      pending.(tid) <- false
+    end
+  done;
+  out
+
+let local_times_sam trace ~sampled =
+  let marked = rel_after_s trace ~sampled in
+  let n = Trace.length trace in
+  let counts = Array.make trace.Trace.nthreads 0 in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let e = Trace.get trace i in
+    out.(i) <- counts.(e.Event.thread) + 1;
+    if marked.(i) then counts.(e.Event.thread) <- counts.(e.Event.thread) + 1
+  done;
+  out
+
+let timestamps_sam trace ~sampled =
+  let locals = local_times_sam trace ~sampled in
+  timestamps_of_local trace locals ~eligible:(fun i -> sampled.(i))
+
+let diff_count t1 t2 =
+  assert (Array.length t1 = Array.length t2);
+  let d = ref 0 in
+  Array.iteri (fun k v -> if v <> t2.(k) then incr d) t1;
+  !d
+
+let vt trace ~sampled =
+  let stamps = timestamps_sam trace ~sampled in
+  let n = Trace.length trace in
+  let nthreads = trace.Trace.nthreads in
+  let out = Array.make n 0 in
+  let acc = Array.make nthreads 0 in
+  let prev = Array.make nthreads (-1) in
+  let bottom = Array.make nthreads 0 in
+  for i = 0 to n - 1 do
+    let tid = (Trace.get trace i).Event.thread in
+    let before = if prev.(tid) >= 0 then stamps.(prev.(tid)) else bottom in
+    acc.(tid) <- acc.(tid) + diff_count before stamps.(i);
+    out.(i) <- acc.(tid);
+    prev.(tid) <- i
+  done;
+  out
+
+let u_timestamps trace ~sampled =
+  let vts = vt trace ~sampled in
+  timestamps_of_local trace vts ~eligible:(fun _ -> true)
+
+let leq t1 t2 =
+  assert (Array.length t1 = Array.length t2);
+  let ok = ref true in
+  Array.iteri (fun k v -> if v > t2.(k) then ok := false) t1;
+  !ok

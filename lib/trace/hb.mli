@@ -1,0 +1,81 @@
+(** Brute-force happens-before oracle and declarative timestamps.
+
+    This module is the *specification* side of the test suite: it implements
+    the definitions of §2 and §4 of the paper directly (transitive closure
+    over event bitsets, Equations 1–10), with no sharing of code or data
+    structures with the optimized detectors in [ft_core].  It is quadratic in
+    the trace length and meant for traces of up to a few thousand events.
+
+    Happens-before edges (§2 extended with the fork/join and atomic events of
+    appendix A.2):
+    - thread order;
+    - [rel(ℓ)]/[relst(ℓ)] to every later [acq(ℓ)]/[acqld(ℓ)];
+    - [fork(u)] to every event of thread [u];
+    - every event of thread [u] to [join(u)]. *)
+
+type t
+(** Closure of a trace: per-event predecessor bitsets. *)
+
+val closure : Trace.t -> t
+
+val ordered : t -> int -> int -> bool
+(** [ordered c i j] is [e_i ≤HB e_j].  Reflexive.  [false] whenever
+    [i > j] (distinct events are HB-ordered only along trace order). *)
+
+val racy_pairs : Trace.t -> (int * int) list
+(** All conflicting unordered pairs [(i, j)] with [i < j], in order. *)
+
+val racy_pairs_sampled : Trace.t -> sampled:bool array -> (int * int) list
+(** Racy pairs with both components marked (Problem 1). [sampled] has one
+    entry per event; sync events are never considered sampled. *)
+
+val racy_locations : Trace.t -> sampled:bool array -> Event.loc list
+(** Distinct locations (sorted) on which a sampled racy pair exists — the
+    quantity of Fig 6(a). *)
+
+val has_sampled_race : Trace.t -> sampled:bool array -> bool
+
+(** {1 Declarative timestamps} *)
+
+val local_times_ft : Trace.t -> int array
+(** [L_FT] (Eq 1): 1 + number of releases thread-order-before the event.
+    Fork counts as a release and join as an acquire for local-time purposes,
+    matching the detectors' fork/join handling. *)
+
+val timestamps_ft : Trace.t -> int array array
+(** [C_FT] (Eq 2): [ (timestamps_ft tr).(i).(t) ] is the causal time of event
+    [i] for thread [t]. *)
+
+val rel_after_s : Trace.t -> sampled:bool array -> bool array
+(** [RelAfter_S] (Eq 5): releases (incl. fork/release-store edges) that are
+    the first release of their thread after a sampled event. *)
+
+val local_times_sam : Trace.t -> sampled:bool array -> int array
+(** [L_sam] (Eq 6). *)
+
+val timestamps_sam : Trace.t -> sampled:bool array -> int array array
+(** [C_sam] (Eq 7): maxima are taken over sampled events only. *)
+
+val diff_count : int array -> int array -> int
+(** [diff] (Eq 8): number of entries where two timestamps differ. *)
+
+val vt : Trace.t -> sampled:bool array -> int array
+(** [VT] (Eq 9): accumulated component updates of the thread clock.
+    Deviation from the paper's equation: the transition from the initial [⊥]
+    clock into a thread's first event is counted too, matching the counter
+    the algorithms maintain (their first acquire bumps [U_t(t)] per inherited
+    entry); the literal Eq 9 starts at 0 regardless, which breaks Prop 5 for
+    threads whose very first event learns sampled information. *)
+
+val u_timestamps : Trace.t -> sampled:bool array -> int array array
+(** The freshness timestamp [U].  Deviation from Eq 10 of the paper: the
+    maximum ranges over {e all} events of the thread, not only sampled ones —
+    [U(e)(t) = max {VT(f) | thr(f) = t, f ≤HB e}].  Eq 10's restriction to
+    sampled events breaks Proposition 5 when a thread's [C_sam] grows through
+    acquires between two of its sampled events; the all-events variant is
+    exactly the counter Algorithms 3 and 4 maintain (their own-component is
+    bumped on {e every} clock change, lines 12/16 of Alg 3), and it validates
+    Propositions 5 and 6 with [U(e1)(t1)] read as [VT(e1)]. *)
+
+val leq : int array -> int array -> bool
+(** Pointwise comparison [⊑] (Eq 3). *)

@@ -1,0 +1,107 @@
+type t = { name : string; trace : Trace.t; sampled : bool array }
+
+let make ?nthreads name events sampled_indices =
+  let events = Array.of_list events in
+  let trace =
+    match nthreads with
+    | None -> Trace.of_events events
+    | Some nthreads ->
+      let inferred = Trace.of_events events in
+      Trace.make ~nthreads ~nlocks:inferred.Trace.nlocks ~nlocs:inferred.Trace.nlocs events
+  in
+  let trace = Trace.validate trace in
+  let sampled = Array.make (Trace.length trace) false in
+  List.iter
+    (fun i ->
+      assert (Event.is_access (Trace.get trace i));
+      sampled.(i) <- true)
+    sampled_indices;
+  { name; trace; sampled }
+
+let r t x = Event.mk t (Event.Read x)
+let w t x = Event.mk t (Event.Write x)
+let acq t l = Event.mk t (Event.Acquire l)
+let rel t l = Event.mk t (Event.Release l)
+let fork t u = Event.mk t (Event.Fork u)
+let join t u = Event.mk t (Event.Join u)
+let relst t l = Event.mk t (Event.Release_store l)
+let acqld t l = Event.mk t (Event.Acquire_load l)
+
+(* Threads t1, t2 of the paper are 0, 1 here; locks ℓ1..ℓ4 are 0..3;
+   variables x, y, z are 0, 1, 2. *)
+let fig1 =
+  make "fig1"
+    [
+      acq 0 0 (* e1  acq(l1) t1 *);
+      acq 0 1 (* e2  acq(l2) t1 *);
+      acq 0 2 (* e3  acq(l3) t1 *);
+      acq 0 3 (* e4  acq(l4) t1 *);
+      w 0 2 (* e5  w(z) t1  [S] *);
+      rel 0 0 (* e6  rel(l1) t1 *);
+      w 0 0 (* e7  w(x) t1 *);
+      acq 1 0 (* e8  acq(l1) t2 *);
+      w 1 0 (* e9  w(x) t2 *);
+      rel 0 1 (* e10 rel(l2) t1 *);
+      w 0 1 (* e11 w(y) t1 *);
+      acq 1 1 (* e12 acq(l2) t2 *);
+      rel 0 2 (* e13 rel(l3) t1 *);
+      acq 1 2 (* e14 acq(l3) t2 *);
+      r 0 2 (* e15 r(z) t1  [S] *);
+      w 0 2 (* e16 w(z) t1  [S] *);
+      rel 0 3 (* e17 rel(l4) t1 *);
+      acq 1 3 (* e18 acq(l4) t2 *);
+    ]
+    [ 4; 14; 15 ]
+
+(* Six threads (t0, t3, t4, t5 idle). Thread 1 hands its clock to thread 2
+   through lock m = 0 twice; between the hand-offs exactly one sampled write
+   occurs, so at the final acquire thread 2 is exactly one freshness unit
+   behind and the ordered-list algorithm traverses a single entry (Fig. 3). *)
+let fig3 =
+  make ~nthreads:6 "fig3"
+    [
+      acq 1 0;
+      w 1 0 (* sampled *);
+      rel 1 0 (* RelAfter: t1 freshness 1 *);
+      acq 2 0 (* t2 learns t1 *);
+      w 2 1 (* sampled: give t2 some freshness of its own *);
+      rel 2 0;
+      w 1 2 (* sampled *);
+      acq 1 0;
+      rel 1 0 (* RelAfter: t1 freshness 2 *);
+      acq 2 0 (* t2 one unit behind: traverses exactly 1 entry *);
+      rel 2 0;
+    ]
+    [ 1; 4; 6 ]
+
+let simple_race =
+  make "simple_race" [ w 0 0; r 0 1; w 1 0; r 1 1 ] [ 0; 2 ]
+
+let protected_no_race =
+  make "protected_no_race"
+    [ acq 0 0; w 0 0; rel 0 0; acq 1 0; w 1 0; rel 1 0 ]
+    [ 1; 4 ]
+
+let race_missed_by_sampling =
+  make "race_missed_by_sampling" [ w 0 0; w 1 0 ] [ 0 ]
+
+let fork_join_ordered =
+  make "fork_join_ordered"
+    [ w 0 0; fork 0 1; w 1 0; join 0 1; w 0 0 ]
+    [ 0; 2; 4 ]
+
+let atomic_message_passing =
+  make "atomic_message_passing"
+    [ w 0 0; relst 0 0; acqld 1 0; r 1 0 ]
+    [ 0; 3 ]
+
+let all =
+  [
+    fig1;
+    fig3;
+    simple_race;
+    protected_no_race;
+    race_missed_by_sampling;
+    fork_join_ordered;
+    atomic_message_passing;
+  ]

@@ -1,0 +1,152 @@
+let magic = "FTRB"
+let version = 1
+
+(* --- varints ------------------------------------------------------------- *)
+
+let put_varint buf n =
+  assert (n >= 0);
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+exception Truncated
+
+type cursor = { data : bytes; mutable pos : int }
+
+let get_byte c =
+  if c.pos >= Bytes.length c.data then raise Truncated
+  else begin
+    let b = Char.code (Bytes.get c.data c.pos) in
+    c.pos <- c.pos + 1;
+    b
+  end
+
+let get_varint c =
+  let rec loop shift acc =
+    if shift > 62 then raise Truncated
+    else begin
+      let b = get_byte c in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+    end
+  in
+  loop 0 0
+
+(* --- event coding ---------------------------------------------------------- *)
+
+let tag_of_op (op : Event.op) =
+  match op with
+  | Event.Read _ -> 0
+  | Event.Write _ -> 1
+  | Event.Acquire _ -> 2
+  | Event.Release _ -> 3
+  | Event.Release_store _ -> 4
+  | Event.Acquire_load _ -> 5
+  | Event.Fork _ -> 6
+  | Event.Join _ -> 7
+
+let payload_of_op (op : Event.op) =
+  match op with
+  | Event.Read x | Event.Write x -> x
+  | Event.Acquire l | Event.Release l | Event.Release_store l | Event.Acquire_load l -> l
+  | Event.Fork u | Event.Join u -> u
+
+let op_of_tag tag payload =
+  match tag with
+  | 0 -> Ok (Event.Read payload)
+  | 1 -> Ok (Event.Write payload)
+  | 2 -> Ok (Event.Acquire payload)
+  | 3 -> Ok (Event.Release payload)
+  | 4 -> Ok (Event.Release_store payload)
+  | 5 -> Ok (Event.Acquire_load payload)
+  | 6 -> Ok (Event.Fork payload)
+  | 7 -> Ok (Event.Join payload)
+  | t -> Error (Printf.sprintf "unknown event tag %d" t)
+
+(* --- encoding ---------------------------------------------------------------- *)
+
+let to_buffer trace =
+  let buf = Buffer.create (4 + (3 * Trace.length trace)) in
+  Buffer.add_string buf magic;
+  put_varint buf version;
+  put_varint buf trace.Trace.nthreads;
+  put_varint buf trace.Trace.nlocks;
+  put_varint buf trace.Trace.nlocs;
+  put_varint buf (Trace.length trace);
+  Trace.iteri
+    (fun _ (e : Event.t) ->
+      put_varint buf (tag_of_op e.Event.op lor (e.Event.thread lsl 3));
+      put_varint buf (payload_of_op e.Event.op))
+    trace;
+  buf
+
+let to_bytes trace = Buffer.to_bytes (to_buffer trace)
+
+let of_bytes data =
+  let c = { data; pos = 0 } in
+  try
+    let m = Bytes.sub_string data 0 (String.length magic) in
+    c.pos <- String.length magic;
+    if m <> magic then Error "bad magic number (not a FreshTrack binary trace)"
+    else begin
+      let v = get_varint c in
+      if v <> version then Error (Printf.sprintf "unsupported version %d" v)
+      else begin
+        let nthreads = get_varint c in
+        let nlocks = get_varint c in
+        let nlocs = get_varint c in
+        let nevents = get_varint c in
+        if nthreads <= 0 then Error "corrupt header: no threads"
+        else begin
+          let exception Bad of string in
+          try
+            let events =
+              Array.init nevents (fun _ ->
+                  let head = get_varint c in
+                  let tag = head land 7 and thread = head lsr 3 in
+                  let payload = get_varint c in
+                  match op_of_tag tag payload with
+                  | Error msg -> raise (Bad msg)
+                  | Ok op ->
+                    if thread >= nthreads then raise (Bad "thread id out of range");
+                    (match op with
+                    | Event.Read x | Event.Write x ->
+                      if x >= nlocs then raise (Bad "location id out of range")
+                    | Event.Acquire l | Event.Release l | Event.Release_store l
+                    | Event.Acquire_load l ->
+                      if l >= nlocks then raise (Bad "lock id out of range")
+                    | Event.Fork u | Event.Join u ->
+                      if u >= nthreads then raise (Bad "thread operand out of range"));
+                    Event.mk thread op)
+            in
+            Ok (Trace.make ~nthreads ~nlocks ~nlocs events)
+          with Bad msg -> Error msg
+        end
+      end
+    end
+  with
+  | Truncated | Invalid_argument _ -> Error "truncated input"
+
+let write_channel oc trace = Buffer.output_buffer oc (to_buffer trace)
+
+let read_channel ic =
+  let n = in_channel_length ic in
+  let data = Bytes.create n in
+  really_input ic data 0 n;
+  of_bytes data
+
+let to_file path trace =
+  let oc = open_out_bin path in
+  write_channel oc trace;
+  close_out oc
+
+let of_file path =
+  let ic = open_in_bin path in
+  let r = read_channel ic in
+  close_in ic;
+  r

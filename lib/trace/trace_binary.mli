@@ -1,0 +1,28 @@
+(** Compact binary trace format.
+
+    The textual format of {!Trace_format} is convenient but costs ~15 bytes
+    per event; executions in the paper's setting run to billions of events.
+    This format stores one varint-encoded tag+payload pair per event
+    (typically 2–4 bytes) behind a small header with a magic number,
+    a version, and the universe sizes.
+
+    Layout (all integers LEB128 varints unless noted):
+    {v
+    "FTRB"  version  nthreads  nlocks  nlocs  nevents
+    nevents × ( tag | thread << 3 , payload )
+    v}
+    where [tag] is the operation (0=read … 7=join) packed below the thread
+    id, and [payload] is the location / lock / thread operand. *)
+
+val write_channel : out_channel -> Trace.t -> unit
+
+val read_channel : in_channel -> (Trace.t, string) result
+(** Fails with a description on bad magic, unsupported version, truncated
+    input, or out-of-range ids (the result is well-formed {e dimensionally};
+    combine with {!Trace.well_formed} for semantic checks). *)
+
+val to_file : string -> Trace.t -> unit
+val of_file : string -> (Trace.t, string) result
+
+val to_bytes : Trace.t -> bytes
+val of_bytes : bytes -> (Trace.t, string) result

@@ -1,0 +1,150 @@
+(* Name interning: canonical names (prefix + digits) keep their number;
+   any other identifier receives the smallest id not yet taken. *)
+module Interner = struct
+  type t = {
+    prefix : char;
+    tbl : (string, int) Hashtbl.t;
+    used : (int, unit) Hashtbl.t;
+    mutable next_free : int;
+  }
+
+  let create prefix = { prefix; tbl = Hashtbl.create 16; used = Hashtbl.create 16; next_free = 0 }
+
+  let canonical_id t name =
+    let n = String.length name in
+    if n < 2 || name.[0] <> t.prefix then None
+    else begin
+      let rec digits i = i >= n || (name.[i] >= '0' && name.[i] <= '9' && digits (i + 1)) in
+      if digits 1 then int_of_string_opt (String.sub name 1 (n - 1)) else None
+    end
+
+  let intern t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some id -> id
+    | None ->
+      let id =
+        match canonical_id t name with
+        | Some id when not (Hashtbl.mem t.used id) -> id
+        | Some _ | None ->
+          let rec free i = if Hashtbl.mem t.used i then free (i + 1) else i in
+          let id = free t.next_free in
+          t.next_free <- id + 1;
+          id
+      in
+      Hashtbl.replace t.tbl name id;
+      Hashtbl.replace t.used id ();
+      id
+end
+
+let is_blank line =
+  let n = String.length line in
+  let rec loop i = i >= n || ((line.[i] = ' ' || line.[i] = '\t' || line.[i] = '\r') && loop (i + 1)) in
+  n = 0 || line.[0] = '#' || loop 0
+
+let parse_op ~threads ~locks ~locs line =
+  (* "<opname>(<arg>)" *)
+  match (String.index_opt line '(', String.rindex_opt line ')') with
+  | Some i, Some j when j > i + 1 ->
+    let name = String.trim (String.sub line 0 i) in
+    let arg = String.trim (String.sub line (i + 1) (j - i - 1)) in
+    let lock () = Interner.intern locks arg in
+    let loc () = Interner.intern locs arg in
+    let thr () = Interner.intern threads arg in
+    (match name with
+    | "r" | "read" -> Ok (Event.Read (loc ()))
+    | "w" | "write" -> Ok (Event.Write (loc ()))
+    | "acq" | "acquire" -> Ok (Event.Acquire (lock ()))
+    | "rel" | "release" -> Ok (Event.Release (lock ()))
+    | "fork" -> Ok (Event.Fork (thr ()))
+    | "join" -> Ok (Event.Join (thr ()))
+    | "relst" -> Ok (Event.Release_store (lock ()))
+    | "acqld" -> Ok (Event.Acquire_load (lock ()))
+    | other -> Error (Printf.sprintf "unknown operation %S" other))
+  | _, _ -> Error "expected <op>(<arg>)"
+
+let parse_string input =
+  let threads = Interner.create 't' in
+  let locks = Interner.create 'L' in
+  let locs = Interner.create 'x' in
+  let events = ref [] in
+  let err = ref None in
+  let lines = String.split_on_char '\n' input in
+  List.iteri
+    (fun idx line ->
+      if !err = None && not (is_blank line) then begin
+        let lineno = idx + 1 in
+        match String.index_opt line '|' with
+        | None -> err := Some (Printf.sprintf "line %d: expected <thread>|<op>" lineno)
+        | Some bar ->
+          let thread_name = String.trim (String.sub line 0 bar) in
+          let rest = String.sub line (bar + 1) (String.length line - bar - 1) in
+          (* tolerate trailing "|<aux>" columns, as in RAPID's std format *)
+          let rest =
+            match String.index_opt rest '|' with
+            | Some b2 -> String.sub rest 0 b2
+            | None -> rest
+          in
+          if thread_name = "" then
+            err := Some (Printf.sprintf "line %d: empty thread name" lineno)
+          else begin
+            let tid = Interner.intern threads thread_name in
+            match parse_op ~threads ~locks ~locs (String.trim rest) with
+            | Ok op -> events := Event.mk tid op :: !events
+            | Error msg -> err := Some (Printf.sprintf "line %d: %s" lineno msg)
+          end
+      end)
+    lines;
+  match !err with
+  | Some msg -> Error msg
+  | None -> Ok (Trace.of_events (Array.of_list (List.rev !events)))
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  parse_string contents
+
+let to_string trace =
+  let buf = Buffer.create (16 * Trace.length trace) in
+  Trace.iteri
+    (fun _ (e : Event.t) ->
+      let line =
+        match e.op with
+        | Event.Read x -> Printf.sprintf "t%d|r(x%d)" e.thread x
+        | Event.Write x -> Printf.sprintf "t%d|w(x%d)" e.thread x
+        | Event.Acquire l -> Printf.sprintf "t%d|acq(L%d)" e.thread l
+        | Event.Release l -> Printf.sprintf "t%d|rel(L%d)" e.thread l
+        | Event.Fork u -> Printf.sprintf "t%d|fork(t%d)" e.thread u
+        | Event.Join u -> Printf.sprintf "t%d|join(t%d)" e.thread u
+        | Event.Release_store l -> Printf.sprintf "t%d|relst(L%d)" e.thread l
+        | Event.Acquire_load l -> Printf.sprintf "t%d|acqld(L%d)" e.thread l
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let to_rapid_std trace =
+  let buf = Buffer.create (16 * Trace.length trace) in
+  Trace.iteri
+    (fun i (e : Event.t) ->
+      let op =
+        match e.Event.op with
+        | Event.Read x -> Printf.sprintf "r(V%d)" x
+        | Event.Write x -> Printf.sprintf "w(V%d)" x
+        | Event.Acquire l -> Printf.sprintf "acq(L%d)" l
+        | Event.Release l -> Printf.sprintf "rel(L%d)" l
+        | Event.Release_store l -> Printf.sprintf "rel(A%d)" l
+        | Event.Acquire_load l -> Printf.sprintf "acq(A%d)" l
+        | Event.Fork u -> Printf.sprintf "fork(T%d)" u
+        | Event.Join u -> Printf.sprintf "join(T%d)" u
+      in
+      Buffer.add_string buf (Printf.sprintf "T%d|%s|%d\n" e.Event.thread op i))
+    trace;
+  Buffer.contents buf
+
+let to_file path trace =
+  let oc = open_out_bin path in
+  output_string oc (to_string trace);
+  close_out oc

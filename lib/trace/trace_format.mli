@@ -1,0 +1,39 @@
+(** Textual trace format, one event per line, in the spirit of the STD format
+    of the RAPID framework the paper uses for its offline experiments.
+
+    {v
+    # comments and blank lines are ignored
+    main|fork(worker1)
+    worker1|acq(l)
+    worker1|w(x)
+    worker1|rel(l)
+    main|r(x)
+    main|join(worker1)
+    v}
+
+    Operations: [r(v)], [w(v)], [acq(l)], [rel(l)], [fork(t)], [join(t)],
+    [relst(s)], [acqld(s)].  Thread, lock, sync and variable names are
+    arbitrary identifiers (no ['|'], ['('], [')'] or whitespace) and are
+    interned to dense integer ids in order of first appearance — except that
+    a name of the shape [t<digits>] (resp. [L<digits>], [x<digits>]) maps to
+    that exact id, so that printing and re-parsing round-trips ids. *)
+
+val parse_string : string -> (Trace.t, string) result
+(** Parses; the result is not validated (combine with {!Trace.well_formed}).
+    Errors carry a 1-based line number. *)
+
+val parse_file : string -> (Trace.t, string) result
+
+val to_string : Trace.t -> string
+(** Canonical rendering using [t<i>], [x<i>], [L<i>] names. *)
+
+val to_file : string -> Trace.t -> unit
+
+val to_rapid_std : Trace.t -> string
+(** Rendering in the exact STD syntax of the RAPID framework the paper's
+    offline experiments use (\[37\]): one event per line,
+    [T<i>|op(<decor>)|<aux>] with operations [r]/[w] on variables [V<i>],
+    [acq]/[rel] on locks [L<i>] and [fork]/[join] on threads — so traces
+    generated here can be fed to the original tool.  Atomic release-stores
+    and acquire-loads are rendered as [rel]/[acq] on a disjoint lock
+    namespace ([A<i>]), the closest STD equivalent. *)

@@ -1,0 +1,111 @@
+module Prng = Ft_support.Prng
+
+type params = {
+  nthreads : int;
+  nlocks : int;
+  nlocs : int;
+  length : int;
+  atomics : bool;
+  forkjoin : bool;
+}
+
+let default =
+  { nthreads = 4; nlocks = 3; nlocs = 6; length = 60; atomics = false; forkjoin = false }
+
+type action = Do_read | Do_write | Do_acquire | Do_release | Do_relst | Do_acqld
+
+let random prng p =
+  assert (p.nthreads >= 1);
+  let b = Trace.Builder.create () in
+  (* Sync-object id space: mutexes [0, nlocks), atomics [nlocks, 2*nlocks)
+     when enabled — a sync object must not mix styles. *)
+  let n_mutexes = p.nlocks in
+  let holder = Array.make (Stdlib.max 1 n_mutexes) (-1) in
+  let held : int list array = Array.make p.nthreads [] in
+  let runnable = Array.make p.nthreads true in
+  if p.forkjoin then begin
+    for u = 1 to p.nthreads - 1 do
+      runnable.(u) <- false
+    done;
+    (* thread 0 forks everyone up front, with a little local noise *)
+    for u = 1 to p.nthreads - 1 do
+      if p.nlocs > 0 && Prng.bool prng then Trace.Builder.write b 0 (Prng.int prng p.nlocs);
+      Trace.Builder.fork b 0 u;
+      runnable.(u) <- true
+    done
+  end;
+  let runnable_threads () =
+    let acc = ref [] in
+    for t = p.nthreads - 1 downto 0 do
+      if runnable.(t) then acc := t :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let weights t =
+    let base =
+      [
+        (Do_read, if p.nlocs > 0 then 0.30 else 0.0);
+        (Do_write, if p.nlocs > 0 then 0.25 else 0.0);
+        (Do_acquire, if n_mutexes > 0 then 0.20 else 0.0);
+        (Do_release, if held.(t) <> [] then 0.20 else 0.0);
+        (Do_relst, if p.atomics && p.nlocks > 0 then 0.04 else 0.0);
+        (Do_acqld, if p.atomics && p.nlocks > 0 then 0.04 else 0.0);
+      ]
+    in
+    Array.of_list (List.filter (fun (_, w) -> w > 0.0) base)
+  in
+  let step t =
+    let ws = weights t in
+    if Array.length ws = 0 then ()
+    else begin
+      match Prng.pick_weighted prng ws with
+      | Do_read -> Trace.Builder.read b t (Prng.int prng p.nlocs)
+      | Do_write -> Trace.Builder.write b t (Prng.int prng p.nlocs)
+      | Do_acquire ->
+        (* pick a free mutex if any; otherwise fall back to an access *)
+        let free = ref [] in
+        for l = n_mutexes - 1 downto 0 do
+          if holder.(l) < 0 then free := l :: !free
+        done;
+        (match !free with
+        | [] -> if p.nlocs > 0 then Trace.Builder.read b t (Prng.int prng p.nlocs)
+        | free ->
+          let l = Prng.pick prng (Array.of_list free) in
+          holder.(l) <- t;
+          held.(t) <- l :: held.(t);
+          Trace.Builder.acquire b t l)
+      | Do_release -> (
+        match held.(t) with
+        | [] -> ()
+        | l :: rest ->
+          holder.(l) <- -1;
+          held.(t) <- rest;
+          Trace.Builder.release b t l)
+      | Do_relst -> Trace.Builder.release_store b t (n_mutexes + Prng.int prng p.nlocks)
+      | Do_acqld -> Trace.Builder.acquire_load b t (n_mutexes + Prng.int prng p.nlocks)
+    end
+  in
+  let budget = Stdlib.max 0 (p.length - Trace.Builder.size b) in
+  for _ = 1 to budget do
+    let ts = runnable_threads () in
+    if Array.length ts > 0 then step (Prng.pick prng ts)
+  done;
+  (* release everything still held so that fork/join post-processing and
+     re-interleaving tests start from a quiescent state *)
+  Array.iteri
+    (fun t locks -> List.iter (fun l -> Trace.Builder.release b t l) locks)
+    held;
+  if p.forkjoin then
+    for u = 1 to p.nthreads - 1 do
+      runnable.(u) <- false;
+      Trace.Builder.join b 0 u
+    done;
+  Trace.Builder.build b
+
+let random_sampled prng p ~rate =
+  let trace = random prng p in
+  let sampled =
+    Array.init (Trace.length trace) (fun i ->
+        Event.is_access (Trace.get trace i) && Prng.bernoulli prng ~p:rate)
+  in
+  (trace, sampled)

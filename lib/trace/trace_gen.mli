@@ -1,0 +1,24 @@
+(** Random well-formed executions, for property-based testing.
+
+    The generator plays a scheduler: it maintains lock ownership and thread
+    lifecycles so that every produced trace passes {!Trace.well_formed}.
+    With [forkjoin] set, thread 0 forks every other thread up front and joins
+    them all at the end (children receive no events after their join). *)
+
+type params = {
+  nthreads : int;
+  nlocks : int;
+  nlocs : int;
+  length : int;      (** approximate number of events to generate *)
+  atomics : bool;    (** emit release-store / acquire-load events *)
+  forkjoin : bool;   (** wrap worker threads in fork/join edges *)
+}
+
+val default : params
+(** 4 threads, 3 locks, 6 locations, 60 events, no atomics, no fork/join. *)
+
+val random : Ft_support.Prng.t -> params -> Trace.t
+(** Draws a fresh well-formed trace. *)
+
+val random_sampled : Ft_support.Prng.t -> params -> rate:float -> Trace.t * bool array
+(** A trace plus a Bernoulli([rate]) sample-set mask over its access events. *)

@@ -1,0 +1,27 @@
+(** Ablation studies backing the design choices DESIGN.md calls out.
+
+    - {!engines_table}: every engine on one workload — shows the ordering
+      DJIT+ > FastTrack ≳ FastTrack-TC ≫ ST > SU > SL > SO under sampling,
+      and that tree clocks, optimal for full HB, do not help the sampling
+      partial order (paper §7);
+    - {!clock_sweep}: the same engines as the vector-clock width T grows —
+      the O(|S|·T²) vs O(|S|·T) separation;
+    - {!lock_sweep}: clock operations as the number of locks L grows — the
+      O(|S|·T(T+L)) (SU) vs O(|S|·T) (SO) separation of Lemmas 7 and 8;
+    - {!sampler_table}: detection recall and cost across sampling
+      strategies (Bernoulli, Pacer-style windows, LiteRace-style cold
+      regions) — the Analysis Problem is agnostic to how S is chosen (§3). *)
+
+val engines_table :
+  ?repeats:int -> ?seed:int -> ?rate:float -> ?clock_size:int -> target_events:int -> unit ->
+  string
+
+val clock_sweep :
+  ?repeats:int -> ?seed:int -> ?rate:float -> ?sizes:int list -> target_events:int -> unit ->
+  string
+
+val lock_sweep :
+  ?seed:int -> ?rate:float -> ?stripes:int list -> target_events:int -> unit -> string
+
+val sampler_table :
+  ?seed:int -> ?clock_size:int -> target_events:int -> unit -> string

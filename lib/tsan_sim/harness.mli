@@ -1,0 +1,97 @@
+(** The online-detection latency harness — the substitute for the paper's
+    ThreadSanitizer + MySQL experiments (§6.2).
+
+    Baselines (§6.2.2):
+    - NT: replaying the trace with no handlers at all;
+    - ET: replaying through a no-op handler behind the same dispatch as real
+      detectors — the pure instrumentation cost;
+    - FT: FastTrack on every event.
+
+    Configurations: ST / SU / SO at each sampling rate.  All configurations
+    replay the {e same} trace (one per benchmark and seed), so differences
+    are purely algorithmic.  [AO(S) = latency(S) − latency(ET)] exactly as
+    in the paper; latency here is wall-clock analysis time for the trace
+    (the workload volume is fixed, so per-request latency is proportional). *)
+
+type rate_result = {
+  rate : float;
+  st_time : float;
+  su_time : float;
+  so_time : float;
+  st_locs : int;   (** racy locations exposed *)
+  su_locs : int;
+  so_locs : int;
+  su_metrics : Ft_core.Metrics.t;
+  so_metrics : Ft_core.Metrics.t;
+}
+
+type measurement = {
+  benchmark : string;
+  events : int;
+  nt : float;
+  et : float;
+  ft : float;
+  ft_locs : int;
+  per_rate : rate_result list;
+}
+
+val default_rates : float list
+(** [0.003; 0.03; 0.10] — the paper's 0.3%, 3% and 10%. *)
+
+val default_clock_size : int
+(** 64 — the machine width of §6.2.2; use 256 to match TSan v3's fixed
+    vector-clock size exactly (slower). *)
+
+val measure :
+  ?repeats:int ->
+  ?rates:float list ->
+  ?seed:int ->
+  ?clock_size:int ->
+  ?nseeds:int ->
+  target_events:int ->
+  Ft_workloads.Db_sim.profile ->
+  measurement
+(** Generates the benchmark trace and times every configuration on it,
+    keeping the fastest of [repeats] (default 3) runs per configuration;
+    with [nseeds > 1] (default 1) the timings are additionally averaged over
+    that many independently generated traces (seeds [seed .. seed+nseeds−1])
+    while detection counts come from the first. *)
+
+val run_all :
+  ?repeats:int ->
+  ?rates:float list ->
+  ?seed:int ->
+  ?clock_size:int ->
+  ?nseeds:int ->
+  ?profiles:Ft_workloads.Db_sim.profile list ->
+  target_events:int ->
+  unit ->
+  measurement list
+
+(** {1 Figure tables} — rendered tables matching the paper's plots. *)
+
+val fig5a : measurement list -> string
+(** Latency of ET, FT and ST at each rate, relative to NT. *)
+
+val fig5b : measurement list -> string
+(** Algorithmic-overhead improvement [1 − AO(S)/AO(ST)] for SU and SO. *)
+
+val fig6a : measurement list -> string
+(** Racy locations exposed by ST/SU/SO relative to FT. *)
+
+val fig6b : measurement list -> string
+(** Share of acquire/release events on which SU performed an O(T)
+    traversal. *)
+
+val fig6c : measurement list -> string
+(** Mean ordered-list entries traversed per acquire under SO. *)
+
+val summary : measurement list -> string
+(** Mean relative latencies and AO improvements across benchmarks —
+    the headline numbers of §6.2.3–6.2.4. *)
+
+val ao : measurement -> time:float -> float
+(** [ao m ~time = time − m.et], clamped at a small positive epsilon. *)
+
+val to_csv : measurement list -> string
+(** Raw per-benchmark timings and detection counts as CSV. *)

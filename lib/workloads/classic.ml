@@ -1,0 +1,433 @@
+module Prng = Ft_support.Prng
+module Trace = Ft_trace.Trace
+module Event = Ft_trace.Event
+
+type benchmark = {
+  name : string;
+  description : string;
+  generate : seed:int -> scale:int -> Trace.t;
+}
+
+(* --- script helpers ------------------------------------------------------ *)
+
+let r t x = Event.mk t (Event.Read x)
+let w t x = Event.mk t (Event.Write x)
+let acq t l = Event.mk t (Event.Acquire l)
+let rel t l = Event.mk t (Event.Release l)
+
+(* Critical section: acquire, body, release. *)
+let cs t l body = (acq t l :: body) @ [ rel t l ]
+
+(* A run of thread-private computation: reads and writes on a private block. *)
+let compute prng t ~base ~width n =
+  List.init n (fun _ ->
+      let x = base + Prng.int prng width in
+      if Prng.bool prng then w t x else r t x)
+
+(* Build a trace from worker scripts under a forking main thread. *)
+let with_workers ~seed ~nworkers mk_script =
+  let b = Trace.Builder.create () in
+  let prng = Prng.create ~seed in
+  let main = Trace.Builder.fresh_thread b in
+  let tids = List.init nworkers (fun _ -> Trace.Builder.fresh_thread b) in
+  let scripts = List.mapi (fun i tid -> (tid, mk_script (Prng.split prng) i tid)) tids in
+  Script_sched.run_workers prng b ~main ~scripts;
+  Trace.Builder.build_unchecked b
+
+(* Phase-structured trace: [phases] rounds; in each round every worker
+   contributes a script, rounds are separated by a two-sweep lock barrier
+   that makes everything in round p happen-before everything in round p+1. *)
+let with_phases ~seed ~nworkers ~phases ~barrier_lock mk_script =
+  let b = Trace.Builder.create () in
+  let prng = Prng.create ~seed in
+  let main = Trace.Builder.fresh_thread b in
+  let tids = Array.init nworkers (fun _ -> Trace.Builder.fresh_thread b) in
+  Array.iter (fun tid -> Trace.Builder.fork b main tid) tids;
+  for phase = 0 to phases - 1 do
+    let scripts =
+      Array.to_list
+        (Array.mapi (fun i tid -> (tid, mk_script (Prng.split prng) ~phase i tid)) tids)
+    in
+    Script_sched.interleave prng b ~scripts;
+    (* two sequential acquire/release sweeps = a barrier under HB *)
+    for _ = 1 to 2 do
+      Array.iter
+        (fun tid ->
+          Trace.Builder.acquire b tid barrier_lock;
+          Trace.Builder.release b tid barrier_lock)
+        tids
+    done
+  done;
+  Array.iter (fun tid -> Trace.Builder.join b main tid) tids;
+  Trace.Builder.build_unchecked b
+
+let repeat n f = List.concat (List.init n f)
+
+(* --- the 26 benchmarks --------------------------------------------------- *)
+
+(* account: threads deposit/withdraw under the account lock; a monitoring
+   read of the balance is unprotected (the IBM Contest account bug). *)
+let account ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng _i tid ->
+      repeat (10 * scale) (fun _ ->
+          let balance = 0 and log_slot = 1 + tid in
+          let protected_op = cs tid 0 [ r tid balance; w tid balance ] in
+          let audit = if Prng.bernoulli prng ~p:0.3 then [ r tid balance ] else [] in
+          protected_op @ audit @ [ w tid log_slot ]))
+
+(* airlinetickets: racy check-then-act on a seat counter, no locks at all. *)
+let airlinetickets ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng _i tid ->
+      repeat (8 * scale) (fun _ ->
+          let seats = 0 in
+          let sold = 1 + tid in
+          if Prng.bernoulli prng ~p:0.7 then [ r tid seats; w tid seats; w tid sold ]
+          else [ r tid seats ]))
+
+(* array: workers fill disjoint slices — data-parallel, almost no sync. *)
+let array_bench ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      let base = 1 + (i * 50) in
+      compute prng tid ~base ~width:50 (40 * scale)
+      @ cs tid 0 [ w tid 0 ] (* publish slice checksum *))
+
+(* boundedbuffer: producers and consumers around a lock-protected buffer. *)
+let boundedbuffer ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      let slots = 8 in
+      repeat (12 * scale) (fun _ ->
+          let slot = 2 + Prng.int prng slots in
+          if i < 2 then cs tid 0 [ r tid 0; w tid slot; w tid 0; w tid 1 ]
+          else cs tid 0 [ r tid 0; r tid slot; w tid 0; w tid 1 ]))
+
+(* bubblesort: phase-parallel adjacent swaps under striped element locks. *)
+let bubblesort ~seed ~scale =
+  let n_elems = 24 in
+  with_phases ~seed ~nworkers:4 ~phases:(2 * scale) ~barrier_lock:0
+    (fun prng ~phase:_ i tid ->
+      ignore i;
+      repeat 6 (fun _ ->
+          let j = Prng.int prng (n_elems - 1) in
+          let l1 = 1 + j and l2 = 2 + j in
+          (* element k is guarded by lock k+1; adjacent pairs nest in order *)
+          [ acq tid l1; acq tid l2; r tid j; r tid (j + 1); w tid j;
+            w tid (j + 1); rel tid l2; rel tid l1 ]))
+
+(* bufwriter: writers append under the buffer lock; the flusher drains it;
+   the length field is peeked without the lock (the known bufwriter race). *)
+let bufwriter ~seed ~scale =
+  with_workers ~seed ~nworkers:5 (fun prng i tid ->
+      let len = 0 and buf_base = 2 in
+      repeat (10 * scale) (fun _ ->
+          if i < 4 then
+            cs tid 0 [ r tid len; w tid (buf_base + Prng.int prng 16); w tid len ]
+          else begin
+            let peek = if Prng.bernoulli prng ~p:0.3 then [ r tid len ] else [] in
+            peek @ cs tid 0 (r tid len :: List.init 4 (fun k -> r tid (buf_base + k)) @ [ w tid len ])
+          end))
+
+(* clean: a task queue drained under its lock, task payloads cleaned with
+   per-task locks. *)
+let clean ~seed ~scale =
+  with_workers ~seed ~nworkers:3 (fun prng _i tid ->
+      repeat (10 * scale) (fun _ ->
+          let task = Prng.int prng 6 in
+          cs tid 0 [ r tid 0; w tid 0 ]
+          @ cs tid (1 + task) [ r tid (1 + task); w tid (1 + task) ]))
+
+(* critical: long lock-protected critical sections back to back — pure lock
+   hand-off traffic. *)
+let critical ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng _i tid ->
+      repeat (15 * scale) (fun _ ->
+          cs tid 0 (compute prng tid ~base:0 ~width:4 6)))
+
+(* cryptorsa: long private computation bursts, rare shared-queue handoffs. *)
+let cryptorsa ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      repeat (4 * scale) (fun _ ->
+          compute prng tid ~base:(10 + (i * 100)) ~width:100 60
+          @ cs tid 0 [ r tid 0; w tid 0 ]))
+
+(* derby: database-style page locks with transactional brackets. *)
+let derby ~seed ~scale =
+  with_workers ~seed ~nworkers:6 (fun prng _i tid ->
+      repeat (6 * scale) (fun _ ->
+          let page = Prng.int prng 12 in
+          let page2 = Prng.int prng 12 in
+          cs tid 0 [ r tid 0 ]
+          @ cs tid (1 + page) [ r tid (1 + page); w tid (1 + page) ]
+          @ cs tid (1 + page2) [ r tid (1 + page2) ]
+          @ cs tid 13 [ w tid 20 ] (* log append *)))
+
+(* ftpserver: sessions mostly touch their own lock (self-reacquisition),
+   shared config is read without protection against rare reconfigurations. *)
+let ftpserver ~seed ~scale =
+  with_workers ~seed ~nworkers:6 (fun prng i tid ->
+      let session_lock = 1 + i and session_data = 10 + i in
+      let config = 0 in
+      repeat (10 * scale) (fun _ ->
+          let reconfig =
+            if i = 0 && Prng.bernoulli prng ~p:0.25 then [ w tid config ] else [ r tid config ]
+          in
+          reconfig @ cs tid session_lock [ r tid session_data; w tid session_data ]))
+
+(* jigsaw: web-server worker pool over a striped document cache. *)
+let jigsaw ~seed ~scale =
+  with_workers ~seed ~nworkers:6 (fun prng i tid ->
+      repeat (8 * scale) (fun _ ->
+          let stripe = Prng.int prng 8 in
+          cs tid (1 + stripe)
+            (r tid (1 + stripe) :: compute prng tid ~base:(20 + (i * 10)) ~width:10 3)
+          @ cs tid 0 [ w tid 0 ] (* hit counter *)))
+
+(* linkedlist: every operation traverses the list under one global lock. *)
+let linkedlist ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng _i tid ->
+      repeat (8 * scale) (fun _ ->
+          let len = 5 + Prng.int prng 5 in
+          cs tid 0 (List.init len (fun k -> r tid k) @ [ w tid (Prng.int prng len) ])))
+
+(* lufact: barrier-separated factorization phases; each phase reads the
+   pivot row published in the previous phase and writes its own block. *)
+let lufact ~seed ~scale =
+  with_phases ~seed ~nworkers:4 ~phases:(2 * scale) ~barrier_lock:0
+    (fun prng ~phase i tid ->
+      let pivot_base = 1 + (8 * (phase mod 4)) in
+      let own_base = 40 + (i * 30) in
+      List.init 8 (fun k -> r tid (pivot_base + k)) @ compute prng tid ~base:own_base ~width:30 20)
+
+(* luindex: one indexer writes the shared index under its lock, searchers
+   read it under the same lock. *)
+let luindex ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      repeat (8 * scale) (fun _ ->
+          if i = 0 then cs tid 0 (compute prng tid ~base:0 ~width:20 6)
+          else cs tid 0 (List.init 5 (fun _ -> r tid (Prng.int prng 20)))))
+
+(* lusearch: like luindex but read-dominated with more searchers. *)
+let lusearch ~seed ~scale =
+  with_workers ~seed ~nworkers:6 (fun prng i tid ->
+      repeat (8 * scale) (fun _ ->
+          if i = 0 && Prng.bernoulli prng ~p:0.2 then cs tid 0 [ w tid (Prng.int prng 20) ]
+          else cs tid 0 (List.init 6 (fun _ -> r tid (Prng.int prng 20)))))
+
+(* mergesort: fork/join divide and conquer — leaves sort private ranges,
+   the main thread merges after joining. *)
+let mergesort ~seed ~scale =
+  let b = Trace.Builder.create () in
+  let prng = Prng.create ~seed in
+  let main = Trace.Builder.fresh_thread b in
+  let leaves = 4 in
+  let tids = List.init leaves (fun _ -> Trace.Builder.fresh_thread b) in
+  let scripts =
+    List.mapi
+      (fun i tid ->
+        let base = 1 + (i * 40) in
+        (tid, compute (Prng.split prng) tid ~base ~width:40 (30 * scale)))
+      tids
+  in
+  Script_sched.run_workers prng b ~main ~scripts;
+  (* merge: main reads every range and writes the output block *)
+  List.iteri
+    (fun i _ ->
+      for k = 0 to 9 do
+        Trace.Builder.read b main (1 + (i * 40) + k)
+      done)
+    tids;
+  for k = 0 to 19 do
+    Trace.Builder.write b main (200 + k)
+  done;
+  Trace.Builder.build_unchecked b
+
+(* moldyn: alternating barrier-separated halves — even phases read all
+   positions and write private forces, odd phases integrate forces into own
+   positions; the barrier keeps cross-thread position reads race-free. *)
+let moldyn ~seed ~scale =
+  let positions k = 1 + k in
+  let forces i k = 20 + (i * 4) + k in
+  with_phases ~seed ~nworkers:4 ~phases:(2 * scale) ~barrier_lock:0
+    (fun _prng ~phase i tid ->
+      if phase mod 2 = 0 then
+        List.init 16 (fun k -> r tid (positions k))
+        @ List.init 4 (fun k -> w tid (forces i k))
+      else
+        List.init 4 (fun k -> r tid (forces i k))
+        @ List.init 4 (fun k -> w tid (positions ((i * 4) + k))))
+
+(* montecarlo: embarrassingly parallel simulation with a locked reduction. *)
+let montecarlo ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      repeat (4 * scale) (fun _ ->
+          compute prng tid ~base:(10 + (i * 50)) ~width:50 40
+          @ cs tid 0 [ r tid 0; w tid 0 ]))
+
+(* pingpong: threads bounce work between two locks in reverse order of
+   release — the lock-order-reversal skipping case of §A.1.2(3b). *)
+let pingpong ~seed ~scale =
+  with_workers ~seed ~nworkers:2 (fun _prng i tid ->
+      repeat (15 * scale) (fun _ ->
+          if i = 0 then
+            cs tid 0 [ r tid 0; w tid 0 ] @ cs tid 1 [ r tid 1; w tid 1 ]
+          else
+            cs tid 1 [ r tid 1; w tid 1 ] @ cs tid 0 [ r tid 0; w tid 0 ]))
+
+(* producerconsumer: the canonical queue. *)
+let producerconsumer ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      repeat (12 * scale) (fun _ ->
+          let slot = 3 + Prng.int prng 8 in
+          if i < 2 then cs tid 0 [ r tid 0; w tid slot; w tid 0 ]
+          else cs tid 0 [ r tid 0; r tid slot; w tid 1 ]))
+
+(* raytracer: read-only scene, private rows, and the JGF checksum race —
+   the final checksum is accumulated without the lock. *)
+let raytracer ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      let scene = List.init 12 (fun k -> r tid (2 + k)) in
+      repeat (5 * scale) (fun _ ->
+          scene
+          @ compute prng tid ~base:(20 + (i * 30)) ~width:30 20
+          @ [ r tid 0; w tid 0 ] (* racy checksum update *)
+          @ cs tid 0 [ w tid 1 ]))
+
+(* readerswriters: bursts under a single rw-lock modelled as a mutex. *)
+let readerswriters ~seed ~scale =
+  with_workers ~seed ~nworkers:5 (fun prng i tid ->
+      repeat (10 * scale) (fun _ ->
+          if i < 4 then cs tid 0 (List.init 4 (fun k -> r tid k))
+          else cs tid 0 [ w tid (Prng.int prng 4) ]))
+
+(* sor: relaxation over per-worker blocks; interior cells are private,
+   boundary cells are guarded by the boundary lock shared with the
+   neighbour, phases separated by the barrier. *)
+let sor ~seed ~scale =
+  let nworkers = 4 in
+  with_phases ~seed ~nworkers ~phases:(2 * scale) ~barrier_lock:0
+    (fun prng ~phase:_ i tid ->
+      let base = 1 + (i * 10) in
+      let left_lock = 1 + ((i + nworkers - 1) mod nworkers) in
+      let right_lock = 1 + i in
+      let neighbour_base = 1 + (((i + 1) mod nworkers) * 10) in
+      cs tid left_lock [ w tid base ]
+      @ compute prng tid ~base:(base + 1) ~width:8 10
+      @ cs tid right_lock [ w tid (base + 9); r tid neighbour_base ])
+
+(* twostage: the classic two-lock pipeline bug — stage 2 reads data that
+   stage 1 wrote under a different lock. *)
+let twostage ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun _prng i tid ->
+      repeat (10 * scale) (fun _ ->
+          if i < 2 then cs tid 0 [ w tid 0 ] @ cs tid 1 [ w tid 1 ]
+          else cs tid 1 [ r tid 1; r tid 0 ] (* reads loc 0 under the wrong lock *)))
+
+(* wronglock: same datum guarded by different locks in different threads. *)
+let wronglock ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun _prng i tid ->
+      repeat (10 * scale) (fun _ ->
+          let l = if i mod 2 = 0 then 0 else 1 in
+          cs tid l [ r tid 0; w tid 0 ]))
+
+(* --- the four benchmarks outside the figures (§A.1.1 analyses 30 programs,
+   the plots show 26) ------------------------------------------------------- *)
+
+(* philo: dining philosophers with globally ordered forks (no deadlock, no
+   race); the shared "meals served" counter is lock-protected. *)
+let philo ~seed ~scale =
+  let n = 5 in
+  with_workers ~seed ~nworkers:n (fun _prng i tid ->
+      let left = i and right = (i + 1) mod n in
+      let first = Stdlib.min left right and second = Stdlib.max left right in
+      repeat (8 * scale) (fun _ ->
+          [ acq tid first; acq tid second; r tid i; w tid i ]
+          @ cs tid n [ r tid n; w tid n ]
+          @ [ rel tid second; rel tid first ]))
+
+(* elevator: a controller posts requests into a locked queue, cars consume
+   them; the status display reads car positions without the lock. *)
+let elevator ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      repeat (10 * scale) (fun _ ->
+          if i = 0 then
+            (* controller: post request, then racily render the display *)
+            cs tid 0 [ r tid 0; w tid 0 ]
+            @ List.init 3 (fun car -> r tid (1 + car))
+          else
+            (* car i: take a request, move (write own position) *)
+            cs tid 0 [ r tid 0; w tid 0 ]
+            @ [ w tid i ]
+            @ compute prng tid ~base:(10 + (i * 5)) ~width:5 3))
+
+(* hedc: a crawler task pool; workers claim tasks under the pool lock, fetch
+   (private compute), and install results under striped locks. *)
+let hedc ~seed ~scale =
+  with_workers ~seed ~nworkers:5 (fun prng _i tid ->
+      repeat (6 * scale) (fun _ ->
+          let stripe = Prng.int prng 4 in
+          cs tid 0 [ r tid 0; w tid 0 ]
+          @ compute prng tid ~base:(20 + (tid * 20)) ~width:20 12
+          @ cs tid (1 + stripe) [ w tid (1 + stripe) ]))
+
+(* tsp: branch and bound; the global best bound is read without the lock
+   (the classic benign race) and updated under it. *)
+let tsp ~seed ~scale =
+  with_workers ~seed ~nworkers:4 (fun prng i tid ->
+      repeat (6 * scale) (fun _ ->
+          [ r tid 0 ] (* racy bound check *)
+          @ compute prng tid ~base:(10 + (i * 30)) ~width:30 15
+          @ (if Prng.bernoulli prng ~p:0.3 then cs tid 0 [ r tid 0; w tid 0 ] else [])))
+
+let all =
+  [
+    { name = "account"; description = "lock-protected account, unprotected audit";
+      generate = account };
+    { name = "airlinetickets"; description = "racy check-then-act seat counter";
+      generate = airlinetickets };
+    { name = "array"; description = "data-parallel disjoint slices"; generate = array_bench };
+    { name = "boundedbuffer"; description = "producers/consumers on a locked buffer";
+      generate = boundedbuffer };
+    { name = "bubblesort"; description = "phase-parallel swaps, element locks";
+      generate = bubblesort };
+    { name = "bufwriter"; description = "locked buffer with unprotected length peek";
+      generate = bufwriter };
+    { name = "clean"; description = "task queue with per-task locks"; generate = clean };
+    { name = "critical"; description = "back-to-back critical sections"; generate = critical };
+    { name = "cryptorsa"; description = "compute-heavy with rare handoffs";
+      generate = cryptorsa };
+    { name = "derby"; description = "page locks with transactional brackets";
+      generate = derby };
+    { name = "ftpserver"; description = "per-session locks, racy config reads";
+      generate = ftpserver };
+    { name = "jigsaw"; description = "worker pool over striped cache"; generate = jigsaw };
+    { name = "linkedlist"; description = "global-lock list traversals"; generate = linkedlist };
+    { name = "lufact"; description = "barrier-phased factorization"; generate = lufact };
+    { name = "luindex"; description = "one indexer, locked readers"; generate = luindex };
+    { name = "lusearch"; description = "read-dominated index searches"; generate = lusearch };
+    { name = "mergesort"; description = "fork/join divide and conquer"; generate = mergesort };
+    { name = "moldyn"; description = "barrier-phased force computation"; generate = moldyn };
+    { name = "montecarlo"; description = "parallel simulation, locked reduction";
+      generate = montecarlo };
+    { name = "pingpong"; description = "reverse-order lock bouncing"; generate = pingpong };
+    { name = "producerconsumer"; description = "canonical locked queue";
+      generate = producerconsumer };
+    { name = "raytracer"; description = "read-only scene, racy checksum";
+      generate = raytracer };
+    { name = "readerswriters"; description = "reader/writer bursts under a mutex";
+      generate = readerswriters };
+    { name = "sor"; description = "red/black relaxation with boundary locks"; generate = sor };
+    { name = "twostage"; description = "two-lock pipeline bug"; generate = twostage };
+    { name = "wronglock"; description = "same datum, different locks"; generate = wronglock };
+  ]
+
+let extended =
+  all
+  @ [
+      { name = "elevator"; description = "locked request queue, racy display";
+        generate = elevator };
+      { name = "hedc"; description = "crawler task pool with striped results";
+        generate = hedc };
+      { name = "philo"; description = "ordered-fork dining philosophers"; generate = philo };
+      { name = "tsp"; description = "branch and bound, racy bound check"; generate = tsp };
+    ]
+
+let find name = List.find_opt (fun bench -> bench.name = name) extended

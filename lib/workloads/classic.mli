@@ -1,0 +1,32 @@
+(** Synthetic versions of the 26 benchmarks of the paper's offline (RAPID)
+    experiments (§A.1) — IBM Contest, DaCapo, Java Grande and standalone
+    programs.  The original execution traces are Java-program recordings we
+    cannot reproduce; each generator here models the *synchronization idiom*
+    that benchmark is known for (lock-protected counters, bounded buffers,
+    fork/join divide-and-conquer, barrier phases, lock-order reversal, wrong
+    lock protection, …), which is what the counted metrics of Figs 7–9
+    depend on.
+
+    All generators are deterministic in [seed] and produce well-formed
+    traces whose size grows linearly with [scale] (roughly [40 × scale]
+    events). *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  generate : seed:int -> scale:int -> Ft_trace.Trace.t;
+}
+
+val all : benchmark list
+(** The 26 benchmarks shown in the paper's figures, alphabetically: account,
+    airlinetickets, array, boundedbuffer, bubblesort, bufwriter, clean,
+    critical, cryptorsa, derby, ftpserver, jigsaw, linkedlist, lufact,
+    luindex, lusearch, mergesort, moldyn, montecarlo, pingpong,
+    producerconsumer, raytracer, readerswriters, sor, twostage, wronglock. *)
+
+val extended : benchmark list
+(** {!all} plus the four programs §A.1.1 analyses but the plots omit:
+    elevator, hedc, philo, tsp. *)
+
+val find : string -> benchmark option
+(** Searches {!extended}. *)

@@ -1,0 +1,270 @@
+module Prng = Ft_support.Prng
+module Trace = Ft_trace.Trace
+module Event = Ft_trace.Event
+
+type profile = {
+  name : string;
+  n_workers : int;
+  n_tables : int;
+  rows_per_table : int;
+  row_lock_stripes : int;
+  ops_min : int;
+  ops_max : int;
+  write_prob : float;
+  hot_row_prob : float;
+  hot_rows : int;
+  cols_per_op : int;
+  page_miss_prob : float;
+  stats_update_prob : float;
+  scan_run : int;
+}
+
+(* One profile per BenchBase workload kept by the paper.  The parameters are
+   chosen to reproduce each workload's synchronization texture — short
+   lock-bracketed transactions (tatp, voter), contended hot rows (smallbank,
+   twitter), scan-dominated access streams (sibench, hyadapt), etc. *)
+let profiles =
+  [
+    {
+      name = "tpcc"; n_workers = 12; n_tables = 9; rows_per_table = 2000;
+      row_lock_stripes = 64; ops_min = 8; ops_max = 20; write_prob = 0.45;
+      hot_row_prob = 0.15; hot_rows = 10; cols_per_op = 3; page_miss_prob = 0.08;
+      stats_update_prob = 0.30; scan_run = 0;
+    };
+    {
+      name = "tatp"; n_workers = 12; n_tables = 4; rows_per_table = 1000;
+      row_lock_stripes = 32; ops_min = 1; ops_max = 3; write_prob = 0.20;
+      hot_row_prob = 0.05; hot_rows = 8; cols_per_op = 2; page_miss_prob = 0.02;
+      stats_update_prob = 0.20; scan_run = 0;
+    };
+    {
+      name = "ycsb"; n_workers = 12; n_tables = 1; rows_per_table = 10000;
+      row_lock_stripes = 128; ops_min = 1; ops_max = 2; write_prob = 0.50;
+      hot_row_prob = 0.05; hot_rows = 16; cols_per_op = 10; page_miss_prob = 0.05;
+      stats_update_prob = 0.05; scan_run = 0;
+    };
+    {
+      name = "wikipedia"; n_workers = 12; n_tables = 6; rows_per_table = 4000;
+      row_lock_stripes = 64; ops_min = 3; ops_max = 8; write_prob = 0.08;
+      hot_row_prob = 0.20; hot_rows = 24; cols_per_op = 4; page_miss_prob = 0.04;
+      stats_update_prob = 0.15; scan_run = 4;
+    };
+    {
+      name = "twitter"; n_workers = 12; n_tables = 5; rows_per_table = 3000;
+      row_lock_stripes = 64; ops_min = 2; ops_max = 6; write_prob = 0.20;
+      hot_row_prob = 0.50; hot_rows = 20; cols_per_op = 3; page_miss_prob = 0.03;
+      stats_update_prob = 0.15; scan_run = 2;
+    };
+    {
+      name = "smallbank"; n_workers = 12; n_tables = 3; rows_per_table = 100;
+      row_lock_stripes = 16; ops_min = 2; ops_max = 4; write_prob = 0.60;
+      hot_row_prob = 0.30; hot_rows = 5; cols_per_op = 2; page_miss_prob = 0.01;
+      stats_update_prob = 0.25; scan_run = 0;
+    };
+    {
+      name = "seats"; n_workers = 12; n_tables = 8; rows_per_table = 1500;
+      row_lock_stripes = 48; ops_min = 4; ops_max = 10; write_prob = 0.35;
+      hot_row_prob = 0.10; hot_rows = 12; cols_per_op = 3; page_miss_prob = 0.05;
+      stats_update_prob = 0.20; scan_run = 2;
+    };
+    {
+      name = "auctionmark"; n_workers = 12; n_tables = 16; rows_per_table = 1200;
+      row_lock_stripes = 48; ops_min = 5; ops_max = 14; write_prob = 0.40;
+      hot_row_prob = 0.12; hot_rows = 10; cols_per_op = 3; page_miss_prob = 0.06;
+      stats_update_prob = 0.25; scan_run = 1;
+    };
+    {
+      name = "epinions"; n_workers = 12; n_tables = 5; rows_per_table = 2500;
+      row_lock_stripes = 64; ops_min = 3; ops_max = 9; write_prob = 0.10;
+      hot_row_prob = 0.15; hot_rows = 16; cols_per_op = 3; page_miss_prob = 0.03;
+      stats_update_prob = 0.10; scan_run = 3;
+    };
+    {
+      name = "sibench"; n_workers = 12; n_tables = 1; rows_per_table = 1000;
+      row_lock_stripes = 32; ops_min = 1; ops_max = 2; write_prob = 0.10;
+      hot_row_prob = 0.05; hot_rows = 8; cols_per_op = 2; page_miss_prob = 0.02;
+      stats_update_prob = 0.02; scan_run = 30;
+    };
+    {
+      name = "voter"; n_workers = 12; n_tables = 2; rows_per_table = 50;
+      row_lock_stripes = 8; ops_min = 1; ops_max = 2; write_prob = 0.90;
+      hot_row_prob = 0.60; hot_rows = 3; cols_per_op = 2; page_miss_prob = 0.01;
+      stats_update_prob = 0.40; scan_run = 0;
+    };
+    {
+      name = "hyadapt"; n_workers = 12; n_tables = 1; rows_per_table = 5000;
+      row_lock_stripes = 64; ops_min = 2; ops_max = 4; write_prob = 0.05;
+      hot_row_prob = 0.02; hot_rows = 8; cols_per_op = 10; page_miss_prob = 0.02;
+      stats_update_prob = 0.02; scan_run = 50;
+    };
+  ]
+
+let profile name = List.find_opt (fun p -> p.name = name) profiles
+
+(* --- id layout --------------------------------------------------------- *)
+
+(* Locks, in deadlock-free level order (a thread only acquires upward):
+   trx-sys (0) < table latches < row stripes < buffer pool < log. *)
+let lock_trx_sys = 0
+let lock_table _p table = 1 + table
+let lock_row_stripe p table stripe = 1 + p.n_tables + (table * p.row_lock_stripes) + stripe
+let lock_buffer_pool p = 1 + p.n_tables + (p.n_tables * p.row_lock_stripes)
+let lock_log p = lock_buffer_pool p + 1
+
+(* Locations: global stats counters, per-table counters, the log buffer,
+   then the rows (cols_per_op consecutive columns per row). *)
+let n_global_stats = 4
+let loc_global_stat i = i
+let loc_table_stat _p table = n_global_stats + table
+let loc_log_buffer p = n_global_stats + p.n_tables
+let loc_row p table row col =
+  n_global_stats + p.n_tables + 1 + ((table * p.rows_per_table) + row) * p.cols_per_op + col
+
+(* --- transaction scripts ------------------------------------------------ *)
+
+(* A worker's transaction is pre-rendered as an event list; the scheduler
+   interleaves scripts one event at a time. *)
+let pick_row prng p =
+  if Prng.bernoulli prng ~p:p.hot_row_prob then Prng.int prng (Stdlib.min p.hot_rows p.rows_per_table)
+  else Prng.int prng p.rows_per_table
+
+let render_txn prng p tid =
+  let acc = ref [] in
+  let emit op = acc := Event.mk tid op :: !acc in
+  (* begin: transaction-system bookkeeping.  Modern engines reach the
+     trx-sys mutex only on the slow path; most transactions start through a
+     lock-free fast path, so the global mutex does not serialize every
+     transaction pair. *)
+  let slow_path = Prng.bernoulli prng ~p:0.35 in
+  if slow_path then begin
+    emit (Event.Acquire lock_trx_sys);
+    emit (Event.Read (loc_global_stat 0));
+    emit (Event.Release lock_trx_sys)
+  end;
+  let n_ops = p.ops_min + Prng.int prng (p.ops_max - p.ops_min + 1) in
+  let wrote = ref false in
+  for _ = 1 to n_ops do
+    let table = Prng.int prng p.n_tables in
+    let row = pick_row prng p in
+    let stripe = row mod p.row_lock_stripes in
+    emit (Event.Acquire (lock_table p table));
+    emit (Event.Acquire (lock_row_stripe p table stripe));
+    if Prng.bernoulli prng ~p:p.page_miss_prob then begin
+      emit (Event.Acquire (lock_buffer_pool p));
+      emit (Event.Read (loc_row p table row 0));
+      emit (Event.Release (lock_buffer_pool p))
+    end;
+    let write = Prng.bernoulli prng ~p:p.write_prob in
+    if write then wrote := true;
+    for col = 0 to p.cols_per_op - 1 do
+      if write then emit (Event.Write (loc_row p table row col))
+      else emit (Event.Read (loc_row p table row col))
+    done;
+    emit (Event.Release (lock_row_stripe p table stripe));
+    emit (Event.Release (lock_table p table));
+    (* MVCC consistent scan: reads take no row locks, racing with writers *)
+    for _ = 1 to p.scan_run do
+      let srow = Prng.int prng p.rows_per_table in
+      emit (Event.Read (loc_row p table srow 0))
+    done;
+    (* hot per-operation server counters (handler_read/handler_write style),
+       updated without synchronization — the highest-traffic benign races *)
+    if Prng.bernoulli prng ~p:(0.5 *. p.stats_update_prob) then begin
+      let counter = Prng.int prng n_global_stats in
+      emit (Event.Read (loc_global_stat counter));
+      emit (Event.Write (loc_global_stat counter))
+    end
+  done;
+  (* commit: log append under the log mutex, then trx-sys on the slow path *)
+  if !wrote then begin
+    emit (Event.Acquire (lock_log p));
+    emit (Event.Write (loc_log_buffer p));
+    emit (Event.Release (lock_log p))
+  end;
+  if slow_path then begin
+    emit (Event.Acquire lock_trx_sys);
+    emit (Event.Release lock_trx_sys)
+  end;
+  (* unprotected statistics updates: MySQL-style benign races, done as
+     read-modify-write bursts on a couple of counters *)
+  if Prng.bernoulli prng ~p:p.stats_update_prob then begin
+    let counter = Prng.int prng n_global_stats in
+    emit (Event.Read (loc_global_stat counter));
+    emit (Event.Write (loc_global_stat counter))
+  end;
+  if Prng.bernoulli prng ~p:p.stats_update_prob then begin
+    let table = Prng.int prng p.n_tables in
+    emit (Event.Read (loc_table_stat p table));
+    emit (Event.Write (loc_table_stat p table))
+  end;
+  List.rev !acc
+
+(* --- scheduler ----------------------------------------------------------- *)
+
+type worker = {
+  tid : int;
+  mutable script : Event.t list;  (** remaining events of the current txn *)
+  prng : Prng.t;                  (** per-worker stream: txn content *)
+}
+
+let generate p ~seed ~target_events =
+  let b = Trace.Builder.create () in
+  let main = Trace.Builder.fresh_thread b in
+  let sched_prng = Prng.create ~seed in
+  let workers =
+    Array.init p.n_workers (fun _ ->
+        let tid = Trace.Builder.fresh_thread b in
+        { tid; script = []; prng = Prng.split sched_prng })
+  in
+  let n_locks = lock_log p + 1 in
+  let holder = Array.make n_locks (-1) in
+  Array.iter (fun w -> Trace.Builder.fork b main w.tid) workers;
+  (* [stopping]: past the event target, workers finish their current
+     transaction but do not start a new one (locks must drain). *)
+  let stopping () = Trace.Builder.size b >= target_events in
+  let can_emit w =
+    match w.script with
+    | [] -> not (stopping ())
+    | e :: _ -> (
+      match e.Event.op with
+      | Event.Acquire l -> holder.(l) < 0
+      | Event.Read _ | Event.Write _ | Event.Release _ | Event.Fork _ | Event.Join _
+      | Event.Release_store _ | Event.Acquire_load _ -> true)
+  in
+  let advance w =
+    match w.script with
+    | [] ->
+      (* render a fresh transaction; its first event is emitted on a later
+         turn, after the usual blocked-acquire check *)
+      w.script <- render_txn w.prng p w.tid
+    | e :: rest ->
+      (match e.Event.op with
+      | Event.Acquire l -> holder.(l) <- w.tid
+      | Event.Release l -> holder.(l) <- -1
+      | Event.Read _ | Event.Write _ | Event.Fork _ | Event.Join _ | Event.Release_store _
+      | Event.Acquire_load _ -> ());
+      Trace.Builder.add b e;
+      w.script <- rest
+  in
+  let all_drained () = Array.for_all (fun w -> w.script = []) workers in
+  let continue = ref true in
+  while !continue do
+    if stopping () && all_drained () then continue := false
+    else begin
+      (* pick a random worker able to make progress; the lock-level order
+         guarantees one exists whenever someone still has work *)
+      let start = Prng.int sched_prng p.n_workers in
+      let chosen = ref (-1) in
+      let k = ref 0 in
+      while !chosen < 0 && !k < p.n_workers do
+        let w = workers.((start + !k) mod p.n_workers) in
+        if can_emit w then chosen := (start + !k) mod p.n_workers;
+        incr k
+      done;
+      match !chosen with
+      | -1 -> continue := false (* stopping, everyone idle or blocked-empty *)
+      | i -> advance workers.(i)
+    end
+  done;
+  Array.iter (fun w -> Trace.Builder.join b main w.tid) workers;
+  Trace.Builder.build_unchecked b

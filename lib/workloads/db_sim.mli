@@ -1,0 +1,57 @@
+(** A lock-accurate multi-threaded database-server simulator.
+
+    This is the substitute for the paper's MySQL 8 + BenchBase setup (§6.2):
+    the evaluation's claims concern the cost of analysing the *event stream*
+    a lock-heavy server produces, so we reproduce the stream, not the SQL.
+    The simulator models a transactional storage engine in the style of
+    InnoDB:
+
+    - every transaction brackets its work in transaction-system mutex
+      acquisitions (begin/commit) and appends to the log under a global log
+      mutex;
+    - each operation latches the table, then acquires a striped row lock,
+      touches the row's memory locations, and unlocks in LIFO order;
+    - a buffer-pool mutex is taken on simulated page misses;
+    - a few global statistics counters are updated {e without} a lock —
+      MySQL has many such benign races, and they give the race-detection-
+      rate experiment (Fig 6a) something to find.
+
+    Lock levels are ordered (trx-sys < table < row < buffer pool < log), so
+    the scheduler can never deadlock.  The interleaving is driven by a seeded
+    PRNG: one run = one trace, identical across engines.
+
+    One {!profile} per BenchBase benchmark captures that workload's
+    synchronization texture: transaction length, read/write mix, contention
+    (row skew), and the sync-to-access ratio — the axis that §6.2.4 shows
+    determines how much the paper's algorithms can save. *)
+
+type profile = {
+  name : string;
+  n_workers : int;          (** client terminals (§6.2.2 uses 12) *)
+  n_tables : int;
+  rows_per_table : int;     (** distinct row locations per table *)
+  row_lock_stripes : int;   (** striped row-lock pool per table *)
+  ops_min : int;            (** operations per transaction, inclusive range *)
+  ops_max : int;
+  write_prob : float;       (** probability an operation writes *)
+  hot_row_prob : float;     (** probability an op hits one of few hot rows *)
+  hot_rows : int;
+  cols_per_op : int;        (** locations touched per row operation *)
+  page_miss_prob : float;   (** buffer-pool mutex acquisitions *)
+  stats_update_prob : float;(** unprotected global-counter updates per txn *)
+  scan_run : int;           (** extra lock-free read run per op (scans) *)
+}
+
+val profiles : profile list
+(** The twelve BenchBase workloads the paper reports (§6.2.1 keeps 12 of 15
+    after exclusions): tpcc, tatp, ycsb, wikipedia, twitter, smallbank,
+    seats, auctionmark, epinions, sibench, voter, hyadapt. *)
+
+val profile : string -> profile option
+(** Look up a profile by name. *)
+
+val generate : profile -> seed:int -> target_events:int -> Ft_trace.Trace.t
+(** Run the simulated server until roughly [target_events] events have been
+    emitted, then join all workers.  The result is well-formed by
+    construction (validated in tests, not on every call — traces can be
+    large). *)

@@ -1,0 +1,66 @@
+module Prng = Ft_support.Prng
+module Trace = Ft_trace.Trace
+module Event = Ft_trace.Event
+
+exception Stuck of string
+
+type worker = { tid : int; mutable script : Event.t list }
+
+let interleave prng b ~scripts =
+  let workers = Array.of_list (List.map (fun (tid, script) -> { tid; script }) scripts) in
+  let n = Array.length workers in
+  let max_lock = ref (-1) in
+  List.iter
+    (fun (_, script) ->
+      List.iter
+        (fun (e : Event.t) ->
+          match e.Event.op with
+          | Event.Acquire l | Event.Release l | Event.Release_store l | Event.Acquire_load l ->
+            if l > !max_lock then max_lock := l
+          | Event.Read _ | Event.Write _ | Event.Fork _ | Event.Join _ -> ())
+        script)
+    scripts;
+  let holder = Array.make (!max_lock + 2) (-1) in
+  let can_emit w =
+    match w.script with
+    | [] -> false
+    | e :: _ -> (
+      match e.Event.op with
+      | Event.Acquire l -> holder.(l) < 0
+      | Event.Read _ | Event.Write _ | Event.Release _ | Event.Fork _ | Event.Join _
+      | Event.Release_store _ | Event.Acquire_load _ -> true)
+  in
+  let remaining = ref (Array.fold_left (fun acc w -> acc + List.length w.script) 0 workers) in
+  while !remaining > 0 do
+    let start = Prng.int prng n in
+    let chosen = ref (-1) in
+    let k = ref 0 in
+    while !chosen < 0 && !k < n do
+      let idx = (start + !k) mod n in
+      if can_emit workers.(idx) then chosen := idx;
+      incr k
+    done;
+    match !chosen with
+    | -1 -> raise (Stuck "Script_sched.interleave: all runnable threads are blocked")
+    | idx -> (
+      let w = workers.(idx) in
+      match w.script with
+      | [] -> assert false
+      | e :: rest ->
+        (match e.Event.op with
+        | Event.Acquire l -> holder.(l) <- w.tid
+        | Event.Release l ->
+          if holder.(l) <> w.tid then
+            raise (Stuck (Printf.sprintf "thread %d releases lock %d it does not hold" w.tid l));
+          holder.(l) <- -1
+        | Event.Read _ | Event.Write _ | Event.Fork _ | Event.Join _ | Event.Release_store _
+        | Event.Acquire_load _ -> ());
+        Trace.Builder.add b e;
+        w.script <- rest;
+        decr remaining)
+  done
+
+let run_workers prng b ~main ~scripts =
+  List.iter (fun (tid, _) -> Trace.Builder.fork b main tid) scripts;
+  interleave prng b ~scripts;
+  List.iter (fun (tid, _) -> Trace.Builder.join b main tid) scripts

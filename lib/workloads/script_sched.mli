@@ -1,0 +1,29 @@
+(** Random interleaving of per-thread event scripts.
+
+    Takes one pre-rendered event script per worker thread and emits a random
+    interleaving that respects lock semantics: a thread whose next event
+    acquires a held lock is not scheduled until the lock frees.  Scripts must
+    be individually lock-balanced and must avoid cyclic lock-order conflicts
+    (hold-one-acquire-another against another thread's reverse order);
+    a genuine deadlock raises [Stuck] rather than emitting an ill-formed
+    trace. *)
+
+exception Stuck of string
+
+val interleave :
+  Ft_support.Prng.t ->
+  Ft_trace.Trace.Builder.t ->
+  scripts:(Ft_trace.Event.tid * Ft_trace.Event.t list) list ->
+  unit
+(** Emits all script events into the builder in a random blocked-aware
+    interleaving.  The caller is responsible for any surrounding fork/join
+    events. *)
+
+val run_workers :
+  Ft_support.Prng.t ->
+  Ft_trace.Trace.Builder.t ->
+  main:Ft_trace.Event.tid ->
+  scripts:(Ft_trace.Event.tid * Ft_trace.Event.t list) list ->
+  unit
+(** [run_workers prng b ~main ~scripts] forks every script thread from
+    [main], interleaves the scripts, then joins them all. *)

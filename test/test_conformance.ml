@@ -1,0 +1,274 @@
+(* Conformance suite: small hand-annotated executions with their expected
+   racy locations, run against every engine (full detection) and against the
+   sampling engines with explicit sample sets.  Each expectation is written
+   out by hand from the HB definition and additionally cross-checked against
+   the brute-force oracle, so a bug in either the detectors or the oracle
+   shows up as a disagreement. *)
+
+module Event = Ft_trace.Event
+module Trace = Ft_trace.Trace
+module Hb = Ft_trace.Hb
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+
+let r t x = Event.mk t (Event.Read x)
+let w t x = Event.mk t (Event.Write x)
+let acq t l = Event.mk t (Event.Acquire l)
+let rel t l = Event.mk t (Event.Release l)
+let fork t u = Event.mk t (Event.Fork u)
+let join t u = Event.mk t (Event.Join u)
+let relst t l = Event.mk t (Event.Release_store l)
+let acqld t l = Event.mk t (Event.Acquire_load l)
+
+type scenario = {
+  name : string;
+  events : Event.t list;
+  racy : int list;  (** expected racy locations under full detection *)
+}
+
+let scenarios =
+  [
+    (* ---- basic conflict matrix ---- *)
+    { name = "write-write race"; events = [ w 0 0; w 1 0 ]; racy = [ 0 ] };
+    { name = "write-read race"; events = [ w 0 0; r 1 0 ]; racy = [ 0 ] };
+    { name = "read-write race"; events = [ r 0 0; w 1 0 ]; racy = [ 0 ] };
+    { name = "read-read clean"; events = [ r 0 0; r 1 0 ]; racy = [] };
+    { name = "same thread clean"; events = [ w 0 0; r 0 0; w 0 0 ]; racy = [] };
+    { name = "distinct locations clean"; events = [ w 0 0; w 1 1 ]; racy = [] };
+    (* ---- locking ---- *)
+    {
+      name = "common lock orders";
+      events = [ acq 0 0; w 0 0; rel 0 0; acq 1 0; w 1 0; rel 1 0 ];
+      racy = [];
+    };
+    {
+      name = "different locks do not order";
+      events = [ acq 0 0; w 0 0; rel 0 0; acq 1 1; w 1 0; rel 1 1 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "nested locks order through either";
+      events =
+        [ acq 0 0; acq 0 1; w 0 0; rel 0 1; rel 0 0; acq 1 1; w 1 0; rel 1 1 ];
+      racy = [];
+    };
+    {
+      name = "transitive hand-off chain";
+      (* t0 -> t1 via L0, t1 -> t2 via L1: t0's write ordered before t2's *)
+      events =
+        [
+          w 0 0; acq 0 0; rel 0 0; acq 1 0; rel 1 0; acq 1 1; rel 1 1; acq 2 1;
+          rel 2 1; w 2 0;
+        ];
+      racy = [];
+    };
+    {
+      name = "broken chain races";
+      (* t0 writes after its release: the hand-off edge misses the write *)
+      events = [ acq 0 0; rel 0 0; w 0 0; acq 2 0; rel 2 0; w 2 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "access outside critical section races";
+      events = [ acq 0 0; w 0 0; rel 0 0; w 1 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "double-checked locking bug";
+      (* the unprotected flag check races with the locked initialization *)
+      events = [ acq 0 0; w 0 0; rel 0 0; r 1 0; acq 1 0; r 1 0; rel 1 0 ];
+      racy = [ 0 ];
+    };
+    (* ---- fork / join ---- *)
+    {
+      name = "fork orders parent before child";
+      events = [ w 0 0; fork 0 1; r 1 0 ];
+      racy = [];
+    };
+    {
+      name = "join orders child before parent";
+      events = [ fork 0 1; w 1 0; join 0 1; r 0 0 ];
+      racy = [];
+    };
+    {
+      name = "siblings race";
+      events = [ fork 0 1; fork 0 2; w 1 0; w 2 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "parent races with unjoined child";
+      events = [ fork 0 1; w 1 0; w 0 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "broadcast read after fork";
+      events = [ w 0 0; fork 0 1; fork 0 2; r 1 0; r 2 0 ];
+      racy = [];
+    };
+    (* ---- atomics (appendix A.2, copy semantics) ---- *)
+    {
+      name = "message passing via release-store";
+      events = [ w 0 0; relst 0 0; acqld 1 0; r 1 0 ];
+      racy = [];
+    };
+    {
+      name = "stale flag overwrite races";
+      (* t1's store overwrites t0's: t2 only synchronizes with t1 *)
+      events = [ w 0 0; relst 0 0; relst 1 0; acqld 2 0; r 2 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "acquire-load before store is void";
+      events = [ acqld 1 0; w 0 0; relst 0 0; r 1 0 ];
+      racy = [ 0 ];
+    };
+    (* ---- read-history subtleties ---- *)
+    {
+      name = "shared readers then unordered writer";
+      events = [ r 0 0; r 1 0; w 2 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "shared readers all ordered before writer";
+      events =
+        [
+          r 0 0; acq 0 0; rel 0 0; r 1 0; acq 1 0; rel 1 0; acq 2 0; w 2 0; rel 2 0;
+        ];
+      racy = [];
+    };
+    {
+      name = "writer ordered with one reader only";
+      (* t2 syncs with t1 but not with t0's read *)
+      events = [ r 0 0; r 1 0; acq 1 0; rel 1 0; acq 2 0; rel 2 0; w 2 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "same-epoch repeated reads stay clean";
+      events = [ r 0 0; r 0 0; r 0 0; acq 0 0; rel 0 0; acq 1 0; w 1 0; rel 1 0 ];
+      racy = [];
+    };
+    {
+      name = "write masking does not hide the location";
+      (* w0 ∥ w1 races even though w1 is later overwritten by an ordered w2 *)
+      events = [ w 0 0; w 1 0; acq 1 0; rel 1 0; acq 2 0; rel 2 0; w 2 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "two-sweep lock barrier";
+      events =
+        [
+          w 0 0; w 1 1;
+          acq 0 9; rel 0 9; acq 1 9; rel 1 9;  (* sweep 1 *)
+          acq 0 9; rel 0 9; acq 1 9; rel 1 9;  (* sweep 2 *)
+          r 0 1; r 1 0;
+        ];
+      racy = [];
+    };
+    {
+      name = "queue hand-off";
+      events =
+        [
+          acq 0 0; w 0 0; w 0 1; rel 0 0;  (* produce: slot + count *)
+          acq 1 0; r 1 1; r 1 0; rel 1 0;  (* consume *)
+        ];
+      racy = [];
+    };
+    {
+      name = "atomic chain is transitive";
+      (* t0 → t1 via A0, t1 → t2 via A1: t0's write ordered before t2's read *)
+      events = [ w 0 0; relst 0 0; acqld 1 0; relst 1 1; acqld 2 1; r 2 0 ];
+      racy = [];
+    };
+    {
+      name = "atomic chain broken by overwrite";
+      (* t3's store overwrites A0 before t1 reads it: the chain never forms *)
+      events =
+        [ w 0 0; relst 0 0; relst 3 0; acqld 1 0; relst 1 1; acqld 2 1; r 2 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "join is transitive through a lock";
+      (* child's write reaches t2 via join-then-release *)
+      events =
+        [ fork 0 1; w 1 0; join 0 1; acq 0 0; rel 0 0; acq 2 0; rel 2 0; r 2 0 ];
+      racy = [];
+    };
+    {
+      name = "grandchild ordering";
+      events = [ fork 0 1; fork 1 2; w 2 0; join 1 2; join 0 1; r 0 0 ];
+      racy = [];
+    };
+    {
+      name = "read under lock still races with unlocked write";
+      events = [ acq 0 0; r 0 0; rel 0 0; w 1 0 ];
+      racy = [ 0 ];
+    };
+    {
+      name = "mutex and atomic namespaces are disjoint";
+      (* lock 0 (mutex) and sync 1 (atomic) do not order through each other *)
+      events = [ w 0 0; acq 0 0; rel 0 0; relst 0 1; acqld 1 1; r 1 0 ];
+      racy = [];
+    };
+    {
+      name = "three-thread write chain, one gap";
+      (* t0→t1 ordered, t1→t2 ordered, but t0 writes again after its release *)
+      events =
+        [
+          w 0 0; acq 0 0; rel 0 0; w 0 0;
+          acq 1 0; w 1 0; rel 1 0;
+          acq 2 0; w 2 0; rel 2 0;
+        ];
+      racy = [ 0 ];
+    };
+  ]
+
+let full_engines =
+  [ Engine.Djit; Engine.Fasttrack; Engine.Fasttrack_tc; Engine.St; Engine.Su; Engine.So;
+    Engine.Sl ]
+
+let trace_of s = Trace.validate (Trace.of_events (Array.of_list s.events))
+
+let test_scenario s () =
+  let trace = trace_of s in
+  (* cross-check the hand annotation against the oracle *)
+  let mask = Array.init (Trace.length trace) (fun i -> Event.is_access (Trace.get trace i)) in
+  Alcotest.(check (list int)) "oracle agrees with annotation" s.racy
+    (Hb.racy_locations trace ~sampled:mask);
+  List.iter
+    (fun engine ->
+      Alcotest.(check (list int))
+        (Engine.name engine)
+        s.racy
+        (Detector.racy_locations (Engine.run engine ~sampler:Sampler.all trace)))
+    full_engines
+
+(* Sampling semantics: the race disappears if either side is unsampled. *)
+let test_sampling_sides () =
+  let events = [| w 0 0; r 0 1; w 1 0; r 1 1 |] in
+  let trace = Trace.validate (Trace.of_events events) in
+  let run mask engine =
+    Detector.racy_locations (Engine.run engine ~sampler:(Sampler.fixed mask) trace)
+  in
+  List.iter
+    (fun engine ->
+      let name = Engine.name engine in
+      Alcotest.(check (list int)) (name ^ ": both sides") [ 0 ]
+        (run [| true; false; true; false |] engine);
+      Alcotest.(check (list int)) (name ^ ": first only") []
+        (run [| true; false; false; false |] engine);
+      Alcotest.(check (list int)) (name ^ ": second only") []
+        (run [| false; false; true; false |] engine);
+      Alcotest.(check (list int)) (name ^ ": neither") []
+        (run [| false; false; false; false |] engine))
+    [ Engine.St; Engine.Su; Engine.So; Engine.Sl ]
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ( "scenarios",
+        List.map
+          (fun s -> Alcotest.test_case s.name `Quick (test_scenario s))
+          scenarios );
+      ("sampling", [ Alcotest.test_case "side sampling" `Quick test_sampling_sides ]);
+    ]

@@ -1,0 +1,333 @@
+(* Per-engine unit tests on hand-written executions: race declarations on
+   the litmus suite, the skipping behaviour the paper works out on Fig. 1/2,
+   and detector metrics. *)
+
+module Event = Ft_trace.Event
+module Trace = Ft_trace.Trace
+module Litmus = Ft_trace.Litmus
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Race = Ft_core.Race
+module Metrics = Ft_core.Metrics
+
+let run_litmus engine (l : Litmus.t) =
+  Engine.run engine ~sampler:(Sampler.fixed l.Litmus.sampled) l.Litmus.trace
+
+let run_all_mask engine trace = Engine.run engine ~sampler:Sampler.all trace
+
+let sampling_engines = [ Engine.St; Engine.Su; Engine.So ]
+let full_engines = [ Engine.Djit; Engine.Fasttrack ]
+
+let check_locations msg expected (r : Detector.result) =
+  Alcotest.(check (list int)) msg expected (Detector.racy_locations r)
+
+(* --- race findings on the litmus executions ------------------------- *)
+
+let test_simple_race () =
+  List.iter
+    (fun engine ->
+      let r = run_litmus engine Litmus.simple_race in
+      check_locations (Engine.name engine ^ " finds the race") [ 0 ] r)
+    sampling_engines;
+  List.iter
+    (fun engine ->
+      let r = run_all_mask engine Litmus.simple_race.Litmus.trace in
+      check_locations (Engine.name engine ^ " full") [ 0 ] r)
+    full_engines
+
+let test_protected_no_race () =
+  List.iter
+    (fun engine ->
+      let r = run_litmus engine Litmus.protected_no_race in
+      check_locations (Engine.name engine ^ " clean") [] r)
+    sampling_engines
+
+let test_race_missed_by_sampling () =
+  List.iter
+    (fun engine ->
+      let r = run_litmus engine Litmus.race_missed_by_sampling in
+      check_locations (Engine.name engine ^ " misses the unsampled side") [] r)
+    sampling_engines;
+  (* the full engines do see it *)
+  List.iter
+    (fun engine ->
+      let r = run_all_mask engine Litmus.race_missed_by_sampling.Litmus.trace in
+      check_locations (Engine.name engine ^ " full sees it") [ 0 ] r)
+    full_engines
+
+let test_fork_join_ordered () =
+  List.iter
+    (fun engine ->
+      let r = run_litmus engine Litmus.fork_join_ordered in
+      check_locations (Engine.name engine ^ " fork/join orders") [] r)
+    (sampling_engines @ full_engines)
+
+let test_atomic_message_passing () =
+  List.iter
+    (fun engine ->
+      let r = run_litmus engine Litmus.atomic_message_passing in
+      check_locations (Engine.name engine ^ " release-store orders") [] r)
+    (sampling_engines @ full_engines)
+
+let test_fig1_sampled_no_race () =
+  List.iter
+    (fun engine ->
+      let r = run_litmus engine Litmus.fig1 in
+      check_locations (Engine.name engine ^ " fig1 sampled") [] r)
+    sampling_engines
+
+let test_fig1_full_race_on_x () =
+  (* e7 = w(x)@t1 ∥ e9 = w(x)@t2 *)
+  List.iter
+    (fun engine ->
+      let r = run_all_mask engine Litmus.fig1.Litmus.trace in
+      check_locations (Engine.name engine ^ " fig1 full") [ 0 ] r)
+    (full_engines @ sampling_engines)
+
+let test_same_thread_never_races () =
+  (* a thread writing the same location in distinct epochs must not race
+     with itself — exercises the own-entry handling of the race checks *)
+  let trace =
+    Trace.of_events
+      [|
+        Event.mk 0 (Event.Write 0);
+        Event.mk 0 (Event.Acquire 0);
+        Event.mk 0 (Event.Release 0);
+        Event.mk 0 (Event.Write 0);
+        Event.mk 0 (Event.Read 0);
+      |]
+  in
+  List.iter
+    (fun engine ->
+      let r = run_all_mask engine trace in
+      check_locations (Engine.name engine ^ " no self race") [] r)
+    (sampling_engines @ full_engines)
+
+let test_write_read_race_direction () =
+  let trace = Trace.of_events [| Event.mk 0 (Event.Write 0); Event.mk 1 (Event.Read 0) |] in
+  List.iter
+    (fun engine ->
+      let r = run_all_mask engine trace in
+      match r.Detector.races with
+      | [ race ] ->
+        Alcotest.(check bool)
+          (Engine.name engine ^ " against earlier write")
+          true race.Race.with_write;
+        Alcotest.(check int) "declared at the read" 1 race.Race.index
+      | other ->
+        Alcotest.failf "%s: expected 1 race, got %d" (Engine.name engine) (List.length other))
+    (sampling_engines @ full_engines)
+
+let test_read_write_race_direction () =
+  let trace = Trace.of_events [| Event.mk 0 (Event.Read 0); Event.mk 1 (Event.Write 0) |] in
+  List.iter
+    (fun engine ->
+      let r = run_all_mask engine trace in
+      match r.Detector.races with
+      | [ race ] ->
+        Alcotest.(check bool)
+          (Engine.name engine ^ " against earlier read")
+          true race.Race.with_read
+      | other ->
+        Alcotest.failf "%s: expected 1 race, got %d" (Engine.name engine) (List.length other))
+    (sampling_engines @ full_engines)
+
+let test_reads_do_not_race () =
+  let trace = Trace.of_events [| Event.mk 0 (Event.Read 0); Event.mk 1 (Event.Read 0) |] in
+  List.iter
+    (fun engine -> check_locations (Engine.name engine) [] (run_all_mask engine trace))
+    (sampling_engines @ full_engines)
+
+let test_pending_flush_at_join () =
+  (* child's sampled write happens-before the parent's post-join write even
+     though the child never releases a lock *)
+  let trace =
+    Trace.of_events
+      [|
+        Event.mk 0 (Event.Fork 1);
+        Event.mk 1 (Event.Write 0);
+        Event.mk 0 (Event.Join 1);
+        Event.mk 0 (Event.Write 0);
+      |]
+  in
+  List.iter
+    (fun engine -> check_locations (Engine.name engine) [] (run_all_mask engine trace))
+    sampling_engines
+
+(* --- skipping behaviour on Fig 1/2 ---------------------------------- *)
+
+let test_fig1_su_skips () =
+  let r = run_litmus Engine.Su Litmus.fig1 in
+  let m = r.Detector.metrics in
+  Alcotest.(check int) "8 acquires" 8 m.Metrics.acquires;
+  (* t1's four acquires find virgin locks; t2 skips e12 and e14 (Fig 2) *)
+  Alcotest.(check int) "6 skipped" 6 m.Metrics.acquires_skipped;
+  Alcotest.(check int) "4 releases" 4 m.Metrics.releases;
+  (* every release in Fig 1 targets a virgin lock whose U_ℓ(t1) = 0 differs
+     from U_t1(t1) ≥ 1, so all four copies happen; the release-side skip
+     needs a lock that has already seen the thread (covered below) *)
+  Alcotest.(check int) "4 releases processed" 4 m.Metrics.releases_processed
+
+let test_fig1_so_skips () =
+  let r = run_litmus Engine.So Litmus.fig1 in
+  let m = r.Detector.metrics in
+  Alcotest.(check int) "8 acquires" 8 m.Metrics.acquires;
+  Alcotest.(check int) "6 skipped" 6 m.Metrics.acquires_skipped;
+  Alcotest.(check int) "4 shallow copies" 4 m.Metrics.shallow_copies;
+  (* t1 mutates a shared list only via scalars (local-epoch optimization);
+     t2 absorbs entries without ever having shared its list: 0 deep copies *)
+  Alcotest.(check int) "no deep copies" 0 m.Metrics.deep_copies;
+  (* non-skipped acquires: e8 and e18, one fresh entry each *)
+  Alcotest.(check int) "entries traversed" 2 m.Metrics.entries_traversed
+
+let test_fig3_so_single_entry () =
+  let l = Litmus.fig3 in
+  let r = run_litmus Engine.So l in
+  let m = r.Detector.metrics in
+  (* 6-thread program: each non-skipped acquire traverses ≪ T entries *)
+  Alcotest.(check bool) "some acquire skipped or short"
+    true
+    (m.Metrics.entries_traversed < m.Metrics.acquires * 6);
+  check_locations "no race" [] r
+
+let test_st_does_not_skip () =
+  let r = run_litmus Engine.St Litmus.fig1 in
+  let m = r.Detector.metrics in
+  Alcotest.(check int) "st never skips acquires" 0 m.Metrics.acquires_skipped;
+  Alcotest.(check int) "st processes every release" 4 m.Metrics.releases_processed
+
+let test_su_reacquire_own_lock_skips () =
+  (* a thread re-acquiring the lock it just released learns nothing *)
+  let trace =
+    Trace.of_events
+      [|
+        Event.mk 0 (Event.Acquire 0); Event.mk 0 (Event.Write 0); Event.mk 0 (Event.Release 0);
+        Event.mk 0 (Event.Acquire 0); Event.mk 0 (Event.Release 0);
+      |]
+  in
+  List.iter
+    (fun engine ->
+      let r = run_all_mask engine trace in
+      let m = r.Detector.metrics in
+      Alcotest.(check int) (Engine.name engine ^ " second acquire skipped") 2
+        m.Metrics.acquires_skipped)
+    [ Engine.Su; Engine.So ]
+
+let test_su_second_release_skipped () =
+  (* releasing again with no new information skips the copy in SU *)
+  let trace =
+    Trace.of_events
+      [|
+        Event.mk 0 (Event.Acquire 0); Event.mk 0 (Event.Write 0); Event.mk 0 (Event.Release 0);
+        Event.mk 0 (Event.Acquire 0); Event.mk 0 (Event.Release 0);
+      |]
+  in
+  let r = run_all_mask Engine.Su trace in
+  Alcotest.(check int) "one release processed" 1
+    r.Detector.metrics.Metrics.releases_processed
+
+(* --- misc ------------------------------------------------------------ *)
+
+let test_detector_determinism () =
+  let prng = Ft_support.Prng.create ~seed:77 in
+  let trace = Ft_trace.Trace_gen.random prng Ft_trace.Trace_gen.default in
+  let sampler = Sampler.bernoulli ~rate:0.3 ~seed:9 in
+  List.iter
+    (fun engine ->
+      let r1 = Engine.run engine ~sampler trace in
+      let r2 = Engine.run engine ~sampler trace in
+      Alcotest.(check (list int))
+        (Engine.name engine ^ " deterministic")
+        (Race.indices r1.Detector.races)
+        (Race.indices r2.Detector.races))
+    (sampling_engines @ full_engines)
+
+let test_sampler_none_detects_nothing () =
+  List.iter
+    (fun engine ->
+      let r = Engine.run engine ~sampler:Sampler.none Litmus.simple_race.Litmus.trace in
+      check_locations (Engine.name engine ^ " none") [] r;
+      Alcotest.(check int) "no sampled accesses" 0
+        r.Detector.metrics.Metrics.sampled_accesses)
+    sampling_engines
+
+let test_engine_registry () =
+  Alcotest.(check int) "eight engines" 8 (List.length Engine.all);
+  List.iter
+    (fun id ->
+      match Engine.of_name (Engine.name id) with
+      | Some id' -> Alcotest.(check bool) "roundtrip" true (id = id')
+      | None -> Alcotest.fail "of_name failed")
+    Engine.all;
+  Alcotest.(check bool) "unknown name" true (Engine.of_name "nope" = None)
+
+let test_metrics_arithmetic () =
+  let a = Metrics.create () in
+  a.Metrics.acquires <- 10;
+  a.Metrics.acquires_skipped <- 4;
+  a.Metrics.releases <- 8;
+  a.Metrics.releases_processed <- 2;
+  a.Metrics.deep_copies <- 1;
+  a.Metrics.entries_traversed <- 30;
+  a.Metrics.entries_saved <- 10;
+  Alcotest.(check (float 1e-9)) "skip ratio" 0.4 (Metrics.acquires_skipped_ratio a);
+  Alcotest.(check (float 1e-9)) "processed ratio" 0.25 (Metrics.releases_processed_ratio a);
+  Alcotest.(check (float 1e-9)) "deep copy ratio" 0.125 (Metrics.deep_copy_ratio a);
+  Alcotest.(check (float 1e-9)) "saved ratio" 0.25 (Metrics.saved_traversal_ratio a);
+  Alcotest.(check (float 1e-9)) "work ratio" (8.0 /. 18.0) (Metrics.sync_full_work_ratio a);
+  Alcotest.(check (float 1e-9)) "entries per acq" 3.0 (Metrics.mean_entries_per_acquire a);
+  let b = Metrics.copy a in
+  b.Metrics.acquires <- 0;
+  Alcotest.(check int) "copy is independent" 10 a.Metrics.acquires;
+  let sum = Metrics.create () in
+  Metrics.add ~into:sum a;
+  Metrics.add ~into:sum a;
+  Alcotest.(check int) "add accumulates" 20 sum.Metrics.acquires;
+  let empty = Metrics.create () in
+  Alcotest.(check (float 1e-9)) "zero denominators" 0.0 (Metrics.acquires_skipped_ratio empty)
+
+let test_metrics_accounting () =
+  let l = Litmus.fig1 in
+  let r = run_litmus Engine.St l in
+  let m = r.Detector.metrics in
+  Alcotest.(check int) "events" 18 m.Metrics.events;
+  Alcotest.(check int) "sampled" 3 m.Metrics.sampled_accesses;
+  Alcotest.(check int) "reads+writes" 6 (m.Metrics.reads + m.Metrics.writes)
+
+let () =
+  Alcotest.run "detectors"
+    [
+      ( "races",
+        [
+          Alcotest.test_case "simple race" `Quick test_simple_race;
+          Alcotest.test_case "protected no race" `Quick test_protected_no_race;
+          Alcotest.test_case "race missed by sampling" `Quick test_race_missed_by_sampling;
+          Alcotest.test_case "fork/join ordered" `Quick test_fork_join_ordered;
+          Alcotest.test_case "atomic message passing" `Quick test_atomic_message_passing;
+          Alcotest.test_case "fig1 sampled: no race" `Quick test_fig1_sampled_no_race;
+          Alcotest.test_case "fig1 full: race on x" `Quick test_fig1_full_race_on_x;
+          Alcotest.test_case "no same-thread races" `Quick test_same_thread_never_races;
+          Alcotest.test_case "write-read direction" `Quick test_write_read_race_direction;
+          Alcotest.test_case "read-write direction" `Quick test_read_write_race_direction;
+          Alcotest.test_case "reads don't race" `Quick test_reads_do_not_race;
+          Alcotest.test_case "pending flushed at join" `Quick test_pending_flush_at_join;
+        ] );
+      ( "skipping",
+        [
+          Alcotest.test_case "fig1 SU skips e12/e14" `Quick test_fig1_su_skips;
+          Alcotest.test_case "fig1 SO skips e12/e14" `Quick test_fig1_so_skips;
+          Alcotest.test_case "fig3 SO short traversals" `Quick test_fig3_so_single_entry;
+          Alcotest.test_case "ST never skips" `Quick test_st_does_not_skip;
+          Alcotest.test_case "reacquire own lock" `Quick test_su_reacquire_own_lock_skips;
+          Alcotest.test_case "redundant release skipped" `Quick test_su_second_release_skipped;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "determinism" `Quick test_detector_determinism;
+          Alcotest.test_case "sampler none" `Quick test_sampler_none_detects_nothing;
+          Alcotest.test_case "engine registry" `Quick test_engine_registry;
+          Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+          Alcotest.test_case "metrics arithmetic" `Quick test_metrics_arithmetic;
+        ] );
+    ]

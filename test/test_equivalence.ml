@@ -1,0 +1,309 @@
+(* Property-based tests tying the detectors to the paper's theory:
+
+   - Propositions 1, 3, 5, 6 on the declarative timestamps (oracle side);
+   - Lemmas 4, 7, 8: ST, SU and SO declare races at exactly the same events,
+     and their racy locations coincide with the brute-force sampled-race
+     oracle; DJIT+ and FastTrack match the full-detection oracle;
+   - the metrics inequalities that make the complexity argument work. *)
+
+module Event = Ft_trace.Event
+module Trace = Ft_trace.Trace
+module Trace_gen = Ft_trace.Trace_gen
+module Hb = Ft_trace.Hb
+module Prng = Ft_support.Prng
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Race = Ft_core.Race
+module Metrics = Ft_core.Metrics
+
+(* ---- random-scenario generator -------------------------------------- *)
+
+type scenario = {
+  seed : int;
+  params : Trace_gen.params;
+  rate : float;
+}
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* nthreads = int_range 1 6 in
+    let* nlocks = int_range 0 4 in
+    let* nlocs = int_range 1 6 in
+    let* length = int_range 5 120 in
+    let* atomics = bool in
+    let* forkjoin = bool in
+    let* rate = oneofl [ 0.0; 0.1; 0.3; 0.5; 1.0 ] in
+    return
+      {
+        seed;
+        params = { Trace_gen.nthreads; nlocks; nlocs; length; atomics; forkjoin };
+        rate;
+      })
+
+let print_scenario s =
+  Printf.sprintf "seed=%d threads=%d locks=%d locs=%d len=%d atomics=%b fj=%b rate=%g" s.seed
+    s.params.Trace_gen.nthreads s.params.Trace_gen.nlocks s.params.Trace_gen.nlocs
+    s.params.Trace_gen.length s.params.Trace_gen.atomics s.params.Trace_gen.forkjoin s.rate
+
+let scenario_arb = QCheck.make ~print:print_scenario scenario_gen
+
+let materialize s =
+  let prng = Prng.create ~seed:s.seed in
+  let trace = Trace_gen.random prng s.params in
+  let sampled =
+    Array.init (Trace.length trace) (fun i ->
+        Event.is_access (Trace.get trace i) && Prng.bernoulli prng ~p:s.rate)
+  in
+  (trace, sampled)
+
+let count = 200
+
+let mk name prop = QCheck.Test.make ~name ~count scenario_arb prop
+
+(* ---- propositions ---------------------------------------------------- *)
+
+(* Prop 1: single-entry check ⇔ pointwise ⊑ ⇔ HB, for C_FT. *)
+let prop1 s =
+  let trace, _ = materialize s in
+  let n = Trace.length trace in
+  let ts = Hb.timestamps_ft trace in
+  let c = Hb.closure trace in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let t1 = (Trace.get trace i).Event.thread in
+      if t1 <> (Trace.get trace j).Event.thread then begin
+        let entry = ts.(i).(t1) <= ts.(j).(t1) in
+        let pointwise = Hb.leq ts.(i) ts.(j) in
+        let hb = Hb.ordered c i j in
+        if entry <> pointwise || pointwise <> hb then ok := false
+      end
+    done
+  done;
+  !ok
+
+(* Prop 3: the same triple equivalence for C_sam, with e1 sampled. *)
+let prop3 s =
+  let trace, sampled = materialize s in
+  let n = Trace.length trace in
+  let ts = Hb.timestamps_sam trace ~sampled in
+  let c = Hb.closure trace in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if sampled.(i) then
+      for j = i + 1 to n - 1 do
+        let t1 = (Trace.get trace i).Event.thread in
+        if t1 <> (Trace.get trace j).Event.thread then begin
+          let entry = ts.(i).(t1) <= ts.(j).(t1) in
+          let pointwise = Hb.leq ts.(i) ts.(j) in
+          let hb = Hb.ordered c i j in
+          if entry <> pointwise || pointwise <> hb then ok := false
+        end
+      done
+  done;
+  !ok
+
+(* Prop 5 (algorithmic form, see Hb.u_timestamps): if e2's freshness
+   knowledge of t1 covers VT(e1), then C_sam(e1) ⊑ C_sam(e2).  VT(e1) is the
+   value a release of t1 at e1 would publish as U_ℓ. *)
+let prop5 s =
+  let trace, sampled = materialize s in
+  let n = Trace.length trace in
+  let cs = Hb.timestamps_sam trace ~sampled in
+  let vts = Hb.vt trace ~sampled in
+  let us = Hb.u_timestamps trace ~sampled in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let t1 = (Trace.get trace i).Event.thread in
+      if t1 <> (Trace.get trace j).Event.thread && vts.(i) <= us.(j).(t1) then
+        if not (Hb.leq cs.(i) cs.(j)) then ok := false
+    done
+  done;
+  !ok
+
+(* Prop 6 (algorithmic form): at most max(k, 0) entries of C_sam(e1) exceed
+   C_sam(e2), where k = VT(e1) − U(e2)(t1). *)
+let prop6 s =
+  let trace, sampled = materialize s in
+  let n = Trace.length trace in
+  let cs = Hb.timestamps_sam trace ~sampled in
+  let vts = Hb.vt trace ~sampled in
+  let us = Hb.u_timestamps trace ~sampled in
+  let nthreads = trace.Trace.nthreads in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let t1 = (Trace.get trace i).Event.thread in
+      if t1 <> (Trace.get trace j).Event.thread then begin
+        let k = vts.(i) - us.(j).(t1) in
+        let ahead = ref 0 in
+        for t = 0 to nthreads - 1 do
+          if cs.(i).(t) > cs.(j).(t) then incr ahead
+        done;
+        if !ahead > Stdlib.min nthreads (Stdlib.max k 0) then ok := false
+      end
+    done
+  done;
+  !ok
+
+(* ---- algorithm equivalences ------------------------------------------ *)
+
+let run_sampling engine trace sampled =
+  Engine.run engine ~sampler:(Sampler.fixed sampled) trace
+
+(* Lemmas 7 and 8: SU, SO and the SL ablation declare races at exactly the
+   events ST does. *)
+let st_su_so_same_events s =
+  let trace, sampled = materialize s in
+  let ist = Race.indices (run_sampling Engine.St trace sampled).Detector.races in
+  let isu = Race.indices (run_sampling Engine.Su trace sampled).Detector.races in
+  let iso = Race.indices (run_sampling Engine.So trace sampled).Detector.races in
+  let isl = Race.indices (run_sampling Engine.Sl trace sampled).Detector.races in
+  let isn = Race.indices (run_sampling Engine.Sn trace sampled).Detector.races in
+  ist = isu && isu = iso && iso = isl && isl = isn
+
+(* Racy locations of the sampling engines = brute-force oracle. *)
+let st_locations_match_oracle s =
+  let trace, sampled = materialize s in
+  let r = run_sampling Engine.St trace sampled in
+  Detector.racy_locations r = Hb.racy_locations trace ~sampled
+
+(* Full detection: DJIT+ and FastTrack racy locations match the oracle with
+   every access marked. *)
+let full_locations_match_oracle s =
+  let trace, _ = materialize s in
+  let all = Array.init (Trace.length trace) (fun i -> Event.is_access (Trace.get trace i)) in
+  let expected = Hb.racy_locations trace ~sampled:all in
+  Detector.racy_locations (Engine.run Engine.Djit trace) = expected
+  && Detector.racy_locations (Engine.run Engine.Fasttrack trace) = expected
+  && Detector.racy_locations (Engine.run Engine.Fasttrack_tc trace) = expected
+
+(* ST at a 100% sampling rate solves the full problem. *)
+let st_all_matches_djit s =
+  let trace, _ = materialize s in
+  Detector.racy_locations (Engine.run Engine.St ~sampler:Sampler.all trace)
+  = Detector.racy_locations (Engine.run Engine.Djit trace)
+
+(* Race existence: a sampled race exists iff the detectors declare one. *)
+let existence_matches_oracle s =
+  let trace, sampled = materialize s in
+  let r = run_sampling Engine.So trace sampled in
+  Hb.has_sampled_race trace ~sampled = (r.Detector.races <> [])
+
+(* ---- metric invariants ------------------------------------------------ *)
+
+let metric_invariants s =
+  let trace, sampled = materialize s in
+  let su = (run_sampling Engine.Su trace sampled).Detector.metrics in
+  let so = (run_sampling Engine.So trace sampled).Detector.metrics in
+  let st = (run_sampling Engine.St trace sampled).Detector.metrics in
+  su.Metrics.acquires_skipped <= su.Metrics.acquires
+  && so.Metrics.acquires_skipped <= so.Metrics.acquires
+  && su.Metrics.releases_processed <= su.Metrics.releases
+  && so.Metrics.deep_copies <= so.Metrics.shallow_copies + 1
+  && st.Metrics.acquires_skipped = 0
+  && st.Metrics.sampled_accesses = su.Metrics.sampled_accesses
+  && su.Metrics.sampled_accesses = so.Metrics.sampled_accesses
+
+(* Every reported (prior, index) pair must be a genuine race: conflicting
+   accesses, HB-unordered, and (for sampling engines) both sampled. *)
+let reported_pairs_are_races s =
+  let trace, sampled = materialize s in
+  let c = Hb.closure trace in
+  let check ~check_sampled (result : Detector.result) =
+    List.for_all
+      (fun (p, i) ->
+        p < i
+        && Event.conflicting (Trace.get trace p) (Trace.get trace i)
+        && (not (Hb.ordered c p i))
+        && ((not check_sampled) || (sampled.(p) && sampled.(i))))
+      (Race.pairs result.Detector.races)
+  in
+  let full_ok =
+    List.for_all
+      (fun engine -> check ~check_sampled:false (Engine.run engine trace))
+      [ Engine.Djit; Engine.Fasttrack; Engine.Fasttrack_tc ]
+  in
+  let sampling_ok =
+    List.for_all
+      (fun engine -> check ~check_sampled:true (run_sampling engine trace sampled))
+      [ Engine.St; Engine.Su; Engine.So; Engine.Sl; Engine.Sn ]
+  in
+  full_ok && sampling_ok
+
+(* Every race declaration carries a prior in the History-based engines. *)
+let priors_always_present s =
+  let trace, sampled = materialize s in
+  List.for_all
+    (fun engine ->
+      let result = run_sampling engine trace sampled in
+      List.for_all (fun r -> r.Race.prior <> None) result.Detector.races)
+    [ Engine.St; Engine.Su; Engine.So; Engine.Sl ]
+
+(* Sampling can only shrink the set of racy locations. *)
+let sampled_locations_subset_of_full s =
+  let trace, sampled = materialize s in
+  let all = Array.init (Trace.length trace) (fun i -> Event.is_access (Trace.get trace i)) in
+  let sub = Hb.racy_locations trace ~sampled in
+  let full = Hb.racy_locations trace ~sampled:all in
+  List.for_all (fun x -> List.mem x full) sub
+
+(* Round-trip through the textual format preserves detection results. *)
+let format_roundtrip_preserves_races s =
+  let trace, sampled = materialize s in
+  match Ft_trace.Trace_format.parse_string (Ft_trace.Trace_format.to_string trace) with
+  | Error _ -> false
+  | Ok trace' ->
+    Trace.length trace = Trace.length trace'
+    && Race.indices (run_sampling Engine.So trace sampled).Detector.races
+       = Race.indices (run_sampling Engine.So trace' sampled).Detector.races
+
+(* SO's deep copies are bounded by the number of sampled events plus the
+   fork/join edges (each sampled event changes the sampling timestamp at
+   most ... once per flush; the bound of Lemma 8 is O(|S|)). *)
+let so_deep_copy_bound s =
+  let trace, sampled = materialize s in
+  let so = (run_sampling Engine.So trace sampled).Detector.metrics in
+  let stats = Trace.stats trace in
+  let bound =
+    so.Metrics.sampled_accesses * (1 + trace.Trace.nthreads)
+    + ((stats.Trace.n_forks + stats.Trace.n_joins) * trace.Trace.nthreads)
+    + trace.Trace.nthreads
+  in
+  so.Metrics.deep_copies <= bound
+
+(* Skipped acquires are monotone: SU never skips fewer than SO on the same
+   trace (SU tracks a full freshness vector; SO only scalars) — observation
+   (2) of §A.1.2. *)
+let su_skips_at_least_so s =
+  let trace, sampled = materialize s in
+  let su = (run_sampling Engine.Su trace sampled).Detector.metrics in
+  let so = (run_sampling Engine.So trace sampled).Detector.metrics in
+  su.Metrics.acquires_skipped >= so.Metrics.acquires_skipped
+
+let tests =
+  [
+    mk "Prop 1 (C_FT characterizes HB)" prop1;
+    mk "Prop 3 (C_sam characterizes HB on S)" prop3;
+    mk "Prop 5 (freshness implies ordering)" prop5;
+    mk "Prop 6 (freshness bounds stale entries)" prop6;
+    mk "Lemma 7/8 (ST = SU = SO race events)" st_su_so_same_events;
+    mk "sampled racy locations = oracle" st_locations_match_oracle;
+    mk "full racy locations = oracle (DJIT+, FastTrack)" full_locations_match_oracle;
+    mk "ST at 100%% = DJIT+" st_all_matches_djit;
+    mk "race existence = oracle" existence_matches_oracle;
+    mk "metric invariants" metric_invariants;
+    mk "SO deep-copy bound" so_deep_copy_bound;
+    mk "SU skips ≥ SO skips" su_skips_at_least_so;
+    mk "sampled racy locations ⊆ full" sampled_locations_subset_of_full;
+    mk "format round-trip preserves races" format_roundtrip_preserves_races;
+    mk "reported pairs are genuine races" reported_pairs_are_races;
+    mk "priors always present" priors_always_present;
+  ]
+
+let () =
+  Alcotest.run "equivalence"
+    [ ("properties", List.map QCheck_alcotest.to_alcotest tests) ]

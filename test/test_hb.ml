@@ -1,0 +1,211 @@
+(* Tests for the brute-force HB oracle: ordering on litmus traces and the
+   declarative timestamps of Eqs 1–10, checked against the clock values the
+   paper works out for the Fig. 1 execution. *)
+
+module Event = Ft_trace.Event
+module Trace = Ft_trace.Trace
+module Hb = Ft_trace.Hb
+module Litmus = Ft_trace.Litmus
+
+let ev = Event.mk
+
+let fig1 = Litmus.fig1.Litmus.trace
+let fig1_sampled = Litmus.fig1.Litmus.sampled
+
+(* paper event names e1..e18 are indices 0..17 *)
+let e n = n - 1
+
+let test_ordering_thread_order () =
+  let c = Hb.closure fig1 in
+  Alcotest.(check bool) "e1 ≤ e5 (same thread)" true (Hb.ordered c (e 1) (e 5));
+  Alcotest.(check bool) "reflexive" true (Hb.ordered c 3 3);
+  Alcotest.(check bool) "no backwards order" false (Hb.ordered c (e 5) (e 1))
+
+let test_ordering_lock_edges () =
+  let c = Hb.closure fig1 in
+  (* e6 = rel(l1)@t1, e8 = acq(l1)@t2 *)
+  Alcotest.(check bool) "rel→acq edge" true (Hb.ordered c (e 6) (e 8));
+  (* facts cited in §4.1: e7 ≤HB e12, e11 ≰HB e12 *)
+  Alcotest.(check bool) "e7 ≤HB e12" true (Hb.ordered c (e 7) (e 12));
+  Alcotest.(check bool) "e11 ≰HB e12" false (Hb.ordered c (e 11) (e 12));
+  (* e7 ∥ e9: the x-race of the execution *)
+  Alcotest.(check bool) "e7 ∥ e9" false (Hb.ordered c (e 7) (e 9))
+
+let test_racy_pairs_fig1 () =
+  let races = Hb.racy_pairs fig1 in
+  Alcotest.(check (list (pair int int))) "only (e7,e9) races" [ (e 7, e 9) ] races
+
+let test_racy_pairs_sampled_fig1 () =
+  Alcotest.(check (list (pair int int)))
+    "no sampled race" []
+    (Hb.racy_pairs_sampled fig1 ~sampled:fig1_sampled);
+  Alcotest.(check bool) "has_sampled_race" false
+    (Hb.has_sampled_race fig1 ~sampled:fig1_sampled)
+
+let test_racy_locations () =
+  let all = Array.map Event.is_access (Array.init 18 (Trace.get fig1)) in
+  Alcotest.(check (list int)) "x (loc 0) is the racy location" [ 0 ]
+    (Hb.racy_locations fig1 ~sampled:all)
+
+let test_local_times_ft_fig1 () =
+  let l = Hb.local_times_ft fig1 in
+  (* t1 releases at e6, e10, e13, e17 *)
+  Alcotest.(check int) "L(e5)=1" 1 l.(e 5);
+  Alcotest.(check int) "L(e7)=2" 2 l.(e 7);
+  Alcotest.(check int) "L(e11)=3" 3 l.(e 11);
+  Alcotest.(check int) "L(e15)=4" 4 l.(e 15);
+  Alcotest.(check int) "L(e16)=4" 4 l.(e 16);
+  (* t2 performs no release *)
+  Alcotest.(check int) "L(e9)=1" 1 l.(e 9);
+  Alcotest.(check int) "L(e18)=1" 1 l.(e 18)
+
+let test_timestamps_ft_fig1 () =
+  let ts = Hb.timestamps_ft fig1 in
+  (* the paper: C(e7) = ⟨2,0⟩, C(e11) = ⟨3,0⟩, e15/e16 share ⟨4,0⟩ *)
+  Alcotest.(check (array int)) "C(e7)" [| 2; 0 |] ts.(e 7);
+  Alcotest.(check (array int)) "C(e11)" [| 3; 0 |] ts.(e 11);
+  Alcotest.(check (array int)) "C(e15)" [| 4; 0 |] ts.(e 15);
+  Alcotest.(check (array int)) "C(e16)" [| 4; 0 |] ts.(e 16);
+  (* t2 after acq(l1) at e8 knows t1 up to local time 2 — wait: the clock of
+     l1 carries C(e6) = ⟨2,0⟩ post-increment? No: DJIT+ sends the clock at
+     the release *before* incrementing, i.e. ⟨1,…⟩ is never visible; the
+     lock stores C_t1 = ⟨1,0⟩+local = the timestamp of e6 itself, which has
+     L(e6) = 1. So C(e8)(t1) = 1. *)
+  Alcotest.(check int) "C(e8)(t1)" 1 ts.(e 8).(0);
+  Alcotest.(check int) "C(e12)(t1)" 2 ts.(e 12).(0);
+  Alcotest.(check int) "C(e14)(t1)" 3 ts.(e 14).(0);
+  Alcotest.(check int) "C(e18)(t1)" 4 ts.(e 18).(0)
+
+let test_rel_after_s_fig1 () =
+  let marked = Hb.rel_after_s fig1 ~sampled:fig1_sampled in
+  let expected = [ e 6; e 17 ] in
+  let got = ref [] in
+  Array.iteri (fun i b -> if b then got := i :: !got) marked;
+  Alcotest.(check (list int)) "RelAfter_S = {e6, e17}" expected (List.rev !got)
+
+let test_local_times_sam_fig1 () =
+  let l = Hb.local_times_sam fig1 ~sampled:fig1_sampled in
+  Alcotest.(check int) "L_sam(e5)=1" 1 l.(e 5);
+  Alcotest.(check int) "L_sam(e7)=2" 2 l.(e 7);
+  (* e10 and e13 are not in RelAfter_S, so the local time stays 2 *)
+  Alcotest.(check int) "L_sam(e11)=2" 2 l.(e 11);
+  Alcotest.(check int) "L_sam(e15)=2" 2 l.(e 15);
+  Alcotest.(check int) "L_sam(e16)=2" 2 l.(e 16)
+
+let test_timestamps_sam_fig1 () =
+  let ts = Hb.timestamps_sam fig1 ~sampled:fig1_sampled in
+  (* the lock ℓ1 carries ⟨1,0⟩ (time of e5, the last sampled event) *)
+  Alcotest.(check (array int)) "C_sam(e8)" [| 1; 0 |] ts.(e 8);
+  (* e12, e14 receive nothing new *)
+  Alcotest.(check (array int)) "C_sam(e12)" [| 1; 0 |] ts.(e 12);
+  Alcotest.(check (array int)) "C_sam(e14)" [| 1; 0 |] ts.(e 14);
+  (* e18 sees the flush of e15/e16 at e17 *)
+  Alcotest.(check (array int)) "C_sam(e18)" [| 2; 0 |] ts.(e 18);
+  (* non-sampled t1 events e7 and e11 are now indistinguishable *)
+  Alcotest.(check (array int)) "C_sam(e7)" ts.(e 11) ts.(e 7)
+
+let test_vt_fig1 () =
+  let vt = Hb.vt fig1 ~sampled:fig1_sampled in
+  (* t2: e8 learns one entry from ⊥ (counted, see Hb.vt); C_sam stays ⟨1,0⟩
+     through e14 and becomes ⟨2,0⟩ at e18 *)
+  Alcotest.(check int) "VT(e8)" 1 vt.(e 8);
+  Alcotest.(check int) "VT(e9)" 1 vt.(e 9);
+  Alcotest.(check int) "VT(e12)" 1 vt.(e 12);
+  Alcotest.(check int) "VT(e14)" 1 vt.(e 14);
+  Alcotest.(check int) "VT(e18)" 2 vt.(e 18);
+  (* t1: its clock's own component appears at the sampled e5 (one update),
+     stays flat through e13, and bumps again at the sampled e15 *)
+  Alcotest.(check int) "VT(e5)" 1 vt.(e 5);
+  Alcotest.(check int) "VT(e7)" 1 vt.(e 7);
+  Alcotest.(check int) "VT(e15)" 2 vt.(e 15)
+
+let test_u_timestamps_fig1 () =
+  let u = Hb.u_timestamps fig1 ~sampled:fig1_sampled in
+  (* U(e8)(t1) = VT(e5) = 1: t2 learns one unit of t1 freshness at e8, and
+     nothing more until e18 *)
+  Alcotest.(check int) "U(e8)(t1)" 1 u.(e 8).(0);
+  Alcotest.(check int) "U(e14)(t1)" 1 u.(e 14).(0);
+  Alcotest.(check int) "U(e18)(t1)" 2 u.(e 18).(0)
+
+let test_diff_count () =
+  Alcotest.(check int) "diff" 2 (Hb.diff_count [| 1; 2; 3 |] [| 1; 5; 0 |]);
+  Alcotest.(check int) "equal" 0 (Hb.diff_count [| 1 |] [| 1 |])
+
+let test_leq () =
+  Alcotest.(check bool) "leq true" true (Hb.leq [| 1; 2 |] [| 1; 3 |]);
+  Alcotest.(check bool) "leq false" false (Hb.leq [| 2; 0 |] [| 1; 3 |])
+
+let test_fork_join_edges () =
+  let t =
+    Trace.of_events
+      [|
+        ev 0 (Event.Write 0); ev 0 (Event.Fork 1); ev 1 (Event.Write 0);
+        ev 0 (Event.Join 1); ev 0 (Event.Write 0);
+      |]
+  in
+  let c = Hb.closure t in
+  Alcotest.(check bool) "parent before child" true (Hb.ordered c 0 2);
+  Alcotest.(check bool) "child before join" true (Hb.ordered c 2 4);
+  Alcotest.(check (list (pair int int))) "no races" [] (Hb.racy_pairs t)
+
+let test_fork_no_backedge () =
+  (* without the join, parent's later write races with the child's *)
+  let t =
+    Trace.of_events
+      [| ev 0 (Event.Fork 1); ev 1 (Event.Write 0); ev 0 (Event.Write 0) |]
+  in
+  Alcotest.(check (list (pair int int))) "race" [ (1, 2) ] (Hb.racy_pairs t)
+
+let test_atomic_edges () =
+  let l = Litmus.atomic_message_passing in
+  Alcotest.(check (list (pair int int))) "no races" [] (Hb.racy_pairs l.Litmus.trace)
+
+let test_atomic_copy_semantics () =
+  (* relst by t0 (with data), then relst by t1 (without), then acqld by t2:
+     t2 synchronizes with the *last* store only, so t0's write races with
+     t2's read *)
+  let t =
+    Trace.of_events
+      [|
+        ev 0 (Event.Write 0); ev 0 (Event.Release_store 0); ev 1 (Event.Release_store 0);
+        ev 2 (Event.Acquire_load 0); ev 2 (Event.Read 0);
+      |]
+  in
+  Alcotest.(check (list (pair int int))) "copy semantics race" [ (0, 4) ] (Hb.racy_pairs t)
+
+let test_unordered_reads_no_race () =
+  let t = Trace.of_events [| ev 0 (Event.Read 0); ev 1 (Event.Read 0) |] in
+  Alcotest.(check (list (pair int int))) "reads don't race" [] (Hb.racy_pairs t)
+
+let () =
+  Alcotest.run "hb"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "thread order" `Quick test_ordering_thread_order;
+          Alcotest.test_case "lock edges" `Quick test_ordering_lock_edges;
+          Alcotest.test_case "fork/join edges" `Quick test_fork_join_edges;
+          Alcotest.test_case "fork no back-edge" `Quick test_fork_no_backedge;
+          Alcotest.test_case "atomic edges" `Quick test_atomic_edges;
+          Alcotest.test_case "atomic copy semantics" `Quick test_atomic_copy_semantics;
+        ] );
+      ( "races",
+        [
+          Alcotest.test_case "fig1 racy pairs" `Quick test_racy_pairs_fig1;
+          Alcotest.test_case "fig1 sampled racy pairs" `Quick test_racy_pairs_sampled_fig1;
+          Alcotest.test_case "racy locations" `Quick test_racy_locations;
+          Alcotest.test_case "unordered reads" `Quick test_unordered_reads_no_race;
+        ] );
+      ( "timestamps",
+        [
+          Alcotest.test_case "L_FT on fig1" `Quick test_local_times_ft_fig1;
+          Alcotest.test_case "C_FT on fig1" `Quick test_timestamps_ft_fig1;
+          Alcotest.test_case "RelAfter_S on fig1" `Quick test_rel_after_s_fig1;
+          Alcotest.test_case "L_sam on fig1" `Quick test_local_times_sam_fig1;
+          Alcotest.test_case "C_sam on fig1" `Quick test_timestamps_sam_fig1;
+          Alcotest.test_case "VT on fig1" `Quick test_vt_fig1;
+          Alcotest.test_case "U on fig1" `Quick test_u_timestamps_fig1;
+          Alcotest.test_case "diff" `Quick test_diff_count;
+          Alcotest.test_case "leq" `Quick test_leq;
+        ] );
+    ]

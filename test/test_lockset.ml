@@ -1,0 +1,141 @@
+(* Tests for the Eraser lockset baseline: it warns on lock-discipline
+   violations, stays quiet under a consistent discipline, and — unlike the
+   HB engines — raises false positives on fork/join-ordered accesses.
+   Plus the RPT-style fixed-count sampler. *)
+
+module Event = Ft_trace.Event
+module Trace = Ft_trace.Trace
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+
+let r t x = Event.mk t (Event.Read x)
+let w t x = Event.mk t (Event.Write x)
+let acq t l = Event.mk t (Event.Acquire l)
+let rel t l = Event.mk t (Event.Release l)
+let fork t u = Event.mk t (Event.Fork u)
+let join t u = Event.mk t (Event.Join u)
+
+let run events =
+  let trace = Trace.validate (Trace.of_events (Array.of_list events)) in
+  Engine.run Engine.Eraser ~sampler:Sampler.all trace
+
+let locs result = Detector.racy_locations result
+
+let test_registry () =
+  Alcotest.(check bool) "resolvable by name" true (Engine.of_name "eraser" = Some Engine.Eraser);
+  Alcotest.(check bool) "not in Engine.all" false (List.mem Engine.Eraser Engine.all)
+
+let test_wronglock () =
+  (* after t1's access the candidate set narrows to {L1}; t0's next access
+     under L0 empties it — Eraser warns on the third access, not the second *)
+  let events =
+    [ acq 0 0; w 0 0; rel 0 0; acq 1 1; w 1 0; rel 1 1; acq 0 0; w 0 0; rel 0 0 ]
+  in
+  Alcotest.(check (list int)) "different locks warn" [ 0 ] (locs (run events));
+  (* two accesses alone stay (incorrectly) quiet: Eraser's false negative
+     window relative to the HB engines *)
+  let short = [ acq 0 0; w 0 0; rel 0 0; acq 1 1; w 1 0; rel 1 1 ] in
+  Alcotest.(check (list int)) "third access needed" [] (locs (run short))
+
+let test_consistent_discipline_quiet () =
+  let events =
+    [ acq 0 0; w 0 0; rel 0 0; acq 1 0; w 1 0; rel 1 0; acq 2 0; r 2 0; rel 2 0 ]
+  in
+  Alcotest.(check (list int)) "common lock quiet" [] (locs (run events))
+
+let test_exclusive_phase_quiet () =
+  (* single-thread accesses never warn, locks or not *)
+  let events = [ w 0 0; r 0 0; w 0 0; w 0 1 ] in
+  Alcotest.(check (list int)) "exclusive quiet" [] (locs (run events))
+
+let test_read_shared_quiet () =
+  (* initialization then read-only sharing: the classic Eraser refinement *)
+  let events = [ w 0 0; r 1 0; r 2 0; r 1 0 ] in
+  Alcotest.(check (list int)) "read-only sharing quiet" [] (locs (run events))
+
+let test_shared_modified_warns () =
+  let events = [ w 0 0; r 1 0; w 2 0 ] in
+  Alcotest.(check (list int)) "unlocked write to shared warns" [ 0 ] (locs (run events))
+
+let test_false_positive_on_fork_join () =
+  (* HB-ordered by join, yet Eraser warns: the unsoundness the paper cites *)
+  let events = [ fork 0 1; w 1 0; join 0 1; w 0 0 ] in
+  Alcotest.(check (list int)) "eraser false positive" [ 0 ] (locs (run events));
+  let trace = Trace.validate (Trace.of_events (Array.of_list events)) in
+  Alcotest.(check (list int)) "HB engine stays quiet" []
+    (Detector.racy_locations (Engine.run Engine.So ~sampler:Sampler.all trace))
+
+let test_one_warning_per_location () =
+  let events = [ w 0 0; w 1 0; w 0 0; w 1 0; w 0 0 ] in
+  let result = run events in
+  Alcotest.(check int) "single report" 1 (List.length result.Detector.races)
+
+let test_partial_lockset_narrowing () =
+  (* candidate set narrows to the common lock and stays non-empty *)
+  let events =
+    [
+      acq 0 0; acq 0 1; w 0 0; rel 0 1; rel 0 0;  (* {L0, L1} *)
+      acq 1 0; w 1 0; rel 1 0;                    (* ∩ {L0} = {L0} *)
+      acq 2 0; w 2 0; rel 2 0;                    (* still {L0} *)
+    ]
+  in
+  Alcotest.(check (list int)) "narrowed but non-empty" [] (locs (run events))
+
+let test_sampler_respected () =
+  let trace = Trace.validate (Trace.of_events [| w 0 0; w 1 0 |]) in
+  let result = Engine.run Engine.Eraser ~sampler:Sampler.none trace in
+  Alcotest.(check (list int)) "nothing sampled, nothing warned" []
+    (Detector.racy_locations result)
+
+(* --- fixed-count sampler -------------------------------------------------- *)
+
+let test_fixed_count_size () =
+  let trace =
+    Trace.of_events (Array.init 100 (fun i -> Event.mk (i mod 2) (Event.Read 0)))
+  in
+  let mask = Sampler.to_sampled_array (Sampler.fixed_count ~k:10 ~length:100 ~seed:3) trace in
+  Alcotest.(check int) "exactly k sampled" 10
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask)
+
+let test_fixed_count_deterministic () =
+  let s1 = Sampler.fixed_count ~k:5 ~length:50 ~seed:9 in
+  let s2 = Sampler.fixed_count ~k:5 ~length:50 ~seed:9 in
+  let e = Event.mk 0 (Event.Read 0) in
+  for i = 0 to 49 do
+    Alcotest.(check bool) "same decision" (Sampler.decide s1 i e) (Sampler.decide s2 i e)
+  done
+
+let test_fixed_count_k_exceeds_length () =
+  let s = Sampler.fixed_count ~k:500 ~length:10 ~seed:1 in
+  let e = Event.mk 0 (Event.Read 0) in
+  let n = ref 0 in
+  for i = 0 to 9 do
+    if Sampler.decide s i e then incr n
+  done;
+  Alcotest.(check int) "clamped to length" 10 !n
+
+let () =
+  Alcotest.run "lockset"
+    [
+      ( "eraser",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "wronglock warns" `Quick test_wronglock;
+          Alcotest.test_case "consistent discipline quiet" `Quick
+            test_consistent_discipline_quiet;
+          Alcotest.test_case "exclusive quiet" `Quick test_exclusive_phase_quiet;
+          Alcotest.test_case "read-only sharing quiet" `Quick test_read_shared_quiet;
+          Alcotest.test_case "shared-modified warns" `Quick test_shared_modified_warns;
+          Alcotest.test_case "false positive vs HB" `Quick test_false_positive_on_fork_join;
+          Alcotest.test_case "one warning per location" `Quick test_one_warning_per_location;
+          Alcotest.test_case "lockset narrowing" `Quick test_partial_lockset_narrowing;
+          Alcotest.test_case "sampler respected" `Quick test_sampler_respected;
+        ] );
+      ( "fixed_count",
+        [
+          Alcotest.test_case "size" `Quick test_fixed_count_size;
+          Alcotest.test_case "deterministic" `Quick test_fixed_count_deterministic;
+          Alcotest.test_case "k > length" `Quick test_fixed_count_k_exceeds_length;
+        ] );
+    ]

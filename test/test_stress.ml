@@ -1,0 +1,63 @@
+(* Scale smoke tests: the engines must handle million-event traces without
+   pathological time or memory behaviour, and the complexity-facing metric
+   bounds must hold at scale, not just on toy traces. *)
+
+module Trace = Ft_trace.Trace
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Db_sim = Ft_workloads.Db_sim
+
+let big_trace = lazy (Db_sim.generate (Option.get (Db_sim.profile "tpcc")) ~seed:1 ~target_events:1_000_000)
+
+let test_generation_scales () =
+  let trace = Lazy.force big_trace in
+  Alcotest.(check bool) "has 1M events" true (Trace.length trace >= 1_000_000);
+  (* spot-check well-formedness on a large trace (full validation is fast) *)
+  Alcotest.(check bool) "well-formed" true (Trace.well_formed trace = Ok ())
+
+let run engine =
+  let trace = Lazy.force big_trace in
+  Engine.run engine ~sampler:(Sampler.bernoulli ~rate:0.03 ~seed:1) ~clock_size:64 trace
+
+let test_engines_complete () =
+  List.iter
+    (fun engine ->
+      let result = run engine in
+      Alcotest.(check int)
+        (Engine.name engine ^ " processed everything")
+        (Trace.length (Lazy.force big_trace))
+        result.Detector.metrics.Metrics.events)
+    [ Engine.St; Engine.Su; Engine.So; Engine.Fasttrack; Engine.Fasttrack_tc ]
+
+let test_so_bounds_at_scale () =
+  let m = (run Engine.So).Detector.metrics in
+  let s = m.Metrics.sampled_accesses in
+  (* Lemma 8: deep copies are O(|S|·T); with T = 64 threads padded clocks *)
+  Alcotest.(check bool) "deep copies ≤ |S|·T" true (m.Metrics.deep_copies <= s * 64);
+  (* Lemma 8's proof: per thread, traversed entries ≤ the sum of its U_t
+     entries ≤ |S|·T; across T threads the global bound is |S|·T² *)
+  Alcotest.(check bool) "entries traversed ≤ |S|·T²" true
+    (m.Metrics.entries_traversed <= s * 64 * 64);
+  Alcotest.(check bool) "skips happen at scale" true
+    (Metrics.acquires_skipped_ratio m > 0.2)
+
+let test_su_so_agree_at_scale () =
+  let su = run Engine.Su and so = run Engine.So in
+  Alcotest.(check int) "same race count"
+    su.Detector.metrics.Metrics.races so.Detector.metrics.Metrics.races;
+  Alcotest.(check (list int)) "same racy locations"
+    (Detector.racy_locations su) (Detector.racy_locations so)
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "million events",
+        [
+          Alcotest.test_case "generation" `Slow test_generation_scales;
+          Alcotest.test_case "engines complete" `Slow test_engines_complete;
+          Alcotest.test_case "SO bounds hold" `Slow test_so_bounds_at_scale;
+          Alcotest.test_case "SU = SO at scale" `Slow test_su_so_agree_at_scale;
+        ] );
+    ]

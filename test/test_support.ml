@@ -1,0 +1,181 @@
+(* Tests for ft_support: PRNG determinism and distribution sanity, stats. *)
+
+module Prng = Ft_support.Prng
+module Stats = Ft_support.Stats
+module Tabulate = Ft_support.Tabulate
+
+let test_prng_deterministic () =
+  let g1 = Prng.create ~seed:42 and g2 = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 g1) (Prng.next_int64 g2)
+  done
+
+let test_prng_seed_sensitivity () =
+  let g1 = Prng.create ~seed:1 and g2 = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 g1 = Prng.next_int64 g2 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_copy_independent () =
+  let g = Prng.create ~seed:7 in
+  ignore (Prng.next_int64 g);
+  let h = Prng.copy g in
+  let a = Prng.next_int64 g in
+  let b = Prng.next_int64 h in
+  Alcotest.(check int64) "copy continues identically" a b;
+  (* advancing g must not advance h *)
+  ignore (Prng.next_int64 g);
+  let g2 = Prng.create ~seed:7 in
+  ignore (Prng.next_int64 g2);
+  ignore (Prng.next_int64 g2);
+  Alcotest.(check int64) "h unaffected by g" (Prng.next_int64 g2) (Prng.next_int64 h)
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_coverage () =
+  let g = Prng.create ~seed:4 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 8) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_bounds () =
+  let g = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 1.0 in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_prng_bernoulli_rate () =
+  let g = Prng.create ~seed:6 in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "≈0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_prng_pick_weighted () =
+  let g = Prng.create ~seed:8 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10000 do
+    let k = Prng.pick_weighted g [| ("a", 1.0); ("b", 3.0); ("c", 0.0) |] in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check int) "zero-weight never drawn" 0 (get "c");
+  Alcotest.(check bool) "b ≈ 3×a" true
+    (let a = float_of_int (get "a") and b = float_of_int (get "b") in
+     b /. a > 2.5 && b /. a < 3.6)
+
+let test_prng_geometric () =
+  let g = Prng.create ~seed:9 in
+  let total = ref 0 in
+  let n = 5000 in
+  for _ = 1 to n do
+    total := !total + Prng.geometric g ~p:0.5
+  done;
+  (* mean of Geometric(0.5) failures-before-success is 1 *)
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "mean ≈ 1" true (Float.abs (mean -. 1.0) < 0.1)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create ~seed:10 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_prng_split () =
+  let g = Prng.create ~seed:11 in
+  let h = Prng.split g in
+  let a = Prng.next_int64 g and b = Prng.next_int64 h in
+  Alcotest.(check bool) "split streams differ" true (not (Int64.equal a b))
+
+let feq msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_stats_mean () =
+  feq "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  feq "empty" 0.0 (Stats.mean [||])
+
+let test_stats_geomean () =
+  feq "geomean" 2.0 (Stats.geomean [| 1.0; 4.0 |]);
+  feq "single" 3.0 (Stats.geomean [| 3.0 |])
+
+let test_stats_median () =
+  feq "odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  feq "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_stddev () =
+  feq "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  feq "constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  feq "p0" 10.0 (Stats.percentile xs 0.0);
+  feq "p100" 40.0 (Stats.percentile xs 100.0);
+  feq "p50" 25.0 (Stats.percentile xs 50.0)
+
+let test_stats_ratio () =
+  feq "ratio" 0.5 (Stats.ratio 1 2);
+  feq "div0" 0.0 (Stats.ratio 1 0)
+
+let test_tabulate_render () =
+  let s =
+    Tabulate.render ~header:[| "name"; "value" |] [ [| "a"; "1" |]; [| "bb"; "22" |] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0
+    && (let lines = String.split_on_char '\n' s in
+        List.length lines >= 4));
+  (* alignment: the value column is right-aligned *)
+  let lines = String.split_on_char '\n' s in
+  let row_a = List.nth lines 2 in
+  Alcotest.(check bool) "right aligned" true (String.length row_a >= 4)
+
+let test_tabulate_pct () =
+  Alcotest.(check string) "pct" "37.0%" (Tabulate.pct 0.37);
+  Alcotest.(check string) "fl1" "2.1" (Tabulate.fl1 2.1234)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int coverage" `Quick test_prng_int_coverage;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli_rate;
+          Alcotest.test_case "pick_weighted" `Quick test_prng_pick_weighted;
+          Alcotest.test_case "geometric mean" `Quick test_prng_geometric;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split" `Quick test_prng_split;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+        ] );
+      ( "tabulate",
+        [
+          Alcotest.test_case "render" `Quick test_tabulate_render;
+          Alcotest.test_case "formatting" `Quick test_tabulate_pct;
+        ] );
+    ]

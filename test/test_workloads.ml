@@ -1,0 +1,260 @@
+(* Tests for the workload generators: every produced trace must be
+   well-formed, deterministic in its seed, and have the synchronization
+   texture its profile promises. *)
+
+module Trace = Ft_trace.Trace
+module Event = Ft_trace.Event
+module Hb = Ft_trace.Hb
+module Db_sim = Ft_workloads.Db_sim
+module Classic = Ft_workloads.Classic
+module Script_sched = Ft_workloads.Script_sched
+module Prng = Ft_support.Prng
+
+let check_wf name trace =
+  match Trace.well_formed trace with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: ill-formed trace: %s" name msg
+
+let test_db_profiles_present () =
+  Alcotest.(check int) "12 profiles" 12 (List.length Db_sim.profiles);
+  Alcotest.(check bool) "tpcc exists" true (Db_sim.profile "tpcc" <> None);
+  Alcotest.(check bool) "unknown absent" true (Db_sim.profile "mongodb" = None)
+
+let test_db_traces_well_formed () =
+  List.iter
+    (fun (p : Db_sim.profile) ->
+      let trace = Db_sim.generate p ~seed:11 ~target_events:4000 in
+      check_wf p.Db_sim.name trace;
+      Alcotest.(check bool)
+        (p.Db_sim.name ^ " reached target")
+        true
+        (Trace.length trace >= 4000))
+    Db_sim.profiles
+
+let test_db_deterministic () =
+  let p = Option.get (Db_sim.profile "tpcc") in
+  let t1 = Db_sim.generate p ~seed:42 ~target_events:2000 in
+  let t2 = Db_sim.generate p ~seed:42 ~target_events:2000 in
+  Alcotest.(check int) "same length" (Trace.length t1) (Trace.length t2);
+  Trace.iteri
+    (fun i e ->
+      if not (Event.equal e (Trace.get t2 i)) then Alcotest.failf "event %d differs" i)
+    t1
+
+let test_db_seed_changes_trace () =
+  let p = Option.get (Db_sim.profile "tpcc") in
+  let t1 = Db_sim.generate p ~seed:1 ~target_events:2000 in
+  let t2 = Db_sim.generate p ~seed:2 ~target_events:2000 in
+  let differs = ref (Trace.length t1 <> Trace.length t2) in
+  if not !differs then
+    Trace.iteri (fun i e -> if not (Event.equal e (Trace.get t2 i)) then differs := true) t1;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_db_sync_textures () =
+  let ratio name =
+    let p = Option.get (Db_sim.profile name) in
+    let trace = Db_sim.generate p ~seed:3 ~target_events:6000 in
+    let s = Trace.stats trace in
+    float_of_int s.Trace.n_syncs /. float_of_int (Stdlib.max 1 s.Trace.n_accesses)
+  in
+  (* tatp brackets 1-3 ops in ~10 sync events; sibench is scan-dominated *)
+  Alcotest.(check bool) "tatp is sync-heavy" true (ratio "tatp" > 1.0);
+  Alcotest.(check bool) "sibench is access-heavy" true (ratio "sibench" < 0.3);
+  Alcotest.(check bool) "tatp ≫ sibench" true (ratio "tatp" > (2.0 *. ratio "sibench"))
+
+let test_db_has_races () =
+  (* the unprotected statistics counters must provide racy locations *)
+  let p = Option.get (Db_sim.profile "voter") in
+  let trace = Db_sim.generate p ~seed:5 ~target_events:3000 in
+  let sampled =
+    Array.init (Trace.length trace) (fun i -> Event.is_access (Trace.get trace i))
+  in
+  Alcotest.(check bool) "voter has racy locations" true
+    (Hb.racy_locations trace ~sampled <> [])
+
+let test_db_row_locks_protect_rows () =
+  (* without scans, row accesses are latch-protected: every race must be on
+     a statistics counter, never a row *)
+  let p = Option.get (Db_sim.profile "smallbank") in
+  let trace = Db_sim.generate p ~seed:7 ~target_events:4000 in
+  let sampled =
+    Array.init (Trace.length trace) (fun i -> Event.is_access (Trace.get trace i))
+  in
+  let stats_locs = 4 + p.Db_sim.n_tables + 1 in
+  List.iter
+    (fun loc ->
+      Alcotest.(check bool)
+        (Printf.sprintf "racy loc %d is a counter" loc)
+        true (loc < stats_locs))
+    (Hb.racy_locations trace ~sampled)
+
+let test_classic_all_present () =
+  Alcotest.(check int) "26 figure benchmarks" 26 (List.length Classic.all);
+  Alcotest.(check int) "30 analysed programs" 30 (List.length Classic.extended);
+  Alcotest.(check bool) "find works" true (Classic.find "pingpong" <> None);
+  Alcotest.(check bool) "find reaches the extras" true (Classic.find "philo" <> None);
+  Alcotest.(check bool) "unknown absent" true (Classic.find "nope" = None);
+  (* names sorted and unique *)
+  let names = List.map (fun (b : Classic.benchmark) -> b.Classic.name) Classic.all in
+  Alcotest.(check (list string)) "sorted unique" (List.sort_uniq compare names) names;
+  let all_names = List.map (fun (b : Classic.benchmark) -> b.Classic.name) Classic.extended in
+  Alcotest.(check int) "extended unique" 30 (List.length (List.sort_uniq compare all_names))
+
+let test_classic_well_formed () =
+  List.iter
+    (fun (b : Classic.benchmark) ->
+      let trace = b.Classic.generate ~seed:13 ~scale:2 in
+      check_wf b.Classic.name trace;
+      Alcotest.(check bool) (b.Classic.name ^ " non-trivial") true (Trace.length trace > 50))
+    Classic.extended
+
+let test_classic_deterministic () =
+  List.iter
+    (fun (b : Classic.benchmark) ->
+      let t1 = b.Classic.generate ~seed:21 ~scale:1 in
+      let t2 = b.Classic.generate ~seed:21 ~scale:1 in
+      Alcotest.(check int) (b.Classic.name ^ " length") (Trace.length t1) (Trace.length t2);
+      Trace.iteri
+        (fun i e ->
+          if not (Event.equal e (Trace.get t2 i)) then
+            Alcotest.failf "%s: event %d differs" b.Classic.name i)
+        t1)
+    Classic.all
+
+let test_classic_scale () =
+  List.iter
+    (fun (b : Classic.benchmark) ->
+      let small = Trace.length (b.Classic.generate ~seed:3 ~scale:1) in
+      let large = Trace.length (b.Classic.generate ~seed:3 ~scale:4) in
+      Alcotest.(check bool) (b.Classic.name ^ " grows with scale") true (large > small))
+    Classic.all
+
+let racy_benchmarks = [ "airlinetickets"; "account"; "bufwriter"; "ftpserver";
+                        "raytracer"; "twostage"; "wronglock"; "elevator"; "tsp" ]
+
+let clean_benchmarks = [ "array"; "boundedbuffer"; "bubblesort"; "critical"; "linkedlist";
+                         "lufact"; "mergesort"; "moldyn"; "montecarlo"; "pingpong";
+                         "producerconsumer"; "readerswriters"; "sor"; "philo"; "hedc" ]
+
+let has_races name =
+  let b = Option.get (Classic.find name) in
+  let trace = b.Classic.generate ~seed:17 ~scale:1 in
+  let sampled =
+    Array.init (Trace.length trace) (fun i -> Event.is_access (Trace.get trace i))
+  in
+  Hb.racy_locations trace ~sampled <> []
+
+let test_classic_racy () =
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " has races") true (has_races name))
+    racy_benchmarks
+
+let test_classic_clean () =
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " is race-free") false (has_races name))
+    clean_benchmarks
+
+module Trace_report = Ft_rapid.Trace_report
+
+let test_report_basic () =
+  let p = Option.get (Db_sim.profile "smallbank") in
+  let trace = Db_sim.generate p ~seed:3 ~target_events:5000 in
+  let report = Trace_report.analyze trace in
+  Alcotest.(check bool) "sync-heavy profile" true (report.Trace_report.sync_access_ratio > 0.5);
+  Alcotest.(check bool) "locks reported" true (report.Trace_report.locks <> []);
+  Alcotest.(check bool) "≤10 hot locations" true
+    (List.length report.Trace_report.hot_locations <= 10);
+  let r = Trace_report.handoff_ratio report in
+  Alcotest.(check bool) "handoff ratio in [0,1]" true (r >= 0.0 && r <= 1.0);
+  Alcotest.(check bool) "render non-empty" true
+    (String.length (Trace_report.render report) > 100)
+
+let test_report_counts () =
+  let trace =
+    Trace.of_events
+      [|
+        Ft_trace.Event.mk 0 (Ft_trace.Event.Acquire 0);
+        Ft_trace.Event.mk 0 (Ft_trace.Event.Write 0);
+        Ft_trace.Event.mk 0 (Ft_trace.Event.Release 0);
+        Ft_trace.Event.mk 1 (Ft_trace.Event.Acquire 0);
+        Ft_trace.Event.mk 1 (Ft_trace.Event.Read 0);
+        Ft_trace.Event.mk 1 (Ft_trace.Event.Release 0);
+        Ft_trace.Event.mk 0 (Ft_trace.Event.Acquire 0);
+        Ft_trace.Event.mk 0 (Ft_trace.Event.Release 0);
+      |]
+  in
+  let report = Trace_report.analyze trace in
+  (match report.Trace_report.locks with
+  | [ row ] ->
+    Alcotest.(check int) "acquisitions" 3 row.Trace_report.acquisitions;
+    Alcotest.(check int) "threads" 2 row.Trace_report.distinct_threads;
+    (* t1 after t0, then t0 after t1: both hand-offs *)
+    Alcotest.(check int) "handoffs" 2 row.Trace_report.handoffs
+  | _ -> Alcotest.fail "expected one lock row");
+  match report.Trace_report.hot_locations with
+  | [ row ] ->
+    Alcotest.(check int) "reads" 1 row.Trace_report.reads;
+    Alcotest.(check int) "writes" 1 row.Trace_report.writes
+  | _ -> Alcotest.fail "expected one location row"
+
+let test_sched_blocking () =
+  (* two scripts contending for one lock: the interleaving must never let
+     both hold it (well-formedness would fail) *)
+  let prng = Prng.create ~seed:1 in
+  let b = Trace.Builder.create () in
+  let main = Trace.Builder.fresh_thread b in
+  let t1 = Trace.Builder.fresh_thread b in
+  let t2 = Trace.Builder.fresh_thread b in
+  let script tid =
+    List.concat
+      (List.init 20 (fun _ ->
+           [ Event.mk tid (Event.Acquire 0); Event.mk tid (Event.Write 0);
+             Event.mk tid (Event.Release 0) ]))
+  in
+  Script_sched.run_workers prng b ~main ~scripts:[ (t1, script t1); (t2, script t2) ];
+  check_wf "contended interleaving" (Trace.Builder.build_unchecked b)
+
+let test_sched_stuck_detection () =
+  (* classic deadlock: t1 holds A wants B; t2 holds B wants A *)
+  let prng = Prng.create ~seed:1 in
+  let b = Trace.Builder.create () in
+  let t1 = 0 and t2 = 1 in
+  let s1 = [ Event.mk t1 (Event.Acquire 0); Event.mk t1 (Event.Acquire 1) ] in
+  let s2 = [ Event.mk t2 (Event.Acquire 1); Event.mk t2 (Event.Acquire 0) ] in
+  match Script_sched.interleave prng b ~scripts:[ (t1, s1); (t2, s2) ] with
+  | () -> Alcotest.fail "expected Stuck"
+  | exception Script_sched.Stuck _ -> ()
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "db_sim",
+        [
+          Alcotest.test_case "profiles present" `Quick test_db_profiles_present;
+          Alcotest.test_case "well-formed traces" `Slow test_db_traces_well_formed;
+          Alcotest.test_case "deterministic" `Quick test_db_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_db_seed_changes_trace;
+          Alcotest.test_case "sync textures" `Slow test_db_sync_textures;
+          Alcotest.test_case "has racy counters" `Quick test_db_has_races;
+          Alcotest.test_case "row locks protect rows" `Quick test_db_row_locks_protect_rows;
+        ] );
+      ( "classic",
+        [
+          Alcotest.test_case "all present" `Quick test_classic_all_present;
+          Alcotest.test_case "well-formed traces" `Slow test_classic_well_formed;
+          Alcotest.test_case "deterministic" `Slow test_classic_deterministic;
+          Alcotest.test_case "scales" `Slow test_classic_scale;
+          Alcotest.test_case "racy benchmarks race" `Slow test_classic_racy;
+          Alcotest.test_case "clean benchmarks don't" `Slow test_classic_clean;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "db profile report" `Quick test_report_basic;
+          Alcotest.test_case "exact counts" `Quick test_report_counts;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "blocking" `Quick test_sched_blocking;
+          Alcotest.test_case "deadlock detection" `Quick test_sched_stuck_detection;
+        ] );
+    ]
