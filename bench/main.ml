@@ -30,9 +30,11 @@ type options = {
   mutable bechamel : bool;
   mutable events : int option;
   mutable runs : int option;
+  mutable jobs : int;
 }
 
-let options = { figure = "all"; full = false; bechamel = true; events = None; runs = None }
+let options =
+  { figure = "all"; full = false; bechamel = true; events = None; runs = None; jobs = 1 }
 
 let parse_args () =
   let spec =
@@ -42,9 +44,19 @@ let parse_args () =
       ("--no-bechamel", Arg.Unit (fun () -> options.bechamel <- false), "  skip micro-timings");
       ("--events", Arg.Int (fun n -> options.events <- Some n), "N  events per DB trace");
       ("--runs", Arg.Int (fun n -> options.runs <- Some n), "K  offline repetitions");
+      ( "-j",
+        Arg.Int (fun n -> options.jobs <- Stdlib.max 1 n),
+        "N  domains for experiment cells (default 1; 0 < N; tables stay \
+         byte-identical, wall-clock timings contend)" );
+      ("--jobs", Arg.Int (fun n -> options.jobs <- Stdlib.max 1 n), "N  same as -j");
     ]
   in
   Arg.parse spec (fun _ -> ()) "bench/main.exe [options]"
+
+(* Runner statistics go to stderr so stdout — the tables — stays
+   byte-comparable across [-j] values. *)
+let report label stats =
+  Format.eprintf "[%s] %a@." label Ft_par.pp_stats stats
 
 let wants fig = options.figure = "all" || options.figure = fig
 
@@ -150,7 +162,10 @@ let () =
   let rapid_figures = List.exists wants [ "7"; "8"; "9" ] in
   if tsan_figures then begin
     let nseeds = if options.full then 3 else 2 in
-    let ms = Harness.run_all ~repeats ~clock_size ~nseeds ~target_events () in
+    let ms =
+      Harness.run_all ~repeats ~clock_size ~nseeds ~jobs:options.jobs
+        ~report:(report "figs 5-6") ~target_events ()
+    in
     if wants "5a" then show "Fig 5a: latency relative to NT" (Harness.fig5a ms);
     if wants "5b" then
       show "Fig 5b: algorithmic-overhead improvement over ST" (Harness.fig5b ms);
@@ -163,7 +178,9 @@ let () =
     show "Summary (paper §6.2.3–6.2.4 headline numbers)" (Harness.summary ms)
   end;
   if rapid_figures then begin
-    let rows = Experiment.run ~runs ~scale () in
+    let rows =
+      Experiment.run ~runs ~scale ~jobs:options.jobs ~report:(report "figs 7-9") ()
+    in
     if wants "7" then
       show "Fig 7: acquires skipped / total acquires (offline, 26 benchmarks)"
         (Experiment.fig7 rows);
@@ -176,14 +193,16 @@ let () =
   end;
   if wants "ablation" || options.figure = "all" then begin
     let ae = target_events / 2 in
+    let jobs = options.jobs in
     show "Ablation: all engines, tpcc, 3% sampling"
-      (Ft_tsan.Ablation.engines_table ~repeats ~rate:0.03 ~clock_size ~target_events:ae ());
+      (Ft_tsan.Ablation.engines_table ~repeats ~rate:0.03 ~clock_size ~jobs ~target_events:ae
+         ());
     show "Ablation: clock-width sweep (analysis time)"
-      (Ft_tsan.Ablation.clock_sweep ~repeats ~rate:0.03 ~target_events:ae ());
+      (Ft_tsan.Ablation.clock_sweep ~repeats ~rate:0.03 ~jobs ~target_events:ae ());
     show "Ablation: many-locks microbenchmark (O(T) clock operations)"
-      (Ft_tsan.Ablation.lock_sweep ~target_events:ae ());
+      (Ft_tsan.Ablation.lock_sweep ~jobs ~target_events:ae ());
     show "Extension: sampling strategies (SO engine)"
-      (Ft_tsan.Ablation.sampler_table ~clock_size ~target_events:ae ());
+      (Ft_tsan.Ablation.sampler_table ~clock_size ~jobs ~target_events:ae ());
     show "Extension: Eraser lockset baseline vs ground truth (unsoundness, §7)"
       (Experiment.eraser_comparison ())
   end;

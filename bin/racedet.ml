@@ -302,8 +302,17 @@ let experiments_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
            ~doc:"Also write raw data as CSV files into this directory.")
   in
-  let run figure events runs scale seed clock_size csv =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domains for experiment cells (default 1 = sequential). Tables and CSV \
+                 stay byte-identical for any N; wall-clock timing columns contend for \
+                 cores, so keep N=1 when the milliseconds matter. Runner statistics go \
+                 to stderr.")
+  in
+  let run figure events runs scale seed clock_size csv jobs =
     let clock_size = Option.value clock_size ~default:Ft_tsan.Harness.default_clock_size in
+    let jobs = Stdlib.max 1 jobs in
+    let report label stats = Format.eprintf "[%s] %a@." label Ft_par.pp_stats stats in
     let need_tsan = List.mem figure [ "5a"; "5b"; "6a"; "6b"; "6c"; "all" ] in
     let need_rapid = List.mem figure [ "7"; "8"; "9"; "all" ] in
     let need_ablation = List.mem figure [ "ablation"; "all" ] in
@@ -324,7 +333,8 @@ let experiments_cmd =
     else begin
       if need_tsan then begin
         let ms =
-          Ft_tsan.Harness.run_all ~seed ~clock_size ~target_events:events ()
+          Ft_tsan.Harness.run_all ~seed ~clock_size ~jobs ~report:(report "figs 5-6")
+            ~target_events:events ()
         in
         let show title body = Printf.printf "\n%s\n%s\n%s" title (String.make (String.length title) '=') body in
         if figure = "5a" || figure = "all" then
@@ -343,7 +353,10 @@ let experiments_cmd =
         write_csv "tsan_latency.csv" (Ft_tsan.Harness.to_csv ms)
       end;
       if need_rapid then begin
-        let rows = Ft_rapid.Experiment.run ~runs ~scale ~base_seed:seed () in
+        let rows =
+          Ft_rapid.Experiment.run ~runs ~scale ~base_seed:seed ~jobs
+            ~report:(report "figs 7-9") ()
+        in
         let show title body = Printf.printf "\n%s\n%s\n%s" title (String.make (String.length title) '=') body in
         if figure = "7" || figure = "all" then
           show "Fig 7: acquires skipped / total acquires" (Ft_rapid.Experiment.fig7 rows);
@@ -359,13 +372,13 @@ let experiments_cmd =
       if need_ablation then begin
         let show title body = Printf.printf "\n%s\n%s\n%s" title (String.make (String.length title) '=') body in
         show "Ablation: all engines"
-          (Ft_tsan.Ablation.engines_table ~clock_size ~target_events:events ());
+          (Ft_tsan.Ablation.engines_table ~clock_size ~jobs ~target_events:events ());
         show "Ablation: clock-width sweep"
-          (Ft_tsan.Ablation.clock_sweep ~target_events:events ());
+          (Ft_tsan.Ablation.clock_sweep ~jobs ~target_events:events ());
         show "Ablation: many-locks microbenchmark"
-          (Ft_tsan.Ablation.lock_sweep ~target_events:events ());
+          (Ft_tsan.Ablation.lock_sweep ~jobs ~target_events:events ());
         show "Extension: sampling strategies"
-          (Ft_tsan.Ablation.sampler_table ~clock_size ~target_events:events ());
+          (Ft_tsan.Ablation.sampler_table ~clock_size ~jobs ~target_events:events ());
         show "Extension: Eraser lockset baseline vs ground truth"
           (Ft_rapid.Experiment.eraser_comparison ())
       end;
@@ -373,7 +386,9 @@ let experiments_cmd =
     end
   in
   let term =
-    Term.(const run $ figure $ events $ runs $ scale $ seed_arg $ clock_size_arg $ csv)
+    Term.(
+      const run $ figure $ events $ runs $ scale $ seed_arg $ clock_size_arg $ csv
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's evaluation tables and figures.")

@@ -37,6 +37,7 @@ module type S = sig
   val create : config -> t
   val handle : t -> int -> Ft_trace.Event.t -> unit
   val result : t -> result
+  val races_rev : t -> Race.t list
 end
 
 type packed = (module S)
@@ -107,6 +108,7 @@ module Noop = struct
     d.checksum <- (d.checksum + e.Ft_trace.Event.thread) land max_int
 
   let result (_ : t) = { engine = name; races = []; metrics = Metrics.create () }
+  let races_rev (_ : t) = []
 end
 
 let replay_instrumented trace =

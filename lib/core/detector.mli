@@ -45,6 +45,11 @@ module type S = sig
       key the sampling decision. *)
 
   val result : t -> result
+
+  val races_rev : t -> Race.t list
+  (** Races declared so far, newest first, without copying — O(1).  The
+      online monitor peels freshly declared races off the head instead of
+      re-walking the full (reversed) list of {!result}. *)
 end
 
 type packed = (module S)

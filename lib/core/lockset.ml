@@ -9,7 +9,7 @@ type loc_state =
   | Reported
 
 type t = {
-  sampler : Sampler.t;
+  sample : Sampler.instance;
   held : IntSet.t array;      (* locks held per thread *)
   states : loc_state array;
   write_index : int array;    (* last write per location, for the report *)
@@ -21,7 +21,7 @@ let name = "eraser"
 
 let create (cfg : Detector.config) =
   {
-    sampler = cfg.Detector.sampler;
+    sample = Sampler.fresh cfg.Detector.sampler;
     held = Array.make cfg.Detector.clock_size IntSet.empty;
     states = Array.make (Stdlib.max 1 cfg.Detector.nlocs) Virgin;
     write_index = Array.make (Stdlib.max 1 cfg.Detector.nlocs) (-1);
@@ -69,14 +69,14 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       access d index t x ~is_write:false
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       access d index t x ~is_write:true
@@ -94,3 +94,5 @@ let handle d index (e : E.t) =
 
 let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
+
+let races_rev d = d.races

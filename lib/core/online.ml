@@ -16,6 +16,7 @@ type validator = {
 type t = {
   handle : int -> E.t -> unit;
   get_result : unit -> Detector.result;
+  get_races_rev : unit -> Race.t list;
   live_metrics : Metrics.t;
   validator : validator;
   on_race : (Race.t -> unit) option;
@@ -44,15 +45,20 @@ let create ?on_race ?(engine = Engine.So) ?(sampler = Sampler.all) ?clock_size ~
   in
   let (module D : Detector.S) = Engine.detector engine in
   let state = D.create config in
+  let started = Array.make nthreads false in
+  (* thread 0 is the initial thread: it runs without a fork, and forking it
+     is ill-formed — same lifecycle as Trace.well_formed *)
+  if nthreads > 0 then started.(0) <- true;
   {
     handle = (fun i e -> D.handle state i e);
     get_result = (fun () -> D.result state);
+    get_races_rev = (fun () -> D.races_rev state);
     live_metrics = (D.result state).Detector.metrics;
     validator =
       {
         holder = Array.make (Stdlib.max 1 nlocks) (-1);
         style = Array.make (Stdlib.max 1 nlocks) Unused;
-        started = Array.make nthreads false;
+        started;
         forked = Array.make nthreads false;
         joined = Array.make nthreads false;
       };
@@ -105,6 +111,8 @@ let check t (e : E.t) =
       if u < 0 || u >= t.nthreads then fail "joined thread id out of range"
       else if u = tid then fail "thread joins itself"
       else if v.joined.(u) then fail "thread joined twice"
+      else if not (v.forked.(u) || v.started.(u)) then
+        fail "thread joined before being forked or started"
       else Ok ()
   end
 
@@ -138,11 +146,18 @@ let feed t e =
       (* the shared metrics record makes the new-race check O(1) *)
       let total = t.live_metrics.Metrics.races in
       if total > t.reported then begin
-        let all = races t in
-        (* surface the new declarations, oldest first *)
-        let fresh = ref [] in
-        List.iteri (fun i r -> if i >= t.reported then fresh := r :: !fresh) all;
-        List.iter callback (List.rev !fresh);
+        (* the detector's raw list is newest-first: the [total - reported]
+           fresh declarations are exactly its head, so surfacing them is
+           O(new races), not O(all races) *)
+        let rec take_fresh acc n rest =
+          if n = 0 then acc
+          else
+            match rest with
+            | [] -> acc
+            | r :: rest -> take_fresh (r :: acc) (n - 1) rest
+        in
+        let fresh = take_fresh [] (total - t.reported) (t.get_races_rev ()) in
+        List.iter callback fresh;
         t.reported <- total
       end);
     Ok ()

@@ -1,7 +1,30 @@
-type t = { name : string; decide : int -> Ft_trace.Event.t -> bool }
+type instance = int -> Ft_trace.Event.t -> bool
+
+type t = {
+  name : string;
+  make : unit -> instance;
+  (* cached instance backing [decide]; stateful strategies mutate it, so it
+     must never be shared with an engine run (those call [fresh]) *)
+  mutable shared : instance option;
+}
 
 let name s = s.name
-let decide s i e = s.decide i e
+let fresh s = s.make ()
+
+let decide s i e =
+  let inst =
+    match s.shared with
+    | Some f -> f
+    | None ->
+      let f = s.make () in
+      s.shared <- Some f;
+      f
+  in
+  inst i e
+
+(* A strategy whose decisions carry no mutable state: one instance serves
+   every run. *)
+let stateless name decide = { name; make = (fun () -> decide); shared = Some decide }
 
 (* Stateless hash of (seed, index): one splitmix64 round. *)
 let hash01 seed index =
@@ -12,39 +35,30 @@ let hash01 seed index =
   Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
 
 let bernoulli ~rate ~seed =
-  {
-    name = Printf.sprintf "bernoulli(%.4g%%,seed=%d)" (100.0 *. rate) seed;
-    decide = (fun i _ -> hash01 seed i < rate);
-  }
+  stateless
+    (Printf.sprintf "bernoulli(%.4g%%,seed=%d)" (100.0 *. rate) seed)
+    (fun i _ -> hash01 seed i < rate)
 
-let all = { name = "all"; decide = (fun _ _ -> true) }
-let none = { name = "none"; decide = (fun _ _ -> false) }
+let all = stateless "all" (fun _ _ -> true)
+let none = stateless "none" (fun _ _ -> false)
 
 let fixed mask =
-  {
-    name = "fixed";
-    decide = (fun i _ -> i < Array.length mask && mask.(i));
-  }
+  stateless "fixed" (fun i _ -> i < Array.length mask && mask.(i))
 
 let every_nth n =
   assert (n > 0);
-  { name = Printf.sprintf "every_nth(%d)" n; decide = (fun i _ -> i mod n = 0) }
+  stateless (Printf.sprintf "every_nth(%d)" n) (fun i _ -> i mod n = 0)
 
 let by_location pred ~name =
-  {
-    name;
-    decide =
-      (fun _ e ->
-        match Ft_trace.Event.accessed_loc e with Some x -> pred x | None -> false);
-  }
+  stateless name (fun _ e ->
+      match Ft_trace.Event.accessed_loc e with Some x -> pred x | None -> false)
 
 let windowed ~period ~duty =
   assert (period > 0 && duty >= 0.0 && duty <= 1.0);
   let on = int_of_float (Float.round (duty *. float_of_int period)) in
-  {
-    name = Printf.sprintf "windowed(period=%d,duty=%.2g)" period duty;
-    decide = (fun i _ -> i mod period < on);
-  }
+  stateless
+    (Printf.sprintf "windowed(period=%d,duty=%.2g)" period duty)
+    (fun i _ -> i mod period < on)
 
 let access_count tbl x =
   let c = try Hashtbl.find tbl x with Not_found -> 0 in
@@ -53,14 +67,16 @@ let access_count tbl x =
 
 let cold_region ~threshold =
   assert (threshold > 0);
-  let counts = Hashtbl.create 256 in
   {
     name = Printf.sprintf "cold_region(threshold=%d)" threshold;
-    decide =
-      (fun _ e ->
-        match Ft_trace.Event.accessed_loc e with
-        | None -> false
-        | Some x -> access_count counts x < threshold);
+    make =
+      (fun () ->
+        let counts = Hashtbl.create 256 in
+        fun _ e ->
+          match Ft_trace.Event.accessed_loc e with
+          | None -> false
+          | Some x -> access_count counts x < threshold);
+    shared = None;
   }
 
 let fixed_count ~k ~length ~seed =
@@ -72,27 +88,29 @@ let fixed_count ~k ~length ~seed =
   for i = 0 to Stdlib.min k length - 1 do
     Hashtbl.replace chosen indices.(i) ()
   done;
-  {
-    name = Printf.sprintf "fixed_count(k=%d,seed=%d)" k seed;
-    decide = (fun i _ -> Hashtbl.mem chosen i);
-  }
+  stateless
+    (Printf.sprintf "fixed_count(k=%d,seed=%d)" k seed)
+    (fun i _ -> Hashtbl.mem chosen i)
 
 let adaptive ~base_rate =
   assert (base_rate > 0);
-  let counts = Hashtbl.create 256 in
   {
     name = Printf.sprintf "adaptive(base_rate=%d)" base_rate;
-    decide =
-      (fun i e ->
-        match Ft_trace.Event.accessed_loc e with
-        | None -> false
-        | Some x ->
-          let c = access_count counts x in
-          let p = Stdlib.max 0.001 (0.5 ** float_of_int (c / base_rate)) in
-          hash01 (x + 1) i < p);
+    make =
+      (fun () ->
+        let counts = Hashtbl.create 256 in
+        fun i e ->
+          match Ft_trace.Event.accessed_loc e with
+          | None -> false
+          | Some x ->
+            let c = access_count counts x in
+            let p = Stdlib.max 0.001 (0.5 ** float_of_int (c / base_rate)) in
+            hash01 (x + 1) i < p);
+    shared = None;
   }
 
 let to_sampled_array s trace =
+  let inst = fresh s in
   Array.init (Ft_trace.Trace.length trace) (fun i ->
       let e = Ft_trace.Trace.get trace i in
-      Ft_trace.Event.is_access e && s.decide i e)
+      Ft_trace.Event.is_access e && inst i e)

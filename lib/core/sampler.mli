@@ -1,21 +1,36 @@
 (** Sampling strategies — who decides membership of the set S (§3, §6.1).
 
     The algorithms are agnostic to how S is chosen; the evaluation uses
-    independent Bernoulli sampling of access events.  A sampler is a pure
-    function of the event's trace index, so that every engine analysing the
-    same trace with the same seed sees exactly the same set S regardless of
-    the order or number of queries — the apples-to-apples requirement of the
-    paper's offline experiments (§A.1.1).
+    independent Bernoulli sampling of access events.  A sampler value is a
+    {e specification}: engines materialize a fresh {!instance} per run via
+    {!fresh}, so that one [Sampler.t] can be shared across repeated runs,
+    engines and domains without strategies with per-run state (counting
+    tables, decaying probabilities) leaking decisions from one run into the
+    next — the apples-to-apples requirement of the paper's offline
+    experiments (§A.1.1).
 
     Only access events (reads/writes) are ever queried; synchronization
     events are never part of S. *)
 
 type t
 
+type instance = int -> Ft_trace.Event.t -> bool
+(** One run's materialized decision function.  [inst index event] — is this
+    access event in S?  Instances of stateful strategies assume each access
+    event is queried exactly once, in trace order (all engines here do). *)
+
 val name : t -> string
 
+val fresh : t -> instance
+(** A new instance with its own private state.  Two instances of the same
+    sampler fed the same queries in the same order make identical
+    decisions. *)
+
 val decide : t -> int -> Ft_trace.Event.t -> bool
-(** [decide s index event] — is this access event in S? *)
+(** [decide s index event] queries a single instance shared by all [decide]
+    calls on [s].  Fine for stateless strategies; for {!cold_region} and
+    {!adaptive} prefer {!fresh} (one instance per run) — the shared instance
+    accumulates state across every caller. *)
 
 val bernoulli : rate:float -> seed:int -> t
 (** Each access sampled independently with probability [rate]; decisions are
@@ -45,10 +60,8 @@ val cold_region : threshold:int -> t
 (** LiteRace-style cold-region sampling: every memory location is sampled
     for its first [threshold] accesses and never afterwards — the
     cold-region hypothesis says races hide in rarely executed code.
-    Stateful, but deterministic for any detector that queries each access
-    event exactly once in trace order (all engines here do); the state is
-    {e per sampler value}, so share one sampler across engines only via
-    {!to_sampled_array}. *)
+    Stateful per {!instance}: every {!fresh} call starts the access counts
+    from zero, so repeated runs see identical sample sets. *)
 
 val fixed_count : k:int -> length:int -> seed:int -> t
 (** RPT-style sampling (§7): exactly [min k length] event indices drawn
@@ -59,7 +72,8 @@ val fixed_count : k:int -> length:int -> seed:int -> t
 val adaptive : base_rate:int -> t
 (** LiteRace's decaying variant: location [x]'s sampling probability starts
     at 1 and halves every [base_rate] accesses to [x], with a 0.1% floor.
-    Same determinism caveat as {!cold_region}. *)
+    Same per-instance statefulness as {!cold_region}. *)
 
 val to_sampled_array : t -> Ft_trace.Trace.t -> bool array
-(** Materialize S over a trace (for oracles and reporting). *)
+(** Materialize S over a trace with a fresh instance (for oracles and
+    reporting). *)

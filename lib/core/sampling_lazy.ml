@@ -3,7 +3,7 @@ module Vc = Vector_clock
 
 type t = {
   csize : int;
-  sampler : Sampler.t;
+  sample : Sampler.instance;
   mutable clocks : Vc.t array;   (* C_t; own component externalized in [own] *)
   own : int array;
   uclocks : Vc.t array;          (* U_t *)
@@ -26,7 +26,7 @@ let create (cfg : Detector.config) =
   let nlocks = Stdlib.max 1 cfg.Detector.nlocks in
   {
     csize = n;
-    sampler = cfg.Detector.sampler;
+    sample = Sampler.fresh cfg.Detector.sampler;
     clocks = Array.init n (fun _ -> Vc.create n);
     own = Array.make n 0;
     uclocks = Array.init n (fun _ -> Vc.create n);
@@ -77,7 +77,7 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
@@ -88,7 +88,7 @@ let handle d index (e : E.t) =
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
@@ -161,3 +161,5 @@ let handle d index (e : E.t) =
 
 let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
+
+let races_rev d = d.races

@@ -3,7 +3,7 @@ module Vc = Vector_clock
 
 type t = {
   nthreads : int;
-  sampler : Sampler.t;
+  sample : Sampler.instance;
   clocks : Vc.t array;           (* C_t, initialized to ⊥ *)
   epochs : int array;            (* e_t, initialized to 1 *)
   pending : bool array;          (* sampled event since the last release? *)
@@ -18,7 +18,7 @@ let name = "st"
 let create (cfg : Detector.config) =
   {
     nthreads = cfg.Detector.clock_size;
-    sampler = cfg.Detector.sampler;
+    sample = Sampler.fresh cfg.Detector.sampler;
     clocks = Array.init cfg.Detector.clock_size (fun _ -> Vc.create cfg.Detector.clock_size);
     epochs = Array.make cfg.Detector.clock_size 1;
     pending = Array.make cfg.Detector.clock_size false;
@@ -58,7 +58,7 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
@@ -69,7 +69,7 @@ let handle d index (e : E.t) =
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
@@ -109,3 +109,5 @@ let handle d index (e : E.t) =
 
 let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
+
+let races_rev d = d.races

@@ -4,7 +4,7 @@ module Ol = Ordered_list
 
 type t = {
   nthreads : int;
-  sampler : Sampler.t;
+  sample : Sampler.instance;
   mutable olists : Ol.t array;
       (* O_t; the thread's *own* component is externalized into [own] (the
          local-epoch optimization) and the own node's value is stale *)
@@ -29,7 +29,7 @@ let create (cfg : Detector.config) =
   let nlocks = Stdlib.max 1 cfg.Detector.nlocks in
   {
     nthreads = n;
-    sampler = cfg.Detector.sampler;
+    sample = Sampler.fresh cfg.Detector.sampler;
     olists = Array.init n (fun _ -> Ol.create n);
     own = Array.make n 0;
     uclocks = Array.init n (fun _ -> Vc.create n);
@@ -85,7 +85,7 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
@@ -96,7 +96,7 @@ let handle d index (e : E.t) =
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
@@ -170,3 +170,5 @@ let handle d index (e : E.t) =
 
 let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
+
+let races_rev d = d.races

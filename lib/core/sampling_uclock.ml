@@ -11,7 +11,7 @@ end) =
 struct
 type t = {
   nthreads : int;
-  sampler : Sampler.t;
+  sample : Sampler.instance;
   clocks : Vc.t array;           (* C_t *)
   uclocks : Vc.t array;          (* U_t *)
   epochs : int array;            (* e_t *)
@@ -31,7 +31,7 @@ let create (cfg : Detector.config) =
   let nlocks = Stdlib.max 1 cfg.Detector.nlocks in
   {
     nthreads = n;
-    sampler = cfg.Detector.sampler;
+    sample = Sampler.fresh cfg.Detector.sampler;
     clocks = Array.init n (fun _ -> Vc.create n);
     uclocks = Array.init n (fun _ -> Vc.create n);
     epochs = Array.make n 1;
@@ -97,7 +97,7 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
@@ -108,7 +108,7 @@ let handle d index (e : E.t) =
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if Sampler.decide d.sampler index e then begin
+    if d.sample index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
@@ -161,6 +161,8 @@ let handle d index (e : E.t) =
 
 let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
+
+let races_rev d = d.races
 
 end
 

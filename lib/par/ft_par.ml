@@ -1,0 +1,108 @@
+type error = {
+  index : int;
+  message : string;
+  backtrace : string;
+}
+
+type stats = {
+  jobs : int;
+  tasks : int;
+  failed : int;
+  wall_s : float;
+  busy_s : float;
+  max_task_s : float;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_task f tasks index =
+  try Ok (f tasks.(index))
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    Error
+      {
+        index;
+        message = Printexc.to_string exn;
+        backtrace = Printexc.raw_backtrace_to_string bt;
+      }
+
+let map_stats ?(jobs = 1) f tasks =
+  let n = Array.length tasks in
+  let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
+  let results = Array.make n None in
+  let durations = Array.make n 0.0 in
+  let t0 = Unix.gettimeofday () in
+  if jobs = 1 then
+    (* inline, in order: the sequential path spawns nothing *)
+    for i = 0 to n - 1 do
+      let c0 = Unix.gettimeofday () in
+      results.(i) <- Some (run_task f tasks i);
+      durations.(i) <- Unix.gettimeofday () -. c0
+    done
+  else begin
+    (* work queue: a shared counter of the next unclaimed task index.
+       Each slot is written by exactly one domain, so plain array stores
+       suffice; the join below publishes them to the caller. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let c0 = Unix.gettimeofday () in
+          results.(i) <- Some (run_task f tasks i);
+          durations.(i) <- Unix.gettimeofday () -. c0;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let results =
+    Array.mapi
+      (fun i -> function
+        | Some r -> r
+        | None ->
+          (* unreachable: every index below [n] is claimed exactly once *)
+          Error { index = i; message = "task never ran"; backtrace = "" })
+      results
+  in
+  let failed =
+    Array.fold_left (fun acc r -> match r with Error _ -> acc + 1 | Ok _ -> acc) 0 results
+  in
+  let busy_s = Array.fold_left ( +. ) 0.0 durations in
+  let max_task_s = Array.fold_left Stdlib.max 0.0 durations in
+  (results, { jobs; tasks = n; failed; wall_s; busy_s; max_task_s })
+
+let map ?jobs f tasks = fst (map_stats ?jobs f tasks)
+
+let map_list ?jobs f tasks = Array.to_list (map ?jobs f (Array.of_list tasks))
+
+let filter_ok ~on_error results =
+  List.filter_map
+    (fun r ->
+      match r with
+      | Ok v -> Some v
+      | Error e ->
+        on_error e;
+        None)
+    results
+
+let get_exn = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "parallel task %d failed: %s" e.index e.message)
+
+let warn_stderr e =
+  Printf.eprintf "ft_par: task %d failed: %s\n%s%!" e.index e.message e.backtrace
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d cells on %d domain%s: %.2fs wall, %.2fs busy, %.1fx, slowest %.2fs%s"
+    s.tasks s.jobs
+    (if s.jobs = 1 then "" else "s")
+    s.wall_s s.busy_s
+    (if s.wall_s > 0.0 then s.busy_s /. s.wall_s else 1.0)
+    s.max_task_s
+    (if s.failed = 0 then "" else Printf.sprintf " (%d FAILED)" s.failed)

@@ -22,46 +22,71 @@ let appendix_engines =
 type row = {
   benchmark : string;
   label : string;
-  runs : int;
+  runs : int;  (** seeded runs that completed (failures are dropped) *)
   metrics : Metrics.t;
   racy_locations : float;
+  peak_sampled : int;  (** largest per-run sampled set across the runs *)
 }
 
 let sampler_for cfg ~seed =
   if cfg.rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate:cfg.rate ~seed
 
+(* One experiment cell: a (benchmark, seed) pair analysed by every engine
+   configuration.  Cells are independent, so the grid fans out over a domain
+   pool; results are merged in task order, which keeps the tables identical
+   to the sequential run for any [jobs]. *)
 let run ?(benchmarks = Classic.all) ?(engines = appendix_engines) ?(runs = 30) ?(scale = 4)
-    ?(base_seed = 1000) () =
-  List.concat_map
-    (fun (bench : Classic.benchmark) ->
-      let acc =
-        List.map
-          (fun (cfg : engine_cfg) -> (cfg, Metrics.create (), ref 0))
-          engines
-      in
-      for k = 0 to runs - 1 do
-        let seed = base_seed + k in
-        let trace = bench.Classic.generate ~seed ~scale in
-        List.iter
-          (fun (cfg, total, locs) ->
-            let result =
-              Engine.run cfg.engine ~sampler:(sampler_for cfg ~seed) trace
-            in
-            Metrics.add ~into:total result.Detector.metrics;
-            locs := !locs + List.length (Detector.racy_locations result))
-          acc
-      done;
-      List.map
-        (fun ((cfg : engine_cfg), total, locs) ->
-          {
-            benchmark = bench.Classic.name;
-            label = cfg.label;
-            runs;
-            metrics = total;
-            racy_locations = float_of_int !locs /. float_of_int runs;
-          })
-        acc)
-    benchmarks
+    ?(base_seed = 1000) ?(jobs = 1) ?(on_error = Ft_par.warn_stderr) ?report () =
+  let benchs = Array.of_list benchmarks in
+  let tasks =
+    Array.init
+      (Array.length benchs * runs)
+      (fun i -> (i / runs, base_seed + (i mod runs)))
+  in
+  let cell (bi, seed) =
+    let bench = benchs.(bi) in
+    let trace = bench.Classic.generate ~seed ~scale in
+    List.map
+      (fun (cfg : engine_cfg) ->
+        let result = Engine.run cfg.engine ~sampler:(sampler_for cfg ~seed) trace in
+        (result.Detector.metrics, List.length (Detector.racy_locations result)))
+      engines
+  in
+  let results, stats = Ft_par.map_stats ~jobs cell tasks in
+  Option.iter (fun f -> f stats) report;
+  List.concat
+    (List.mapi
+       (fun bi (bench : Classic.benchmark) ->
+         let acc =
+           List.map
+             (fun (cfg : engine_cfg) -> (cfg, Metrics.create (), ref 0, ref 0))
+             engines
+         in
+         let ok_runs = ref 0 in
+         for k = 0 to runs - 1 do
+           match results.((bi * runs) + k) with
+           | Error e -> on_error e
+           | Ok cells ->
+             incr ok_runs;
+             List.iter2
+               (fun (_, total, locs, peak) (m, nlocs) ->
+                 Metrics.add ~into:total m;
+                 locs := !locs + nlocs;
+                 peak := Stdlib.max !peak m.Metrics.sampled_accesses)
+               acc cells
+         done;
+         List.map
+           (fun ((cfg : engine_cfg), total, locs, peak) ->
+             {
+               benchmark = bench.Classic.name;
+               label = cfg.label;
+               runs = !ok_runs;
+               metrics = total;
+               racy_locations = float_of_int !locs /. float_of_int (Stdlib.max 1 !ok_runs);
+               peak_sampled = !peak;
+             })
+           acc)
+       (Array.to_list benchs))
 
 let benchmarks_of rows =
   List.sort_uniq compare (List.map (fun r -> r.benchmark) rows)
@@ -113,18 +138,19 @@ let fig9 rows =
 let to_csv rows =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "benchmark,engine,runs,events,sampled,acquires,acquires_skipped,releases,\
+    "benchmark,engine,runs,events,sampled,peak_sampled,acquires,acquires_skipped,releases,\
      releases_processed,deep_copies,shallow_copies,entries_traversed,entries_saved,\
      races,racy_locations_mean\n";
   List.iter
     (fun r ->
       let m = r.metrics in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n" r.benchmark r.label
-           r.runs m.Metrics.events m.Metrics.sampled_accesses m.Metrics.acquires
-           m.Metrics.acquires_skipped m.Metrics.releases m.Metrics.releases_processed
-           m.Metrics.deep_copies m.Metrics.shallow_copies m.Metrics.entries_traversed
-           m.Metrics.entries_saved m.Metrics.races r.racy_locations))
+        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n" r.benchmark
+           r.label r.runs m.Metrics.events m.Metrics.sampled_accesses r.peak_sampled
+           m.Metrics.acquires m.Metrics.acquires_skipped m.Metrics.releases
+           m.Metrics.releases_processed m.Metrics.deep_copies m.Metrics.shallow_copies
+           m.Metrics.entries_traversed m.Metrics.entries_saved m.Metrics.races
+           r.racy_locations))
     rows;
   Buffer.contents buf
 

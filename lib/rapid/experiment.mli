@@ -18,9 +18,10 @@ val appendix_engines : engine_cfg list
 type row = {
   benchmark : string;
   label : string;
-  runs : int;
+  runs : int;          (** seeded runs that completed (failed cells are dropped) *)
   metrics : Ft_core.Metrics.t;     (** summed over runs *)
   racy_locations : float;          (** mean distinct racy locations per run *)
+  peak_sampled : int;  (** largest per-run sampled-set size across the runs *)
 }
 
 val run :
@@ -29,12 +30,22 @@ val run :
   ?runs:int ->
   ?scale:int ->
   ?base_seed:int ->
+  ?jobs:int ->
+  ?on_error:(Ft_par.error -> unit) ->
+  ?report:(Ft_par.stats -> unit) ->
   unit ->
   row list
 (** [run ()] analyses every classic benchmark with every appendix engine,
     [runs] times each (default 30, as in §A.1.1), with seeds
     [base_seed + 0 … base_seed + runs − 1] shared across engines.  The trace
-    for seed s is generated once and fed to all engines. *)
+    for seed s is generated once and fed to all engines.
+
+    The (benchmark × seed) grid fans out over [jobs] domains (default 1 =
+    run inline sequentially); results are merged in task order, so the rows
+    — and every figure rendered from them — are identical for any [jobs].
+    A crashed cell is passed to [on_error] (default: one line on stderr) and
+    excluded from that benchmark's aggregates instead of aborting the grid;
+    [report] receives the runner's wall/busy-time statistics. *)
 
 (** {1 Figure tables}
 

@@ -88,6 +88,10 @@ let well_formed t =
           if u = tid then raise (Bad (Printf.sprintf "event %d: thread %d joins itself" i tid));
           if joined.(u) then
             raise (Bad (Printf.sprintf "event %d: thread %d joined twice" i u));
+          if not (forked.(u) || started.(u)) then
+            raise
+              (Bad
+                 (Printf.sprintf "event %d: thread %d joined before being forked or started" i u));
           joined.(u) <- true)
       t.events;
     Ok ()

@@ -68,85 +68,345 @@ let op_of_tag tag payload =
   | 7 -> Ok (Event.Join payload)
   | t -> Error (Printf.sprintf "unknown event tag %d" t)
 
+(* --- header ----------------------------------------------------------------- *)
+
+type header = { nthreads : int; nlocks : int; nlocs : int; nevents : int }
+
+let header_of_trace trace =
+  {
+    nthreads = trace.Trace.nthreads;
+    nlocks = trace.Trace.nlocks;
+    nlocs = trace.Trace.nlocs;
+    nevents = Trace.length trace;
+  }
+
+(* Decode one event against the header's universe.  [Ok event] or a
+   description of the corruption. *)
+let decode_event h head payload =
+  let tag = head land 7 and thread = head lsr 3 in
+  match op_of_tag tag payload with
+  | Error _ as err -> err
+  | Ok op ->
+    if thread >= h.nthreads then Error "thread id out of range"
+    else begin
+      match op with
+      | Event.Read x | Event.Write x ->
+        if x >= h.nlocs then Error "location id out of range" else Ok (Event.mk thread op)
+      | Event.Acquire l | Event.Release l | Event.Release_store l | Event.Acquire_load l ->
+        if l >= h.nlocks then Error "lock id out of range" else Ok (Event.mk thread op)
+      | Event.Fork u | Event.Join u ->
+        if u >= h.nthreads then Error "thread operand out of range" else Ok (Event.mk thread op)
+    end
+
 (* --- encoding ---------------------------------------------------------------- *)
+
+let add_header buf (h : header) =
+  Buffer.add_string buf magic;
+  put_varint buf version;
+  put_varint buf h.nthreads;
+  put_varint buf h.nlocks;
+  put_varint buf h.nlocs;
+  put_varint buf h.nevents
+
+let add_event buf (e : Event.t) =
+  put_varint buf (tag_of_op e.Event.op lor (e.Event.thread lsl 3));
+  put_varint buf (payload_of_op e.Event.op)
 
 let to_buffer trace =
   let buf = Buffer.create (4 + (3 * Trace.length trace)) in
-  Buffer.add_string buf magic;
-  put_varint buf version;
-  put_varint buf trace.Trace.nthreads;
-  put_varint buf trace.Trace.nlocks;
-  put_varint buf trace.Trace.nlocs;
-  put_varint buf (Trace.length trace);
-  Trace.iteri
-    (fun _ (e : Event.t) ->
-      put_varint buf (tag_of_op e.Event.op lor (e.Event.thread lsl 3));
-      put_varint buf (payload_of_op e.Event.op))
-    trace;
+  add_header buf (header_of_trace trace);
+  Trace.iteri (fun _ e -> add_event buf e) trace;
   buf
 
 let to_bytes trace = Buffer.to_bytes (to_buffer trace)
 
+(* --- in-memory decoding ------------------------------------------------------ *)
+
+(* Every event costs at least two bytes (tag/thread varint + payload
+   varint), so a header whose event count exceeds half the remaining bytes
+   is corrupt.  Checking this before [Array.init nevents] keeps a 10-byte
+   hostile file from demanding a multi-GiB allocation. *)
+let min_bytes_per_event = 2
+
+let check_header data pos (h : header) =
+  if h.nthreads <= 0 then Error "corrupt header: no threads"
+  else if h.nlocks < 0 || h.nlocs < 0 || h.nevents < 0 then
+    Error "corrupt header: negative dimension"
+  else begin
+    let remaining = Bytes.length data - pos in
+    if h.nevents > remaining / min_bytes_per_event then
+      Error
+        (Printf.sprintf
+           "corrupt header: %d events promised but only %d bytes follow (≥ %d needed)"
+           h.nevents remaining (h.nevents * min_bytes_per_event))
+    else Ok ()
+  end
+
+let read_header_cursor c =
+  let m =
+    if Bytes.length c.data < String.length magic then raise Truncated
+    else Bytes.sub_string c.data 0 (String.length magic)
+  in
+  c.pos <- String.length magic;
+  if m <> magic then Error "bad magic number (not a FreshTrack binary trace)"
+  else begin
+    let v = get_varint c in
+    if v <> version then Error (Printf.sprintf "unsupported version %d" v)
+    else begin
+      let nthreads = get_varint c in
+      let nlocks = get_varint c in
+      let nlocs = get_varint c in
+      let nevents = get_varint c in
+      Ok { nthreads; nlocks; nlocs; nevents }
+    end
+  end
+
 let of_bytes data =
   let c = { data; pos = 0 } in
   try
-    let m = Bytes.sub_string data 0 (String.length magic) in
-    c.pos <- String.length magic;
-    if m <> magic then Error "bad magic number (not a FreshTrack binary trace)"
-    else begin
-      let v = get_varint c in
-      if v <> version then Error (Printf.sprintf "unsupported version %d" v)
-      else begin
-        let nthreads = get_varint c in
-        let nlocks = get_varint c in
-        let nlocs = get_varint c in
-        let nevents = get_varint c in
-        if nthreads <= 0 then Error "corrupt header: no threads"
-        else begin
-          let exception Bad of string in
-          try
-            let events =
-              Array.init nevents (fun _ ->
-                  let head = get_varint c in
-                  let tag = head land 7 and thread = head lsr 3 in
-                  let payload = get_varint c in
-                  match op_of_tag tag payload with
-                  | Error msg -> raise (Bad msg)
-                  | Ok op ->
-                    if thread >= nthreads then raise (Bad "thread id out of range");
-                    (match op with
-                    | Event.Read x | Event.Write x ->
-                      if x >= nlocs then raise (Bad "location id out of range")
-                    | Event.Acquire l | Event.Release l | Event.Release_store l
-                    | Event.Acquire_load l ->
-                      if l >= nlocks then raise (Bad "lock id out of range")
-                    | Event.Fork u | Event.Join u ->
-                      if u >= nthreads then raise (Bad "thread operand out of range"));
-                    Event.mk thread op)
-            in
-            Ok (Trace.make ~nthreads ~nlocks ~nlocs events)
-          with Bad msg -> Error msg
-        end
-      end
-    end
+    match read_header_cursor c with
+    | Error _ as err -> err
+    | Ok h -> (
+      match check_header data c.pos h with
+      | Error _ as err -> err
+      | Ok () ->
+        let exception Bad of string in
+        (try
+           let events =
+             Array.init h.nevents (fun _ ->
+                 let head = get_varint c in
+                 let payload = get_varint c in
+                 match decode_event h head payload with
+                 | Error msg -> raise (Bad msg)
+                 | Ok e -> e)
+           in
+           Ok (Trace.make ~nthreads:h.nthreads ~nlocks:h.nlocks ~nlocs:h.nlocs events)
+         with Bad msg -> Error msg))
   with
   | Truncated | Invalid_argument _ -> Error "truncated input"
 
-let write_channel oc trace = Buffer.output_buffer oc (to_buffer trace)
+(* --- streaming reader -------------------------------------------------------- *)
 
+(* Chunked reads from a channel: memory stays O(chunk), never O(file), so
+   multi-GiB .ftb traces can be scanned event by event. *)
+
+let default_chunk = 64 * 1024
+
+type source = {
+  ic : in_channel;
+  buf : bytes;
+  mutable pos : int;  (* next unread byte in [buf] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+}
+
+let refill s =
+  let n = input s.ic s.buf 0 (Bytes.length s.buf) in
+  s.pos <- 0;
+  s.len <- n;
+  n > 0
+
+let src_byte s =
+  if s.pos >= s.len && not (refill s) then raise Truncated
+  else begin
+    let b = Char.code (Bytes.get s.buf s.pos) in
+    s.pos <- s.pos + 1;
+    b
+  end
+
+let src_varint s =
+  let rec loop shift acc =
+    if shift > 62 then raise Truncated
+    else begin
+      let b = src_byte s in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+    end
+  in
+  loop 0 0
+
+type reader = {
+  src : source;
+  rheader : header;
+  mutable next_index : int;  (* events already yielded *)
+}
+
+let open_channel ?(chunk_size = default_chunk) ic =
+  let src = { ic; buf = Bytes.create (Stdlib.max 16 chunk_size); pos = 0; len = 0 } in
+  try
+    let mbuf = Bytes.create (String.length magic) in
+    for i = 0 to Bytes.length mbuf - 1 do
+      Bytes.set mbuf i (Char.chr (src_byte src))
+    done;
+    let m = Bytes.to_string mbuf in
+    if m <> magic then Error "bad magic number (not a FreshTrack binary trace)"
+    else begin
+      let v = src_varint src in
+      if v <> version then Error (Printf.sprintf "unsupported version %d" v)
+      else begin
+        let nthreads = src_varint src in
+        let nlocks = src_varint src in
+        let nlocs = src_varint src in
+        let nevents = src_varint src in
+        let h = { nthreads; nlocks; nlocs; nevents } in
+        if h.nthreads <= 0 then Error "corrupt header: no threads"
+        else if h.nlocks < 0 || h.nlocs < 0 || h.nevents < 0 then
+          Error "corrupt header: negative dimension"
+        else begin
+          (* seekable channels expose their length: apply the same 2-bytes/
+             event budget as [of_bytes] before anyone trusts [nevents] *)
+          match
+            let total = in_channel_length ic in
+            let consumed = pos_in ic - (src.len - src.pos) in
+            total - consumed
+          with
+          | remaining when h.nevents > remaining / min_bytes_per_event ->
+            Error
+              (Printf.sprintf
+                 "corrupt header: %d events promised but only %d bytes follow (≥ %d needed)"
+                 h.nevents remaining (h.nevents * min_bytes_per_event))
+          | _ -> Ok { src; rheader = h; next_index = 0 }
+          | exception Sys_error _ ->
+            (* non-seekable (pipe): no length to check against; the
+               streaming reader allocates per event, so a lying header can
+               only make us read more, not pre-allocate *)
+            Ok { src; rheader = h; next_index = 0 }
+        end
+      end
+    end
+  with Truncated -> Error "truncated input"
+
+let header r = r.rheader
+
+let next r =
+  if r.next_index >= r.rheader.nevents then Ok None
+  else begin
+    try
+      let head = src_varint r.src in
+      let payload = src_varint r.src in
+      match decode_event r.rheader head payload with
+      | Error _ as err -> err
+      | Ok e ->
+        r.next_index <- r.next_index + 1;
+        Ok (Some e)
+    with Truncated -> Error "truncated input"
+  end
+
+let fold_channel ?chunk_size ic ~init ~f =
+  match open_channel ?chunk_size ic with
+  | Error _ as err -> err
+  | Ok r ->
+    let rec loop acc =
+      match next r with
+      | Error _ as err -> err
+      | Ok None -> Ok (r.rheader, acc)
+      | Ok (Some e) -> loop (f acc (r.next_index - 1) e)
+    in
+    loop init
+
+let iter_channel ?chunk_size ic ~f =
+  fold_channel ?chunk_size ic ~init:() ~f:(fun () i e -> f i e)
+
+let iter_file ?chunk_size path ~f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> iter_channel ?chunk_size ic ~f)
+
+(* --- streaming writer -------------------------------------------------------- *)
+
+type writer = {
+  oc : out_channel;
+  wbuf : Buffer.t;
+  wheader : header;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+let create_writer oc ~nthreads ~nlocks ~nlocs ~nevents =
+  if nthreads <= 0 then invalid_arg "Trace_binary.create_writer: no threads";
+  if nevents < 0 then invalid_arg "Trace_binary.create_writer: negative event count";
+  let wheader = { nthreads; nlocks; nlocs; nevents } in
+  let wbuf = Buffer.create default_chunk in
+  add_header wbuf wheader;
+  { oc; wbuf; wheader; written = 0; closed = false }
+
+let write_event w (e : Event.t) =
+  if w.closed then invalid_arg "Trace_binary.write_event: writer is closed";
+  if w.written >= w.wheader.nevents then
+    invalid_arg "Trace_binary.write_event: more events than the header promised";
+  let h = w.wheader in
+  if e.Event.thread < 0 || e.Event.thread >= h.nthreads then
+    invalid_arg "Trace_binary.write_event: thread id out of range";
+  (match e.Event.op with
+  | Event.Read x | Event.Write x ->
+    if x < 0 || x >= h.nlocs then invalid_arg "Trace_binary.write_event: location id out of range"
+  | Event.Acquire l | Event.Release l | Event.Release_store l | Event.Acquire_load l ->
+    if l < 0 || l >= h.nlocks then invalid_arg "Trace_binary.write_event: lock id out of range"
+  | Event.Fork u | Event.Join u ->
+    if u < 0 || u >= h.nthreads then
+      invalid_arg "Trace_binary.write_event: thread operand out of range");
+  add_event w.wbuf e;
+  w.written <- w.written + 1;
+  if Buffer.length w.wbuf >= default_chunk then begin
+    Buffer.output_buffer w.oc w.wbuf;
+    Buffer.clear w.wbuf
+  end
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    Buffer.output_buffer w.oc w.wbuf;
+    Buffer.clear w.wbuf;
+    flush w.oc;
+    if w.written <> w.wheader.nevents then
+      invalid_arg
+        (Printf.sprintf "Trace_binary.close_writer: header promised %d events, %d written"
+           w.wheader.nevents w.written)
+  end
+
+(* --- whole-trace channel I/O -------------------------------------------------- *)
+
+let write_channel oc trace =
+  let h = header_of_trace trace in
+  let w = create_writer oc ~nthreads:h.nthreads ~nlocks:h.nlocks ~nlocs:h.nlocs
+      ~nevents:h.nevents in
+  Trace.iteri (fun _ e -> write_event w e) trace;
+  close_writer w
+
+(* Builds the event array through the streaming reader: peak extra memory is
+   one chunk plus the growing array itself — never a whole-file copy. *)
 let read_channel ic =
-  let n = in_channel_length ic in
-  let data = Bytes.create n in
-  really_input ic data 0 n;
-  of_bytes data
+  match open_channel ic with
+  | Error _ as err -> err
+  | Ok r ->
+    let h = header r in
+    (* grow geometrically instead of trusting nevents for the first
+       allocation; a validated header makes the hint safe to use as a cap *)
+    let events = ref (Array.make (Stdlib.min (Stdlib.max 16 h.nevents) 65536) None) in
+    let n = ref 0 in
+    let push e =
+      if !n = Array.length !events then begin
+        let bigger = Array.make (Stdlib.min h.nevents (2 * !n)) None in
+        Array.blit !events 0 bigger 0 !n;
+        events := bigger
+      end;
+      !events.(!n) <- Some e;
+      incr n
+    in
+    let rec loop () =
+      match next r with
+      | Error _ as err -> err
+      | Ok None ->
+        let arr = Array.init !n (fun i -> Option.get !events.(i)) in
+        Ok (Trace.make ~nthreads:h.nthreads ~nlocks:h.nlocks ~nlocs:h.nlocs arr)
+      | Ok (Some e) ->
+        push e;
+        loop ()
+    in
+    (try loop () with Invalid_argument _ -> Error "truncated input")
 
 let to_file path trace =
   let oc = open_out_bin path in
-  write_channel oc trace;
-  close_out oc
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write_channel oc trace)
 
 let of_file path =
   let ic = open_in_bin path in
-  let r = read_channel ic in
-  close_in ic;
-  r
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic)

@@ -12,17 +12,98 @@
     nevents × ( tag | thread << 3 , payload )
     v}
     where [tag] is the operation (0=read … 7=join) packed below the thread
-    id, and [payload] is the location / lock / thread operand. *)
+    id, and [payload] is the location / lock / thread operand.
+
+    Decoding is hardened against hostile input: the event count in the
+    header is checked against the byte budget actually present (each event
+    costs at least two bytes) before any allocation proportional to it, so
+    a corrupt 10-byte file cannot demand a multi-GiB array.
+
+    Two access paths are provided: whole-trace conversion ({!of_bytes},
+    {!of_file}), and a streaming layer ({!open_channel}/{!next},
+    {!fold_channel}, {!iter_file}, {!create_writer}) that reads and writes
+    in fixed-size chunks — memory stays O(chunk), never O(file), so .ftb
+    traces larger than RAM can be scanned event by event. *)
+
+type header = {
+  nthreads : int;
+  nlocks : int;
+  nlocs : int;
+  nevents : int;
+}
 
 val write_channel : out_channel -> Trace.t -> unit
 
 val read_channel : in_channel -> (Trace.t, string) result
 (** Fails with a description on bad magic, unsupported version, truncated
     input, or out-of-range ids (the result is well-formed {e dimensionally};
-    combine with {!Trace.well_formed} for semantic checks). *)
+    combine with {!Trace.well_formed} for semantic checks).  Implemented on
+    the streaming reader: the input is consumed chunk by chunk, never
+    slurped whole. *)
 
 val to_file : string -> Trace.t -> unit
 val of_file : string -> (Trace.t, string) result
 
 val to_bytes : Trace.t -> bytes
 val of_bytes : bytes -> (Trace.t, string) result
+
+(** {1 Streaming reader} *)
+
+type reader
+
+val open_channel : ?chunk_size:int -> in_channel -> (reader, string) result
+(** Parse and validate the header; events are then pulled with {!next}.
+    [chunk_size] (default 64 KiB) bounds resident memory.  On seekable
+    channels the event count is checked against the channel length up
+    front; on pipes it cannot be, but the reader never allocates
+    proportionally to it either way. *)
+
+val header : reader -> header
+
+val next : reader -> (Event.t option, string) result
+(** The next event, [Ok None] once [nevents] have been delivered, or an
+    error describing the corruption (truncation, bad tag, out-of-range
+    operand).  Events are validated against the header's universe as they
+    are decoded. *)
+
+val fold_channel :
+  ?chunk_size:int ->
+  in_channel ->
+  init:'a ->
+  f:('a -> int -> Event.t -> 'a) ->
+  (header * 'a, string) result
+(** [fold_channel ic ~init ~f] folds [f acc index event] over every event
+    in constant memory. *)
+
+val iter_channel :
+  ?chunk_size:int ->
+  in_channel ->
+  f:(int -> Event.t -> unit) ->
+  (header * unit, string) result
+
+val iter_file :
+  ?chunk_size:int ->
+  string ->
+  f:(int -> Event.t -> unit) ->
+  (header * unit, string) result
+(** Open, iterate, close (also on error). *)
+
+(** {1 Streaming writer} *)
+
+type writer
+
+val create_writer :
+  out_channel -> nthreads:int -> nlocks:int -> nlocs:int -> nevents:int -> writer
+(** Write the header immediately; events follow via {!write_event}.  The
+    event count must be known up front (it leads the event block), exactly
+    as a recording instrumentation run knows its buffer's length. *)
+
+val write_event : writer -> Event.t -> unit
+(** Append one event, validating it against the declared universe.  Raises
+    [Invalid_argument] on out-of-range operands or when more than [nevents]
+    events are written. *)
+
+val close_writer : writer -> unit
+(** Flush buffered bytes.  Raises [Invalid_argument] if fewer events were
+    written than the header promised (the file would be truncated for every
+    reader).  Does not close the underlying channel. *)

@@ -22,12 +22,20 @@ let all_engines =
   [ Engine.Djit; Engine.Fasttrack; Engine.Fasttrack_tc; Engine.St; Engine.Su; Engine.Sn;
     Engine.Sl; Engine.So ]
 
-let engines_table ?(repeats = 3) ?(seed = 1) ?(rate = 0.03) ?(clock_size = 64) ~target_events
-    () =
+(* Each table fans its independent cells out over [jobs] domains (default 1
+   = inline sequential).  Rows are assembled from results keyed by task
+   index, so every table is identical to the sequential one — except the
+   timing columns under [jobs > 1], where concurrent cells contend for
+   cores. *)
+let par_cells ?jobs f tasks =
+  List.map Ft_par.get_exn (Ft_par.map_list ?jobs f tasks)
+
+let engines_table ?(repeats = 3) ?(seed = 1) ?(rate = 0.03) ?(clock_size = 64) ?jobs
+    ~target_events () =
   let trace = Db_sim.generate (tpcc ()) ~seed ~target_events in
   let sampler = Sampler.bernoulli ~rate ~seed in
   let rows =
-    List.map
+    par_cells ?jobs
       (fun engine ->
         let result = Engine.run_instrumented engine ~sampler ~clock_size trace in
         let t =
@@ -50,25 +58,29 @@ let engines_table ?(repeats = 3) ?(seed = 1) ?(rate = 0.03) ?(clock_size = 64) ~
     rows
 
 let clock_sweep ?(repeats = 3) ?(seed = 1) ?(rate = 0.03) ?(sizes = [ 16; 64; 256; 1024 ])
-    ~target_events () =
+    ?jobs ~target_events () =
   let trace = Db_sim.generate (tpcc ()) ~seed ~target_events in
   let sampler = Sampler.bernoulli ~rate ~seed in
   let engines = [ Engine.St; Engine.Su; Engine.Sl; Engine.So ] in
-  let rows =
-    List.map
-      (fun clock_size ->
+  let grid = List.concat_map (fun s -> List.map (fun e -> (s, e)) engines) sizes in
+  let cells =
+    par_cells ?jobs
+      (fun (clock_size, engine) ->
         let clock_size = Stdlib.max clock_size trace.Trace.nthreads in
-        let cells =
-          List.map
-            (fun engine ->
-              let t =
-                time_best ~repeats (fun () ->
-                    Engine.run_instrumented engine ~sampler ~clock_size trace)
-              in
-              Printf.sprintf "%.1f ms" (1000.0 *. t))
-            engines
+        let t =
+          time_best ~repeats (fun () ->
+              Engine.run_instrumented engine ~sampler ~clock_size trace)
         in
-        Array.of_list (string_of_int clock_size :: cells))
+        Printf.sprintf "%.1f ms" (1000.0 *. t))
+      grid
+  in
+  let ncols = List.length engines in
+  let rows =
+    List.mapi
+      (fun i clock_size ->
+        let row = List.filteri (fun j _ -> j / ncols = i) cells in
+        Array.of_list
+          (string_of_int (Stdlib.max clock_size trace.Trace.nthreads) :: row))
       sizes
   in
   Tabulate.render
@@ -94,17 +106,17 @@ let many_locks_trace ~nthreads ~nlocks ~rounds =
   done;
   Trace.Builder.build b
 
-let lock_sweep ?(seed = 1) ?(rate = 1.0) ?(stripes = [ 2; 8; 32; 128 ]) ~target_events () =
-  ignore seed;
+let lock_sweep ?(seed = 1) ?(rate = 1.0) ?(stripes = [ 2; 8; 32; 128 ]) ?jobs
+    ~target_events () =
   let engines = [ Engine.St; Engine.Su; Engine.So ] in
   let nthreads = 8 in
   let rows =
-    List.map
+    par_cells ?jobs
       (fun nlocks ->
         let rounds = Stdlib.max 1 (target_events / (nthreads * ((2 * nlocks) + 1))) in
         let trace = many_locks_trace ~nthreads ~nlocks ~rounds in
         let sampler =
-          if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed:1
+          if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
         in
         let cells =
           List.map
@@ -120,7 +132,7 @@ let lock_sweep ?(seed = 1) ?(rate = 1.0) ?(stripes = [ 2; 8; 32; 128 ]) ~target_
     ~header:(Array.of_list ("L" :: List.map (fun e -> Engine.name e ^ " O(T) ops") engines))
     rows
 
-let sampler_table ?(seed = 1) ?(clock_size = 64) ~target_events () =
+let sampler_table ?(seed = 1) ?(clock_size = 64) ?jobs ~target_events () =
   let trace = Db_sim.generate (tpcc ()) ~seed ~target_events in
   let strategies =
     [
@@ -132,7 +144,7 @@ let sampler_table ?(seed = 1) ?(clock_size = 64) ~target_events () =
     ]
   in
   let rows =
-    List.map
+    par_cells ?jobs
       (fun sampler ->
         let result = Engine.run Engine.So ~sampler ~clock_size trace in
         let m = result.Detector.metrics in

@@ -10,18 +10,26 @@
       O(|S|·T(T+L)) (SU) vs O(|S|·T) (SO) separation of Lemmas 7 and 8;
     - {!sampler_table}: detection recall and cost across sampling
       strategies (Bernoulli, Pacer-style windows, LiteRace-style cold
-      regions) — the Analysis Problem is agnostic to how S is chosen (§3). *)
+      regions) — the Analysis Problem is agnostic to how S is chosen (§3).
+
+    Every table accepts [?jobs] (default 1 = inline sequential): its
+    independent cells fan out over that many domains, and rows are
+    reassembled by task index, so non-timing columns are identical for any
+    [jobs].  Timing columns contend for cores under [jobs > 1] — keep
+    [jobs = 1] when the milliseconds matter.  A crashed cell raises
+    [Failure] (an incomplete ablation table would be misleading). *)
 
 val engines_table :
-  ?repeats:int -> ?seed:int -> ?rate:float -> ?clock_size:int -> target_events:int -> unit ->
-  string
+  ?repeats:int -> ?seed:int -> ?rate:float -> ?clock_size:int -> ?jobs:int ->
+  target_events:int -> unit -> string
 
 val clock_sweep :
-  ?repeats:int -> ?seed:int -> ?rate:float -> ?sizes:int list -> target_events:int -> unit ->
-  string
+  ?repeats:int -> ?seed:int -> ?rate:float -> ?sizes:int list -> ?jobs:int ->
+  target_events:int -> unit -> string
 
 val lock_sweep :
-  ?seed:int -> ?rate:float -> ?stripes:int list -> target_events:int -> unit -> string
+  ?seed:int -> ?rate:float -> ?stripes:int list -> ?jobs:int -> target_events:int -> unit ->
+  string
 
 val sampler_table :
-  ?seed:int -> ?clock_size:int -> target_events:int -> unit -> string
+  ?seed:int -> ?clock_size:int -> ?jobs:int -> target_events:int -> unit -> string

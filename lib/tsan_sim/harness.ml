@@ -98,8 +98,32 @@ let measure_one ?(repeats = 3) ?(rates = default_rates) ?(seed = 1)
   }
 
 (* Average timings over [nseeds] independently generated traces; detection
-   counts and metrics come from the first seed (they are already averaged in
-   structure, and Fig 6a's budget prefixes depend on that seed's times). *)
+   counts and metrics come from the first completed seed (they are already
+   averaged in structure, and Fig 6a's budget prefixes depend on that seed's
+   times). *)
+let aggregate runs =
+  match runs with
+  | [] -> None
+  | first :: _ ->
+    let mean f = Stats.mean (Array.of_list (List.map f runs)) in
+    Some
+      {
+        first with
+        nt = mean (fun m -> m.nt);
+        et = mean (fun m -> m.et);
+        ft = mean (fun m -> m.ft);
+        per_rate =
+          List.mapi
+            (fun i r0 ->
+              {
+                r0 with
+                st_time = mean (fun m -> (List.nth m.per_rate i).st_time);
+                su_time = mean (fun m -> (List.nth m.per_rate i).su_time);
+                so_time = mean (fun m -> (List.nth m.per_rate i).so_time);
+              })
+            first.per_rate;
+      }
+
 let measure ?repeats ?rates ?seed ?clock_size ?(nseeds = 1) ~target_events
     (p : Db_sim.profile) =
   let base = Option.value seed ~default:1 in
@@ -107,32 +131,38 @@ let measure ?repeats ?rates ?seed ?clock_size ?(nseeds = 1) ~target_events
     List.init (Stdlib.max 1 nseeds) (fun k ->
         measure_one ?repeats ?rates ~seed:(base + k) ?clock_size ~target_events p)
   in
-  match runs with
-  | [] -> assert false
-  | first :: _ ->
-    let mean f = Stats.mean (Array.of_list (List.map f runs)) in
-    {
-      first with
-      nt = mean (fun m -> m.nt);
-      et = mean (fun m -> m.et);
-      ft = mean (fun m -> m.ft);
-      per_rate =
-        List.mapi
-          (fun i r0 ->
-            {
-              r0 with
-              st_time = mean (fun m -> (List.nth m.per_rate i).st_time);
-              su_time = mean (fun m -> (List.nth m.per_rate i).su_time);
-              so_time = mean (fun m -> (List.nth m.per_rate i).so_time);
-            })
-          first.per_rate;
-    }
+  Option.get (aggregate runs)
 
-let run_all ?repeats ?rates ?seed ?clock_size ?nseeds ?(profiles = Db_sim.profiles)
-    ~target_events () =
-  List.map
-    (fun p -> measure ?repeats ?rates ?seed ?clock_size ?nseeds ~target_events p)
-    profiles
+(* The (profile × seed) grid is embarrassingly parallel: one pool over all
+   cells, merged back per profile in seed order.  Caveat for [jobs > 1]:
+   concurrent cells contend for cores, so absolute wall-clock numbers
+   inflate — use parallel runs for detection counts and work metrics (which
+   are deterministic) or for quick relative comparisons, and [jobs = 1] for
+   publishable latency figures. *)
+let run_all ?repeats ?rates ?seed ?clock_size ?(nseeds = 1) ?(jobs = 1)
+    ?(on_error = Ft_par.warn_stderr) ?report ?(profiles = Db_sim.profiles) ~target_events () =
+  let base = Option.value seed ~default:1 in
+  let nseeds = Stdlib.max 1 nseeds in
+  let profs = Array.of_list profiles in
+  let tasks =
+    Array.init (Array.length profs * nseeds) (fun i -> (i / nseeds, i mod nseeds))
+  in
+  let cell (pi, k) =
+    measure_one ?repeats ?rates ~seed:(base + k) ?clock_size ~target_events profs.(pi)
+  in
+  let results, stats = Ft_par.map_stats ~jobs cell tasks in
+  Option.iter (fun f -> f stats) report;
+  List.concat
+    (List.mapi
+       (fun pi (_ : Db_sim.profile) ->
+         let runs = ref [] in
+         for k = nseeds - 1 downto 0 do
+           match results.((pi * nseeds) + k) with
+           | Error e -> on_error e
+           | Ok m -> runs := m :: !runs
+         done;
+         match aggregate !runs with None -> [] | Some m -> [ m ])
+       (Array.to_list profs))
 
 let ao m ~time = Stdlib.max 1e-9 (time -. m.et)
 

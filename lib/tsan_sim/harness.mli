@@ -63,10 +63,22 @@ val run_all :
   ?seed:int ->
   ?clock_size:int ->
   ?nseeds:int ->
+  ?jobs:int ->
+  ?on_error:(Ft_par.error -> unit) ->
+  ?report:(Ft_par.stats -> unit) ->
   ?profiles:Ft_workloads.Db_sim.profile list ->
   target_events:int ->
   unit ->
   measurement list
+(** Measures every profile.  The (profile × seed) grid fans out over [jobs]
+    domains (default 1 = inline sequential); cells are merged back per
+    profile in seed order, so detection counts and work metrics are
+    identical for any [jobs].  Wall-clock timings are {e not}: concurrent
+    cells contend for cores, so use [jobs = 1] for publishable latency
+    numbers and [jobs > 1] for quick iterations.  A crashed cell goes to
+    [on_error] (default: one line on stderr) and is dropped from its
+    profile's average; a profile with no surviving cell is omitted.
+    [report] receives the runner's wall/busy-time statistics. *)
 
 (** {1 Figure tables} — rendered tables matching the paper's plots. *)
 

@@ -57,6 +57,34 @@ let test_fork_join_validation () =
   rejected "act after join" (Online.write m 1 0);
   rejected "join twice" (Online.join m ~parent:0 ~child:1)
 
+let test_join_lifecycle () =
+  let m = monitor () in
+  (* thread 2 never forked and never acted: joining it is a lost wakeup *)
+  rejected "join of never-forked thread" (Online.join m ~parent:0 ~child:2);
+  (* thread 1 acts without a fork (initial thread), so it counts as started
+     and may be joined — mirrors Trace.well_formed *)
+  ok (Online.write m 1 0);
+  ok (Online.join m ~parent:0 ~child:1);
+  (* thread 0 is pre-started, so another thread may join it *)
+  let m2 = monitor () in
+  ok (Online.join m2 ~parent:2 ~child:0)
+
+let test_many_races_feed () =
+  (* every write to location 0 after the first races with all predecessors:
+     n writes race ⇒ n−1 callback firings, one per declaration, streamed as
+     they happen (this is the path that used to rescan the whole race list
+     on every event) *)
+  let n = 400 in
+  let fired = ref 0 in
+  let m =
+    Online.create ~on_race:(fun _ -> incr fired) ~nthreads:2 ~nlocks:1 ~nlocs:1 ()
+  in
+  for i = 0 to n - 1 do
+    ok (Online.write m (i mod 2) 0)
+  done;
+  Alcotest.(check int) "one callback per declaration" (n - 1) !fired;
+  Alcotest.(check int) "callbacks match stored races" (List.length (Online.races m)) !fired
+
 let test_range_validation () =
   let m = monitor () in
   rejected "thread range" (Online.write m 9 0);
@@ -160,6 +188,8 @@ let () =
           Alcotest.test_case "race callback" `Quick test_on_race_callback;
           Alcotest.test_case "lock validation" `Quick test_lock_validation;
           Alcotest.test_case "fork/join validation" `Quick test_fork_join_validation;
+          Alcotest.test_case "join lifecycle" `Quick test_join_lifecycle;
+          Alcotest.test_case "many races feed" `Quick test_many_races_feed;
           Alcotest.test_case "range validation" `Quick test_range_validation;
           Alcotest.test_case "mixed sync styles" `Quick test_mixed_sync_styles;
           Alcotest.test_case "rejection leaves state" `Quick test_rejection_leaves_state;

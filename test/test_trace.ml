@@ -81,7 +81,11 @@ let test_wf_fork_join () =
     [ ev 0 (Event.Fork 1); ev 1 (Event.Write 0); ev 0 (Event.Join 1); ev 1 (Event.Write 0) ];
   check_ill "join twice"
     [ ev 0 (Event.Fork 1); ev 0 (Event.Join 1); ev 0 (Event.Join 1) ];
-  check_ill "self fork" [ ev 0 (Event.Fork 0) ]
+  check_ill "self fork" [ ev 0 (Event.Fork 0) ];
+  check_ill "join of never-forked, never-started thread" [ ev 0 (Event.Join 1) ];
+  check_wf "join of initial thread that acted"
+    [ ev 1 (Event.Write 0); ev 0 (Event.Join 1) ];
+  check_wf "join of thread 0" [ ev 1 (Event.Join 0) ]
 
 let test_wf_mixed_sync_styles () =
   check_ill "mutex then atomic"
