@@ -125,47 +125,87 @@ let analyze_cmd =
   let show_races =
     Arg.(value & flag & info [ "races" ] ~doc:"Print every race declaration.")
   in
-  let run file engine rate seed clock_size show_races =
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Write a resumable .ftc checkpoint to FILE every \
+                 $(b,--checkpoint-every) events.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 10_000 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Checkpoint interval in events (with --checkpoint).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume from a .ftc checkpoint written by an earlier run with the same \
+                 engine, sampler and trace. A checkpoint that fails to load or \
+                 validate is reported and the analysis replays from the start.")
+  in
+  let print_result ~events ~(result : Detector.result) show_races =
+    let locs = Detector.racy_locations result in
+    Printf.printf "engine          : %s\n" result.Detector.engine;
+    Printf.printf "events          : %d\n" events;
+    Printf.printf "sampled accesses: %d\n" result.Detector.metrics.Metrics.sampled_accesses;
+    Printf.printf "race declarations: %d\n" (List.length result.Detector.races);
+    Printf.printf "racy locations  : %d%s\n" (List.length locs)
+      (if locs = [] then ""
+       else "  (" ^ String.concat ", " (List.map (Printf.sprintf "x%d") locs) ^ ")");
+    Printf.printf "sync work       : %d/%d acquires skipped, %d/%d releases copied, %d deep copies\n"
+      result.Detector.metrics.Metrics.acquires_skipped
+      result.Detector.metrics.Metrics.acquires
+      result.Detector.metrics.Metrics.releases_processed
+      result.Detector.metrics.Metrics.releases
+      result.Detector.metrics.Metrics.deep_copies;
+    if show_races then
+      List.iter (fun race -> Format.printf "%a@." Race.pp race) result.Detector.races;
+    if locs = [] then 0 else 2
+  in
+  let run file engine rate seed clock_size show_races checkpoint checkpoint_every resume =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
       1
-    | Some id -> (
-      match load_trace file with
-      | Error msg ->
-        prerr_endline msg;
-        1
-      | Ok trace ->
-        begin
-          let sampler =
-            if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
-          in
+    | Some id ->
+      let sampler = if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed in
+      if checkpoint <> None || resume <> None then begin
+        (* resumable path: .ftb traces stream (and record byte offsets for
+           seeking); textual traces are replayed in memory *)
+        let outcome =
+          if Filename.check_suffix file ".ftb" then
+            Ft_snapshot.Runner.analyze_file ~engine:id ~sampler ?clock_size ?checkpoint
+              ~checkpoint_every ?resume file
+          else
+            match load_trace file with
+            | Error msg -> Error msg
+            | Ok trace ->
+              Ft_snapshot.Runner.analyze_trace ~engine:id ~sampler ?clock_size ?checkpoint
+                ~checkpoint_every ?resume trace
+        in
+        match outcome with
+        | Error msg ->
+          prerr_endline ("racedet: " ^ msg);
+          1
+        | Ok o ->
+          (* stderr, so stdout stays byte-identical to a straight-through run *)
+          (match o.Ft_snapshot.Runner.resumed_at with
+          | Some k -> Printf.eprintf "resumed at event : %d\n%!" k
+          | None -> ());
+          print_result ~events:o.Ft_snapshot.Runner.result.Detector.metrics.Metrics.events
+            ~result:o.Ft_snapshot.Runner.result show_races
+      end
+      else begin
+        match load_trace file with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok trace ->
           let result = Engine.run id ~sampler ?clock_size trace in
-          let locs = Detector.racy_locations result in
-          Printf.printf "engine          : %s\n" result.Detector.engine;
-          Printf.printf "events          : %d\n" (Trace.length trace);
-          Printf.printf "sampled accesses: %d\n"
-            result.Detector.metrics.Metrics.sampled_accesses;
-          Printf.printf "race declarations: %d\n" (List.length result.Detector.races);
-          Printf.printf "racy locations  : %d%s\n" (List.length locs)
-            (if locs = [] then ""
-             else
-               "  (" ^ String.concat ", " (List.map (Printf.sprintf "x%d") locs) ^ ")");
-          Printf.printf "sync work       : %d/%d acquires skipped, %d/%d releases copied, %d deep copies\n"
-            result.Detector.metrics.Metrics.acquires_skipped
-            result.Detector.metrics.Metrics.acquires
-            result.Detector.metrics.Metrics.releases_processed
-            result.Detector.metrics.Metrics.releases
-            result.Detector.metrics.Metrics.deep_copies;
-          if show_races then
-            List.iter
-              (fun race -> Format.printf "%a@." Race.pp race)
-              result.Detector.races;
-          if locs = [] then 0 else 2
-        end)
+          print_result ~events:(Trace.length trace) ~result show_races
+      end
   in
   let term =
-    Term.(const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ show_races)
+    Term.(
+      const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ show_races
+      $ checkpoint $ checkpoint_every $ resume)
   in
   Cmd.v
     (Cmd.info "analyze"

@@ -38,6 +38,8 @@ module type S = sig
   val handle : t -> int -> Ft_trace.Event.t -> unit
   val result : t -> result
   val races_rev : t -> Race.t list
+  val snapshot : t -> Snap.t
+  val restore : config -> Snap.t -> t
 end
 
 type packed = (module S)
@@ -109,6 +111,17 @@ module Noop = struct
 
   let result (_ : t) = { engine = name; races = []; metrics = Metrics.create () }
   let races_rev (_ : t) = []
+
+  let snapshot d =
+    let enc = Snap.Enc.create () in
+    Snap.Enc.int enc d.checksum;
+    Snap.Enc.to_snap enc
+
+  let restore (_ : config) s =
+    let dec = Snap.Dec.of_snap s in
+    let checksum = Snap.Dec.int dec in
+    Snap.Dec.finish dec;
+    { checksum }
 end
 
 let replay_instrumented trace =

@@ -50,6 +50,21 @@ module type S = sig
   (** Races declared so far, newest first, without copying — O(1).  The
       online monitor peels freshly declared races off the head instead of
       re-walking the full (reversed) list of {!result}. *)
+
+  val snapshot : t -> Snap.t
+  (** Serialize the complete detector state — clocks, epochs, access
+      histories, sampler state, metrics, race reports, and (for SO) the
+      ordered lists' recency order and the lazy-copy sharing structure — so
+      that [restore]d state is behaviourally indistinguishable from the
+      original on any event suffix. *)
+
+  val restore : config -> Snap.t -> t
+  (** Rebuild a detector from a snapshot taken with the same configuration.
+      The sampler in [config] must be the same strategy the snapshotted run
+      used (samplers are specifications, not serializable closures — the
+      snapshot carries only their mutable per-instance state).  Raises
+      [Snap.Corrupt] when the payload is malformed or does not fit the
+      configuration's universe sizes. *)
 end
 
 type packed = (module S)

@@ -94,3 +94,28 @@ let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
 
 let races_rev d = d.races
+
+let snapshot d =
+  let enc = Snap.Enc.create () in
+  Array.iter (Vc.encode enc) d.clocks;
+  Array.iter (fun c -> Snap.Enc.option enc (Vc.encode enc) c) d.lock_clocks;
+  History.encode enc d.history;
+  Metrics.encode enc d.metrics;
+  Race.encode_list enc d.races;
+  Snap.Enc.to_snap enc
+
+let restore (cfg : Detector.config) s =
+  let d = create cfg in
+  let dec = Snap.Dec.of_snap s in
+  let n = d.nthreads in
+  for t = 0 to Array.length d.clocks - 1 do
+    d.clocks.(t) <- Vc.decode dec ~size:n
+  done;
+  for l = 0 to Array.length d.lock_clocks - 1 do
+    d.lock_clocks.(l) <- Snap.Dec.option dec (fun () -> Vc.decode dec ~size:n)
+  done;
+  let history = History.decode dec ~nlocs:cfg.Detector.nlocs ~clock_size:n in
+  let metrics = Metrics.decode dec in
+  d.races <- Race.decode_list dec;
+  Snap.Dec.finish dec;
+  { d with history; metrics }

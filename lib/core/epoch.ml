@@ -19,4 +19,11 @@ let of_vc_entry v t = make ~time:(Vector_clock.get v t) ~tid:t
 
 let equal (a : t) (b : t) = a = b
 
+let encode enc (e : t) = Snap.Enc.int enc e
+
+let decode dec =
+  let e = Snap.Dec.int dec in
+  Snap.expect (e >= 0) "negative epoch";
+  e
+
 let pp fmt e = Format.fprintf fmt "%d@@t%d" (time e) (tid e)

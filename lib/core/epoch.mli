@@ -21,4 +21,8 @@ val of_vc_entry : Vector_clock.t -> int -> t
 (** [of_vc_entry v t] is [v(t)@t]. *)
 
 val equal : t -> t -> bool
+
+val encode : Snap.Enc.t -> t -> unit
+val decode : Snap.Dec.t -> t
+
 val pp : Format.formatter -> t -> unit

@@ -165,3 +165,58 @@ let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
 
 let races_rev d = d.races
+
+let encode_read_state enc (r : read_state) =
+  Epoch.encode enc r.repoch;
+  Snap.Enc.int enc r.rindex;
+  Snap.Enc.option enc
+    (fun rv ->
+      Vc.encode enc rv;
+      Snap.Enc.int_array enc r.rvc_index)
+    r.rvc
+
+let decode_read_state dec ~size =
+  let repoch = Epoch.decode dec in
+  let rindex = Snap.Dec.int dec in
+  match
+    Snap.Dec.option dec (fun () ->
+        let rv = Vc.decode dec ~size in
+        let ri = Snap.Dec.int_array_n dec size in
+        (rv, ri))
+  with
+  | None -> { repoch; rindex; rvc = None; rvc_index = [||] }
+  | Some (rv, ri) -> { repoch; rindex; rvc = Some rv; rvc_index = ri }
+
+let snapshot d =
+  let enc = Snap.Enc.create () in
+  Array.iter (Vc.encode enc) d.clocks;
+  Array.iter (fun c -> Snap.Enc.option enc (Vc.encode enc) c) d.lock_clocks;
+  Array.iter (Epoch.encode enc) d.writes;
+  Snap.Enc.int_array enc d.w_index;
+  Array.iter (fun r -> Snap.Enc.option enc (encode_read_state enc) r) d.reads;
+  Metrics.encode enc d.metrics;
+  Race.encode_list enc d.races;
+  Snap.Enc.to_snap enc
+
+let restore (cfg : Detector.config) s =
+  let d = create cfg in
+  let dec = Snap.Dec.of_snap s in
+  let n = d.nthreads in
+  for t = 0 to Array.length d.clocks - 1 do
+    d.clocks.(t) <- Vc.decode dec ~size:n
+  done;
+  for l = 0 to Array.length d.lock_clocks - 1 do
+    d.lock_clocks.(l) <- Snap.Dec.option dec (fun () -> Vc.decode dec ~size:n)
+  done;
+  for x = 0 to Array.length d.writes - 1 do
+    d.writes.(x) <- Epoch.decode dec
+  done;
+  let w_index = Snap.Dec.int_array_n dec (Array.length d.w_index) in
+  Array.blit w_index 0 d.w_index 0 (Array.length w_index);
+  for x = 0 to Array.length d.reads - 1 do
+    d.reads.(x) <- Snap.Dec.option dec (fun () -> decode_read_state dec ~size:n)
+  done;
+  let metrics = Metrics.decode dec in
+  d.races <- Race.decode_list dec;
+  Snap.Dec.finish dec;
+  { d with metrics }

@@ -93,6 +93,46 @@ let record_write_ol t x olist ~tid ~epoch ~index =
   Vector_clock.set h tid epoch;
   s.write_index <- index
 
+let encode enc t =
+  Snap.Enc.int enc (Array.length t.locs);
+  Array.iter
+    (fun s ->
+      Snap.Enc.option enc
+        (fun s ->
+          Snap.Enc.option enc (Vector_clock.encode enc) s.write;
+          Snap.Enc.int enc s.write_index;
+          Snap.Enc.option enc
+            (fun r ->
+              Vector_clock.encode enc r;
+              Snap.Enc.int_array enc s.read_index)
+            s.read)
+        s)
+    t.locs
+
+let decode dec ~nlocs ~clock_size =
+  let stored = Snap.Dec.int dec in
+  let t = create ~nlocs ~clock_size in
+  Snap.expect (stored = Array.length t.locs) "history location count mismatch";
+  for x = 0 to stored - 1 do
+    t.locs.(x) <-
+      Snap.Dec.option dec (fun () ->
+          let write = Snap.Dec.option dec (fun () -> Vector_clock.decode dec ~size:clock_size) in
+          let write_index = Snap.Dec.int dec in
+          let read = ref None and read_index = ref [||] in
+          (match
+             Snap.Dec.option dec (fun () ->
+                 let r = Vector_clock.decode dec ~size:clock_size in
+                 let ri = Snap.Dec.int_array_n dec clock_size in
+                 (r, ri))
+           with
+          | None -> ()
+          | Some (r, ri) ->
+            read := Some r;
+            read_index := ri);
+          { write; write_index; read = !read; read_index = !read_index })
+  done;
+  t
+
 let record_read t x ~tid ~epoch ~index =
   let s = state t x in
   let h =

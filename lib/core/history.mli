@@ -45,3 +45,9 @@ val record_write_ol :
 
 val record_read : t -> Ft_trace.Event.loc -> tid:int -> epoch:int -> index:int -> unit
 (** [C_x^r ← C_x^r[t ↦ e_t]], remembering the event's trace [index]. *)
+
+val encode : Snap.Enc.t -> t -> unit
+
+val decode : Snap.Dec.t -> nlocs:int -> clock_size:int -> t
+(** Raises [Snap.Corrupt] on dimension mismatch against the stated
+    universe. *)

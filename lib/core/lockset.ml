@@ -69,14 +69,14 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if d.sample index e then begin
+    if d.sample.Sampler.decide index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       access d index t x ~is_write:false
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if d.sample index e then begin
+    if d.sample.Sampler.decide index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       access d index t x ~is_write:true
@@ -96,3 +96,62 @@ let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
 
 let races_rev d = d.races
+
+let encode_set enc s = Snap.Enc.list enc (Snap.Enc.int enc) (IntSet.elements s)
+
+let decode_set dec =
+  let xs = Snap.Dec.list dec (fun () -> Snap.Dec.int dec) in
+  List.iter (fun l -> Snap.expect (l >= 0) "negative lock in lockset") xs;
+  IntSet.of_list xs
+
+let encode_state enc = function
+  | Virgin -> Snap.Enc.int enc 0
+  | Exclusive t ->
+    Snap.Enc.int enc 1;
+    Snap.Enc.int enc t
+  | Shared s ->
+    Snap.Enc.int enc 2;
+    encode_set enc s
+  | Shared_modified s ->
+    Snap.Enc.int enc 3;
+    encode_set enc s
+  | Reported -> Snap.Enc.int enc 4
+
+let decode_state dec =
+  match Snap.Dec.int dec with
+  | 0 -> Virgin
+  | 1 ->
+    let t = Snap.Dec.int dec in
+    Snap.expect (t >= 0) "negative owner thread";
+    Exclusive t
+  | 2 -> Shared (decode_set dec)
+  | 3 -> Shared_modified (decode_set dec)
+  | 4 -> Reported
+  | n -> raise (Snap.Corrupt (Printf.sprintf "bad location state tag %d" n))
+
+let snapshot d =
+  let enc = Snap.Enc.create () in
+  d.sample.Sampler.save enc;
+  Array.iter (encode_set enc) d.held;
+  Array.iter (encode_state enc) d.states;
+  Snap.Enc.int_array enc d.write_index;
+  Metrics.encode enc d.metrics;
+  Race.encode_list enc d.races;
+  Snap.Enc.to_snap enc
+
+let restore (cfg : Detector.config) s =
+  let d = create cfg in
+  let dec = Snap.Dec.of_snap s in
+  d.sample.Sampler.load dec;
+  for t = 0 to Array.length d.held - 1 do
+    d.held.(t) <- decode_set dec
+  done;
+  for x = 0 to Array.length d.states - 1 do
+    d.states.(x) <- decode_state dec
+  done;
+  let w_index = Snap.Dec.int_array_n dec (Array.length d.write_index) in
+  Array.blit w_index 0 d.write_index 0 (Array.length w_index);
+  let metrics = Metrics.decode dec in
+  d.races <- Race.decode_list dec;
+  Snap.Dec.finish dec;
+  { d with metrics }

@@ -37,6 +37,60 @@ let create () =
 
 let copy m = { m with events = m.events }
 
+(* Field order is the serialization contract of [Snap]-based snapshots; the
+   guard test checks this list against the record's actual arity, so adding
+   a field without extending it fails the suite instead of silently
+   truncating checkpoints. *)
+let to_array m =
+  [|
+    m.events;
+    m.reads;
+    m.writes;
+    m.sampled_accesses;
+    m.acquires;
+    m.releases;
+    m.acquires_skipped;
+    m.releases_processed;
+    m.deep_copies;
+    m.shallow_copies;
+    m.vc_full_ops;
+    m.entries_traversed;
+    m.entries_saved;
+    m.race_checks;
+    m.races;
+  |]
+
+let field_count = Array.length (to_array (create ()))
+
+let of_array a =
+  if Array.length a <> field_count then None
+  else
+    Some
+      {
+        events = a.(0);
+        reads = a.(1);
+        writes = a.(2);
+        sampled_accesses = a.(3);
+        acquires = a.(4);
+        releases = a.(5);
+        acquires_skipped = a.(6);
+        releases_processed = a.(7);
+        deep_copies = a.(8);
+        shallow_copies = a.(9);
+        vc_full_ops = a.(10);
+        entries_traversed = a.(11);
+        entries_saved = a.(12);
+        race_checks = a.(13);
+        races = a.(14);
+      }
+
+let encode enc m = Snap.Enc.int_array enc (to_array m)
+
+let decode dec =
+  match of_array (Snap.Dec.int_array dec) with
+  | Some m -> m
+  | None -> raise (Snap.Corrupt "metrics field count mismatch")
+
 let add ~into m =
   into.events <- into.events + m.events;
   into.reads <- into.reads + m.reads;

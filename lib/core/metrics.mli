@@ -31,6 +31,22 @@ val create : unit -> t
 
 val copy : t -> t
 
+val field_count : int
+(** Number of record fields, as seen by {!to_array}. *)
+
+val to_array : t -> int array
+(** Every counter, in declaration order — the serialization contract used by
+    snapshots.  The guard test checks its length against the record's actual
+    arity so that field drift breaks the suite, not the checkpoints. *)
+
+val of_array : int array -> t option
+(** Inverse of {!to_array}; [None] on arity mismatch. *)
+
+val encode : Snap.Enc.t -> t -> unit
+val decode : Snap.Dec.t -> t
+(** Snapshot (de)serialization; [decode] raises [Snap.Corrupt] on arity
+    mismatch. *)
+
 val add : into:t -> t -> unit
 (** Pointwise accumulation, for aggregating repeated runs. *)
 

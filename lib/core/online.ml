@@ -17,9 +17,12 @@ type t = {
   handle : int -> E.t -> unit;
   get_result : unit -> Detector.result;
   get_races_rev : unit -> Race.t list;
+  snapshot_detector : unit -> Snap.t;
   live_metrics : Metrics.t;
   validator : validator;
   on_race : (Race.t -> unit) option;
+  checkpoint_every : int;  (* 0 = checkpointing disabled *)
+  on_checkpoint : (t -> unit) option;
   nthreads : int;
   nlocks : int;
   nlocs : int;
@@ -27,8 +30,11 @@ type t = {
   mutable reported : int;  (* races already surfaced through on_race *)
 }
 
-let create ?on_race ?(engine = Engine.So) ?(sampler = Sampler.all) ?clock_size ~nthreads
-    ~nlocks ~nlocs () =
+(* [restore_from] carries a detector snapshot when rebuilding a monitor from
+   a checkpoint; the validator arrays are filled in by [restore] itself. *)
+let make ?on_race ?(engine = Engine.So) ?(sampler = Sampler.all) ?clock_size
+    ?(checkpoint_every = 0) ?on_checkpoint ~nthreads ~nlocks ~nlocs restore_from =
+  if checkpoint_every < 0 then invalid_arg "Online.create: negative checkpoint interval";
   let config =
     {
       Detector.nthreads;
@@ -44,7 +50,11 @@ let create ?on_race ?(engine = Engine.So) ?(sampler = Sampler.all) ?clock_size ~
     }
   in
   let (module D : Detector.S) = Engine.detector engine in
-  let state = D.create config in
+  let state =
+    match restore_from with
+    | None -> D.create config
+    | Some snap -> D.restore config snap
+  in
   let started = Array.make nthreads false in
   (* thread 0 is the initial thread: it runs without a fork, and forking it
      is ill-formed — same lifecycle as Trace.well_formed *)
@@ -53,6 +63,7 @@ let create ?on_race ?(engine = Engine.So) ?(sampler = Sampler.all) ?clock_size ~
     handle = (fun i e -> D.handle state i e);
     get_result = (fun () -> D.result state);
     get_races_rev = (fun () -> D.races_rev state);
+    snapshot_detector = (fun () -> D.snapshot state);
     live_metrics = (D.result state).Detector.metrics;
     validator =
       {
@@ -63,12 +74,19 @@ let create ?on_race ?(engine = Engine.So) ?(sampler = Sampler.all) ?clock_size ~
         joined = Array.make nthreads false;
       };
     on_race;
+    checkpoint_every;
+    on_checkpoint;
     nthreads;
     nlocks;
     nlocs;
     seen = 0;
     reported = 0;
   }
+
+let create ?on_race ?engine ?sampler ?clock_size ?checkpoint_every ?on_checkpoint
+    ~nthreads ~nlocks ~nlocs () =
+  make ?on_race ?engine ?sampler ?clock_size ?checkpoint_every ?on_checkpoint ~nthreads
+    ~nlocks ~nlocs None
 
 let check t (e : E.t) =
   let v = t.validator in
@@ -160,6 +178,9 @@ let feed t e =
         List.iter callback fresh;
         t.reported <- total
       end);
+    (match t.on_checkpoint with
+    | Some cb when t.checkpoint_every > 0 && t.seen mod t.checkpoint_every = 0 -> cb t
+    | Some _ | None -> ());
     Ok ()
 
 let feed_exn t e =
@@ -170,6 +191,59 @@ let feed_exn t e =
 let events_seen t = t.seen
 let racy_locations t = Race.locations (races t)
 let metrics t = (t.get_result ()).Detector.metrics
+
+let style_to_int = function Unused -> 0 | Mutex -> 1 | Atomic -> 2
+
+let style_of_int = function
+  | 0 -> Unused
+  | 1 -> Mutex
+  | 2 -> Atomic
+  | n -> raise (Snap.Corrupt (Printf.sprintf "bad lock style %d" n))
+
+let snapshot t =
+  let enc = Snap.Enc.create () in
+  Snap.Enc.int enc t.seen;
+  Snap.Enc.int enc t.reported;
+  let v = t.validator in
+  Snap.Enc.int_array enc v.holder;
+  Snap.Enc.int_array enc (Array.map style_to_int v.style);
+  Snap.Enc.bool_array enc v.started;
+  Snap.Enc.bool_array enc v.forked;
+  Snap.Enc.bool_array enc v.joined;
+  Snap.Enc.string enc (t.snapshot_detector ());
+  Snap.Enc.to_snap enc
+
+let restore ?on_race ?engine ?sampler ?clock_size ?checkpoint_every ?on_checkpoint
+    ~nthreads ~nlocks ~nlocs s =
+  let dec = Snap.Dec.of_snap s in
+  let seen = Snap.Dec.int dec in
+  Snap.expect (seen >= 0) "negative event count";
+  let reported = Snap.Dec.int dec in
+  Snap.expect (reported >= 0) "negative reported count";
+  let slots = Stdlib.max 1 nlocks in
+  let holder = Snap.Dec.int_array_n dec slots in
+  Array.iter
+    (fun h -> Snap.expect (h >= -1 && h < nthreads) "lock holder out of range")
+    holder;
+  let style = Array.map style_of_int (Snap.Dec.int_array_n dec slots) in
+  let started = Snap.Dec.bool_array_n dec nthreads in
+  let forked = Snap.Dec.bool_array_n dec nthreads in
+  let joined = Snap.Dec.bool_array_n dec nthreads in
+  let dsnap = Snap.Dec.string dec in
+  Snap.Dec.finish dec;
+  let t =
+    make ?on_race ?engine ?sampler ?clock_size ?checkpoint_every ?on_checkpoint ~nthreads
+      ~nlocks ~nlocs (Some dsnap)
+  in
+  let v = t.validator in
+  Array.blit holder 0 v.holder 0 slots;
+  Array.blit style 0 v.style 0 slots;
+  Array.blit started 0 v.started 0 nthreads;
+  Array.blit forked 0 v.forked 0 nthreads;
+  Array.blit joined 0 v.joined 0 nthreads;
+  t.seen <- seen;
+  t.reported <- reported;
+  t
 
 let read t tid x = feed t (E.mk tid (E.Read x))
 let write t tid x = feed t (E.mk tid (E.Write x))

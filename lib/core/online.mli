@@ -27,6 +27,8 @@ val create :
   ?engine:Engine.id ->
   ?sampler:Sampler.t ->
   ?clock_size:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(t -> unit) ->
   nthreads:int ->
   nlocks:int ->
   nlocs:int ->
@@ -34,7 +36,31 @@ val create :
   t
 (** [create ~nthreads ~nlocks ~nlocs ()] builds a monitor around [engine]
     (default {!Engine.So}) and [sampler] (default {!Sampler.all}).
-    [on_race] fires synchronously at each race declaration. *)
+    [on_race] fires synchronously at each race declaration.  When
+    [checkpoint_every] is positive, [on_checkpoint] fires after every
+    [checkpoint_every]-th accepted event — typically to call {!snapshot}
+    and persist it. *)
+
+val snapshot : t -> Snap.t
+(** Serialize the monitor — validator state, event counters, and the
+    underlying detector — into one opaque snapshot. *)
+
+val restore :
+  ?on_race:(Race.t -> unit) ->
+  ?engine:Engine.id ->
+  ?sampler:Sampler.t ->
+  ?clock_size:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(t -> unit) ->
+  nthreads:int ->
+  nlocks:int ->
+  nlocs:int ->
+  Snap.t ->
+  t
+(** Rebuild a monitor from {!snapshot} output.  The configuration arguments
+    must match the snapshotted monitor's (same engine, sampler strategy and
+    universe sizes); callbacks are re-supplied since closures are not
+    serialized.  Raises {!Snap.Corrupt} on malformed input. *)
 
 val feed : t -> Ft_trace.Event.t -> (unit, rejection) result
 (** Validate and process one event.  Rejected events leave the monitor's

@@ -108,6 +108,37 @@ let check_invariants o =
   walk o.head (-1);
   !ok && !count = n
 
+(* Serialized as values plus the head-to-tail permutation; the links are
+   rebuilt from the permutation on decode, so a snapshot roundtrip restores
+   exactly the move-to-front order (which governs which prefix an acquire
+   traverses — Alg 4, line 10). *)
+let encode enc o =
+  Snap.Enc.int_array enc o.time;
+  let ord = Array.make (size o) 0 in
+  let k = ref 0 in
+  iter o (fun tid _ ->
+      ord.(!k) <- tid;
+      incr k);
+  Snap.Enc.int_array enc ord
+
+let decode dec ~size:n =
+  let time = Snap.Dec.int_array_n dec n in
+  let ord = Snap.Dec.int_array_n dec n in
+  Array.iter (fun v -> Snap.expect (v >= 0) "negative ordered-list entry") time;
+  let seen = Array.make n false in
+  Array.iter
+    (fun tid ->
+      Snap.expect (tid >= 0 && tid < n && not seen.(tid)) "ordered-list order not a permutation";
+      seen.(tid) <- true)
+    ord;
+  let o = { time; links = Array.make n 0; head = ord.(0); tail = ord.(n - 1) } in
+  for k = 0 to n - 1 do
+    set_links o ord.(k)
+      ~prev:(if k = 0 then -1 else ord.(k - 1))
+      ~next:(if k = n - 1 then -1 else ord.(k + 1))
+  done;
+  o
+
 let pp fmt o =
   Format.fprintf fmt "[";
   let first = ref true in

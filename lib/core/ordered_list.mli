@@ -56,5 +56,12 @@ val check_invariants : t -> bool
 (** Structural sanity: the node chain is a permutation of all thread ids and
     forward/backward links agree.  For tests. *)
 
+val encode : Snap.Enc.t -> t -> unit
+
+val decode : Snap.Dec.t -> size:int -> t
+(** Rebuilds the list from its values and head-to-tail permutation; the
+    recency order is restored exactly.  Raises [Snap.Corrupt] on length
+    mismatch, negative entries, or a non-permutation order. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders head-to-tail as [[t3:7 t0:2 …]]. *)

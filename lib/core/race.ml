@@ -20,6 +20,27 @@ let indices races = List.sort compare (List.map (fun r -> r.index) races)
 let pairs races =
   List.filter_map (fun r -> Option.map (fun p -> (p, r.index)) r.prior) races
 
+let encode enc r =
+  Snap.Enc.int enc r.index;
+  Snap.Enc.int enc r.thread;
+  Snap.Enc.int enc r.loc;
+  Snap.Enc.bool enc r.with_write;
+  Snap.Enc.bool enc r.with_read;
+  Snap.Enc.option enc (Snap.Enc.int enc) r.prior
+
+let decode dec =
+  let index = Snap.Dec.int dec in
+  let thread = Snap.Dec.int dec in
+  let loc = Snap.Dec.int dec in
+  let with_write = Snap.Dec.bool dec in
+  let with_read = Snap.Dec.bool dec in
+  let prior = Snap.Dec.option dec (fun () -> Snap.Dec.int dec) in
+  Snap.expect (index >= 0 && thread >= 0 && loc >= 0) "race with negative field";
+  { index; thread; loc; with_write; with_read; prior }
+
+let encode_list enc races = Snap.Enc.list enc (encode enc) races
+let decode_list dec = Snap.Dec.list dec (fun () -> decode dec)
+
 let pp fmt r =
   Format.fprintf fmt "race at event %d: thread t%d on x%d (vs %s%s)" r.index r.thread r.loc
     (match (r.with_write, r.with_read) with

@@ -38,4 +38,12 @@ val indices : t list -> int list
 val pairs : t list -> (int * int) list
 (** The [(prior, index)] pairs of reports that carry a prior. *)
 
+val encode : Snap.Enc.t -> t -> unit
+val decode : Snap.Dec.t -> t
+
+val encode_list : Snap.Enc.t -> t list -> unit
+val decode_list : Snap.Dec.t -> t list
+(** Length-prefixed, list order preserved — detectors keep races
+    newest-first and a snapshot must restore exactly that order. *)
+
 val pp : Format.formatter -> t -> unit

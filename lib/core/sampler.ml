@@ -1,4 +1,14 @@
-type instance = int -> Ft_trace.Event.t -> bool
+type decide = int -> Ft_trace.Event.t -> bool
+
+(* An instance carries its decision function plus snapshot hooks: stateless
+   strategies save an empty tag; counting strategies (cold_region, adaptive)
+   save their per-location tables, so a checkpointed run resumes with
+   exactly the sampling decisions the uninterrupted run would make. *)
+type instance = {
+  decide : decide;
+  save : Snap.Enc.t -> unit;
+  load : Snap.Dec.t -> unit;
+}
 
 type t = {
   name : string;
@@ -10,6 +20,50 @@ type t = {
 
 let name s = s.name
 let fresh s = s.make ()
+let query inst i e = inst.decide i e
+
+let tag_stateless = 0
+let tag_counts = 1
+
+let stateless_instance f =
+  {
+    decide = f;
+    save = (fun enc -> Snap.Enc.int enc tag_stateless);
+    load =
+      (fun dec ->
+        Snap.expect (Snap.Dec.int dec = tag_stateless) "sampler state tag mismatch");
+  }
+
+(* Per-instance counting table behind both LiteRace-style strategies.  The
+   snapshot is the table as sorted pairs — sorted so the encoding is
+   canonical and prefix-equivalence tests can compare bytes. *)
+let counts_instance mk_decide =
+  let counts = Hashtbl.create 256 in
+  {
+    decide = mk_decide counts;
+    save =
+      (fun enc ->
+        Snap.Enc.int enc tag_counts;
+        let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+        let pairs = List.sort compare pairs in
+        Snap.Enc.list enc
+          (fun (k, v) ->
+            Snap.Enc.int enc k;
+            Snap.Enc.int enc v)
+          pairs);
+    load =
+      (fun dec ->
+        Snap.expect (Snap.Dec.int dec = tag_counts) "sampler state tag mismatch";
+        Hashtbl.reset counts;
+        List.iter
+          (fun (k, v) ->
+            Snap.expect (v >= 0) "negative sampler count";
+            Hashtbl.replace counts k v)
+          (Snap.Dec.list dec (fun () ->
+               let k = Snap.Dec.int dec in
+               let v = Snap.Dec.int dec in
+               (k, v))));
+  }
 
 let decide s i e =
   let inst =
@@ -20,11 +74,13 @@ let decide s i e =
       s.shared <- Some f;
       f
   in
-  inst i e
+  inst.decide i e
 
 (* A strategy whose decisions carry no mutable state: one instance serves
    every run. *)
-let stateless name decide = { name; make = (fun () -> decide); shared = Some decide }
+let stateless name f =
+  let inst = stateless_instance f in
+  { name; make = (fun () -> inst); shared = Some inst }
 
 (* Stateless hash of (seed, index): one splitmix64 round. *)
 let hash01 seed index =
@@ -71,11 +127,10 @@ let cold_region ~threshold =
     name = Printf.sprintf "cold_region(threshold=%d)" threshold;
     make =
       (fun () ->
-        let counts = Hashtbl.create 256 in
-        fun _ e ->
-          match Ft_trace.Event.accessed_loc e with
-          | None -> false
-          | Some x -> access_count counts x < threshold);
+        counts_instance (fun counts _ e ->
+            match Ft_trace.Event.accessed_loc e with
+            | None -> false
+            | Some x -> access_count counts x < threshold));
     shared = None;
   }
 
@@ -98,14 +153,13 @@ let adaptive ~base_rate =
     name = Printf.sprintf "adaptive(base_rate=%d)" base_rate;
     make =
       (fun () ->
-        let counts = Hashtbl.create 256 in
-        fun i e ->
-          match Ft_trace.Event.accessed_loc e with
-          | None -> false
-          | Some x ->
-            let c = access_count counts x in
-            let p = Stdlib.max 0.001 (0.5 ** float_of_int (c / base_rate)) in
-            hash01 (x + 1) i < p);
+        counts_instance (fun counts i e ->
+            match Ft_trace.Event.accessed_loc e with
+            | None -> false
+            | Some x ->
+              let c = access_count counts x in
+              let p = Stdlib.max 0.001 (0.5 ** float_of_int (c / base_rate)) in
+              hash01 (x + 1) i < p));
     shared = None;
   }
 
@@ -113,4 +167,4 @@ let to_sampled_array s trace =
   let inst = fresh s in
   Array.init (Ft_trace.Trace.length trace) (fun i ->
       let e = Ft_trace.Trace.get trace i in
-      Ft_trace.Event.is_access e && inst i e)
+      Ft_trace.Event.is_access e && inst.decide i e)

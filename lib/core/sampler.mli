@@ -14,10 +14,25 @@
 
 type t
 
-type instance = int -> Ft_trace.Event.t -> bool
-(** One run's materialized decision function.  [inst index event] — is this
-    access event in S?  Instances of stateful strategies assume each access
-    event is queried exactly once, in trace order (all engines here do). *)
+type decide = int -> Ft_trace.Event.t -> bool
+
+type instance = {
+  decide : decide;
+      (** One run's materialized decision function.  [decide index event] —
+          is this access event in S?  Instances of stateful strategies
+          assume each access event is queried exactly once, in trace order
+          (all engines here do). *)
+  save : Snap.Enc.t -> unit;
+      (** Serialize the instance's private state (the counting tables of
+          {!cold_region}/{!adaptive}; a bare tag for stateless strategies)
+          into a detector snapshot. *)
+  load : Snap.Dec.t -> unit;
+      (** Replace the instance's state with a saved one; raises
+          [Snap.Corrupt] when the payload does not match the strategy's
+          state shape.  After [load], the instance makes exactly the
+          decisions the saved instance would have made on the remaining
+          events. *)
+}
 
 val name : t -> string
 
@@ -25,6 +40,9 @@ val fresh : t -> instance
 (** A new instance with its own private state.  Two instances of the same
     sampler fed the same queries in the same order make identical
     decisions. *)
+
+val query : instance -> int -> Ft_trace.Event.t -> bool
+(** [query inst i e] is [inst.decide i e]. *)
 
 val decide : t -> int -> Ft_trace.Event.t -> bool
 (** [decide s index event] queries a single instance shared by all [decide]

@@ -77,7 +77,7 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if d.sample index e then begin
+    if d.sample.Sampler.decide index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
@@ -88,7 +88,7 @@ let handle d index (e : E.t) =
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if d.sample index e then begin
+    if d.sample.Sampler.decide index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
@@ -163,3 +163,119 @@ let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
 
 let races_rev d = d.races
+
+(* Like the ordered-list engine, releases publish a *reference* to the
+   releasing thread's clock, and the [shared] flags only make sense if the
+   restored detector reproduces that physical sharing.  Lock entries are
+   encoded as references to a thread clock or an earlier lock's entry and
+   inlined only when they alias neither. *)
+let tag_none = 0
+let tag_thread = 1
+let tag_lock = 2
+let tag_inline = 3
+
+let encode_lock_vcs enc d =
+  Array.iteri
+    (fun l vc ->
+      match vc with
+      | None -> Snap.Enc.int enc tag_none
+      | Some vc -> (
+        let rec thread_alias t =
+          if t >= Array.length d.clocks then None
+          else if d.clocks.(t) == vc then Some t
+          else thread_alias (t + 1)
+        in
+        let rec lock_alias l' =
+          if l' >= l then None
+          else
+            match d.lock_vc.(l') with
+            | Some vc' when vc' == vc -> Some l'
+            | _ -> lock_alias (l' + 1)
+        in
+        match thread_alias 0 with
+        | Some t ->
+          Snap.Enc.int enc tag_thread;
+          Snap.Enc.int enc t
+        | None -> (
+          match lock_alias 0 with
+          | Some l' ->
+            Snap.Enc.int enc tag_lock;
+            Snap.Enc.int enc l'
+          | None ->
+            Snap.Enc.int enc tag_inline;
+            Vc.encode enc vc)))
+    d.lock_vc
+
+let decode_lock_vcs dec d ~size =
+  for l = 0 to Array.length d.lock_vc - 1 do
+    d.lock_vc.(l) <-
+      (match Snap.Dec.int dec with
+      | t when t = tag_none -> None
+      | t when t = tag_thread ->
+        let tid = Snap.Dec.int dec in
+        Snap.expect (tid >= 0 && tid < Array.length d.clocks) "lock clock thread out of range";
+        Some d.clocks.(tid)
+      | t when t = tag_lock ->
+        let l' = Snap.Dec.int dec in
+        Snap.expect (l' >= 0 && l' < l) "lock clock back-reference out of range";
+        (match d.lock_vc.(l') with
+        | Some _ as shared -> shared
+        | None -> raise (Snap.Corrupt "lock clock back-reference to empty slot"))
+      | t when t = tag_inline -> Some (Vc.decode dec ~size)
+      | t -> raise (Snap.Corrupt (Printf.sprintf "bad lock clock tag %d" t)))
+  done
+
+let snapshot d =
+  let enc = Snap.Enc.create () in
+  d.sample.Sampler.save enc;
+  Array.iter (Vc.encode enc) d.clocks;
+  Snap.Enc.int_array enc d.own;
+  Array.iter (Vc.encode enc) d.uclocks;
+  Snap.Enc.int_array enc d.epochs;
+  Snap.Enc.bool_array enc d.pending;
+  Snap.Enc.bool_array enc d.shared;
+  encode_lock_vcs enc d;
+  Snap.Enc.int_array enc d.lock_own;
+  Snap.Enc.int_array enc d.lock_lr;
+  Snap.Enc.int_array enc d.lock_u;
+  History.encode enc d.history;
+  Metrics.encode enc d.metrics;
+  Race.encode_list enc d.races;
+  Snap.Enc.to_snap enc
+
+let restore (cfg : Detector.config) s =
+  let d = create cfg in
+  let dec = Snap.Dec.of_snap s in
+  let n = d.csize in
+  d.sample.Sampler.load dec;
+  for t = 0 to n - 1 do
+    d.clocks.(t) <- Vc.decode dec ~size:n
+  done;
+  let own = Snap.Dec.int_array_n dec n in
+  Array.blit own 0 d.own 0 n;
+  for t = 0 to n - 1 do
+    d.uclocks.(t) <- Vc.decode dec ~size:n
+  done;
+  let epochs = Snap.Dec.int_array_n dec n in
+  Array.blit epochs 0 d.epochs 0 n;
+  let pending = Snap.Dec.bool_array_n dec n in
+  Array.blit pending 0 d.pending 0 n;
+  let shared = Snap.Dec.bool_array_n dec n in
+  Array.blit shared 0 d.shared 0 n;
+  decode_lock_vcs dec d ~size:n;
+  let nlocks = Array.length d.lock_own in
+  let lock_own = Snap.Dec.int_array_n dec nlocks in
+  Array.blit lock_own 0 d.lock_own 0 nlocks;
+  let lock_lr = Snap.Dec.int_array_n dec nlocks in
+  Array.iteri
+    (fun l lr ->
+      Snap.expect (lr >= -1 && lr < n) "lock releaser out of range";
+      d.lock_lr.(l) <- lr)
+    lock_lr;
+  let lock_u = Snap.Dec.int_array_n dec nlocks in
+  Array.blit lock_u 0 d.lock_u 0 nlocks;
+  let history = History.decode dec ~nlocs:cfg.Detector.nlocs ~clock_size:n in
+  let metrics = Metrics.decode dec in
+  d.races <- Race.decode_list dec;
+  Snap.Dec.finish dec;
+  { d with history; metrics }

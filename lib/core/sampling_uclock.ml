@@ -97,7 +97,7 @@ let handle d index (e : E.t) =
   match e.E.op with
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
-    if d.sample index e then begin
+    if d.sample.Sampler.decide index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
@@ -108,7 +108,7 @@ let handle d index (e : E.t) =
     end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
-    if d.sample index e then begin
+    if d.sample.Sampler.decide index e then begin
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
@@ -163,6 +163,54 @@ let result d =
   { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
 
 let races_rev d = d.races
+
+let snapshot d =
+  let enc = Snap.Enc.create () in
+  d.sample.Sampler.save enc;
+  Array.iter (Vc.encode enc) d.clocks;
+  Array.iter (Vc.encode enc) d.uclocks;
+  Snap.Enc.int_array enc d.epochs;
+  Snap.Enc.bool_array enc d.pending;
+  Array.iter (fun c -> Snap.Enc.option enc (Vc.encode enc) c) d.lock_clocks;
+  Array.iter (fun c -> Snap.Enc.option enc (Vc.encode enc) c) d.lock_uclocks;
+  Snap.Enc.int_array enc d.lock_lr;
+  History.encode enc d.history;
+  Metrics.encode enc d.metrics;
+  Race.encode_list enc d.races;
+  Snap.Enc.to_snap enc
+
+let restore (cfg : Detector.config) s =
+  let d = create cfg in
+  let dec = Snap.Dec.of_snap s in
+  let n = d.nthreads in
+  d.sample.Sampler.load dec;
+  for t = 0 to Array.length d.clocks - 1 do
+    d.clocks.(t) <- Vc.decode dec ~size:n
+  done;
+  for t = 0 to Array.length d.uclocks - 1 do
+    d.uclocks.(t) <- Vc.decode dec ~size:n
+  done;
+  let epochs = Snap.Dec.int_array_n dec n in
+  Array.blit epochs 0 d.epochs 0 n;
+  let pending = Snap.Dec.bool_array_n dec n in
+  Array.blit pending 0 d.pending 0 n;
+  for l = 0 to Array.length d.lock_clocks - 1 do
+    d.lock_clocks.(l) <- Snap.Dec.option dec (fun () -> Vc.decode dec ~size:n)
+  done;
+  for l = 0 to Array.length d.lock_uclocks - 1 do
+    d.lock_uclocks.(l) <- Snap.Dec.option dec (fun () -> Vc.decode dec ~size:n)
+  done;
+  let lock_lr = Snap.Dec.int_array_n dec (Array.length d.lock_lr) in
+  Array.iteri
+    (fun l lr ->
+      Snap.expect (lr >= -1 && lr < n) "lock releaser out of range";
+      d.lock_lr.(l) <- lr)
+    lock_lr;
+  let history = History.decode dec ~nlocs:cfg.Detector.nlocs ~clock_size:n in
+  let metrics = Metrics.decode dec in
+  d.races <- Race.decode_list dec;
+  Snap.Dec.finish dec;
+  { d with history; metrics }
 
 end
 

@@ -173,6 +173,34 @@ let check_invariants tc =
   done;
   !ok
 
+let encode enc tc =
+  Snap.Enc.int_array enc tc.clk;
+  Snap.Enc.int_array enc tc.aclk;
+  Snap.Enc.int_array enc tc.parent;
+  Snap.Enc.int_array enc tc.head;
+  Snap.Enc.int_array enc tc.next;
+  Snap.Enc.int_array enc tc.prev;
+  Snap.Enc.int enc tc.root
+
+let decode dec ~size:n =
+  let clk = Snap.Dec.int_array_n dec n in
+  let aclk = Snap.Dec.int_array_n dec n in
+  let parent = Snap.Dec.int_array_n dec n in
+  let head = Snap.Dec.int_array_n dec n in
+  let next = Snap.Dec.int_array_n dec n in
+  let prev = Snap.Dec.int_array_n dec n in
+  let root = Snap.Dec.int dec in
+  Snap.expect (root >= 0 && root < n) "tree-clock root out of range";
+  let node_ref v = v >= -1 && v < n in
+  for i = 0 to n - 1 do
+    Snap.expect (clk.(i) >= 0 && aclk.(i) >= 0) "negative tree-clock entry";
+    Snap.expect (node_ref parent.(i) && node_ref head.(i) && node_ref next.(i) && node_ref prev.(i))
+      "tree-clock link out of range"
+  done;
+  let tc = { clk; aclk; parent; head; next; prev; root } in
+  Snap.expect (check_invariants tc) "tree-clock structure invalid";
+  tc
+
 let pp fmt tc =
   let rec node fmt u =
     Format.fprintf fmt "t%d:%d" u tc.clk.(u);

@@ -61,4 +61,10 @@ val check_invariants : t -> bool
     decreasing-[aclk] order, every attached node's [aclk] at most its
     parent's clock, no cycles.  For tests. *)
 
+val encode : Snap.Enc.t -> t -> unit
+
+val decode : Snap.Dec.t -> size:int -> t
+(** Raises [Snap.Corrupt] on wrong arity, out-of-range links, or a shape
+    that fails {!check_invariants}. *)
+
 val pp : Format.formatter -> t -> unit

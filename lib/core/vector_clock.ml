@@ -38,6 +38,15 @@ let reset c = Array.fill c 0 (Array.length c) 0
 let to_array = Array.copy
 let of_array = Array.copy
 
+let encode enc (c : t) = Snap.Enc.int_array enc c
+
+let decode dec ~size:n : t =
+  let a = Snap.Dec.int_array_n dec n in
+  Array.iteri
+    (fun i v -> Snap.expect (v >= 0) (Printf.sprintf "negative clock entry %d at %d" v i))
+    a;
+  a
+
 let pp fmt c =
   Format.fprintf fmt "⟨";
   Array.iteri (fun i v -> if i > 0 then Format.fprintf fmt ",%d" v else Format.fprintf fmt "%d" v) c;

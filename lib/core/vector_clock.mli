@@ -40,5 +40,10 @@ val to_array : t -> int array
 
 val of_array : int array -> t
 
+val encode : Snap.Enc.t -> t -> unit
+
+val decode : Snap.Dec.t -> size:int -> t
+(** Raises [Snap.Corrupt] unless exactly [size] non-negative entries. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders as [⟨a,b,…⟩]. *)

@@ -1,0 +1,45 @@
+(** Checkpoint files (.ftc) for resumable analyses.
+
+    A checkpoint packages one engine snapshot ({!Ft_core.Detector.S.snapshot})
+    together with the metadata needed to resume: which engine and sampler
+    strategy produced it, the universe it was sized for, how many trace
+    events it has consumed, and — for .ftb streaming analyses — the byte
+    offset of the next undecoded event so a resumed run can seek instead of
+    re-reading the prefix.
+
+    Container layout:
+    {v
+    "FTCK"  version-byte  checksum(8 bytes, LE FNV-1a 64 of payload)  payload
+    v}
+    The payload is a {!Ft_core.Snap} encoding of the metadata followed by
+    the engine snapshot.  Decoding never raises: bit flips are caught by the
+    checksum, truncation by the checksum or the length-checked decoders, and
+    format drift by the version byte — each yields [Error] with a
+    description. *)
+
+type meta = {
+  engine : Ft_core.Engine.id;
+  sampler : string;  (** {!Ft_core.Sampler.name} of the strategy in use *)
+  nthreads : int;
+  nlocks : int;
+  nlocs : int;
+  clock_size : int;
+  next_index : int;  (** events already consumed; the resume point *)
+  byte_offset : int;
+      (** .ftb offset of the next undecoded event, or [-1] when the source
+          is not a seekable binary trace *)
+}
+
+type t = { meta : meta; detector : Ft_core.Snap.t }
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Never raises; any corruption yields [Error]. *)
+
+val save : string -> t -> unit
+(** Write atomically (temp file + rename), so an interrupted checkpoint
+    never clobbers the previous good one.  Raises [Sys_error] on I/O
+    failure. *)
+
+val load : string -> (t, string) result

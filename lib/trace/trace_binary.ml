@@ -195,11 +195,15 @@ let default_chunk = 64 * 1024
 type source = {
   ic : in_channel;
   buf : bytes;
+  mutable base : int;  (* channel offset of [buf.(0)] *)
   mutable pos : int;  (* next unread byte in [buf] *)
   mutable len : int;  (* valid bytes in [buf] *)
 }
 
+(* only called with the buffer exhausted ([pos >= len]), so the new base is
+   exactly the old one advanced past everything consumed *)
 let refill s =
+  s.base <- s.base + s.len;
   let n = input s.ic s.buf 0 (Bytes.length s.buf) in
   s.pos <- 0;
   s.len <- n;
@@ -231,7 +235,8 @@ type reader = {
 }
 
 let open_channel ?(chunk_size = default_chunk) ic =
-  let src = { ic; buf = Bytes.create (Stdlib.max 16 chunk_size); pos = 0; len = 0 } in
+  let base = try pos_in ic with Sys_error _ -> 0 in
+  let src = { ic; buf = Bytes.create (Stdlib.max 16 chunk_size); base; pos = 0; len = 0 } in
   try
     let mbuf = Bytes.create (String.length magic) in
     for i = 0 to Bytes.length mbuf - 1 do
@@ -276,6 +281,24 @@ let open_channel ?(chunk_size = default_chunk) ic =
   with Truncated -> Error "truncated input"
 
 let header r = r.rheader
+
+let events_read r = r.next_index
+
+let byte_pos r = r.src.base + r.src.pos
+
+let seek r ~byte_offset ~next_index =
+  if byte_offset < 0 then Error "seek: negative byte offset"
+  else if next_index < 0 || next_index > r.rheader.nevents then
+    Error "seek: event index out of range"
+  else
+    match seek_in r.src.ic byte_offset with
+    | () ->
+      r.src.base <- byte_offset;
+      r.src.pos <- 0;
+      r.src.len <- 0;
+      r.next_index <- next_index;
+      Ok ()
+    | exception Sys_error msg -> Error ("seek: " ^ msg)
 
 let next r =
   if r.next_index >= r.rheader.nevents then Ok None

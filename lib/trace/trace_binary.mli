@@ -60,6 +60,21 @@ val open_channel : ?chunk_size:int -> in_channel -> (reader, string) result
 
 val header : reader -> header
 
+val events_read : reader -> int
+(** Events already delivered by {!next}. *)
+
+val byte_pos : reader -> int
+(** Channel offset of the next undelivered byte.  Recording this alongside
+    {!events_read} in a checkpoint lets a resumed analysis {!seek} straight
+    to where it left off instead of re-decoding the prefix. *)
+
+val seek : reader -> byte_offset:int -> next_index:int -> (unit, string) result
+(** Position the reader so the next {!next} decodes the event at
+    [next_index], whose encoding starts at [byte_offset] (both previously
+    obtained from {!byte_pos}/{!events_read}).  Fails on non-seekable
+    channels and out-of-range indices; offsets into the middle of an event
+    surface later as a decode error. *)
+
 val next : reader -> (Event.t option, string) result
 (** The next event, [Ok None] once [nevents] have been delivered, or an
     error describing the corruption (truncation, bad tag, out-of-range

@@ -8,6 +8,8 @@ module Detector = Ft_core.Detector
 module Sampler = Ft_core.Sampler
 module Metrics = Ft_core.Metrics
 module Db_sim = Ft_workloads.Db_sim
+module Trace_gen = Ft_trace.Trace_gen
+module Prng = Ft_support.Prng
 
 let big_trace = lazy (Db_sim.generate (Option.get (Db_sim.profile "tpcc")) ~seed:1 ~target_events:1_000_000)
 
@@ -50,6 +52,45 @@ let test_su_so_agree_at_scale () =
   Alcotest.(check (list int)) "same racy locations"
     (Detector.racy_locations su) (Detector.racy_locations so)
 
+(* Equivalence sweep on random fork/join traces at growing thread counts:
+   the three sampling algorithms must report the same races (same events,
+   same order), and Alg 4's traversal work must stay within what Alg 3
+   spends on full vector-clock operations. *)
+
+let sweep_cases = [ (1, 16, 55_000); (2, 32, 66_000); (3, 64, 88_000) ]
+
+let test_sampling_engines_agree_sweep () =
+  List.iter
+    (fun (seed, nthreads, length) ->
+      let prng = Prng.create ~seed in
+      let trace =
+        Trace_gen.random prng
+          { Trace_gen.nthreads; nlocks = 8; nlocs = 32; length; atomics = true; forkjoin = true }
+      in
+      let label = Printf.sprintf "T=%d" nthreads in
+      Alcotest.(check bool) (label ^ ": ≥50k events") true (Trace.length trace >= 50_000);
+      let run engine =
+        Engine.run engine
+          ~sampler:(Sampler.bernoulli ~rate:0.05 ~seed:7)
+          ~clock_size:nthreads trace
+      in
+      let st = run Engine.St and su = run Engine.Su and so = run Engine.So in
+      Alcotest.(check bool) (label ^ ": ST ≡ SU races") true
+        (st.Detector.races = su.Detector.races);
+      Alcotest.(check bool) (label ^ ": SU ≡ SO races") true
+        (su.Detector.races = so.Detector.races);
+      Alcotest.(check (list int))
+        (label ^ ": same racy locations")
+        (Detector.racy_locations st) (Detector.racy_locations so);
+      (* every non-skipped SO acquire examines ≤ T ordered-list entries, and
+         SU pays a full O(T) traversal at exactly those acquires *)
+      Alcotest.(check bool)
+        (label ^ ": SO entries_traversed ≤ SU vc_full_ops · T")
+        true
+        (so.Detector.metrics.Metrics.entries_traversed
+        <= su.Detector.metrics.Metrics.vc_full_ops * nthreads))
+    sweep_cases
+
 let () =
   Alcotest.run "stress"
     [
@@ -59,5 +100,10 @@ let () =
           Alcotest.test_case "engines complete" `Slow test_engines_complete;
           Alcotest.test_case "SO bounds hold" `Slow test_so_bounds_at_scale;
           Alcotest.test_case "SU = SO at scale" `Slow test_su_so_agree_at_scale;
+        ] );
+      ( "sampling equivalence sweep",
+        [
+          Alcotest.test_case "ST ≡ SU ≡ SO up to 64 threads" `Slow
+            test_sampling_engines_agree_sweep;
         ] );
     ]
