@@ -17,6 +17,9 @@ module Detector = Ft_core.Detector
 module Sampler = Ft_core.Sampler
 module Vc = Ft_core.Vector_clock
 module Ol = Ft_core.Ordered_list
+module Trace = Ft_trace.Trace
+module Sharded = Ft_shard.Sharded
+module Clock = Ft_support.Clock
 module Db_sim = Ft_workloads.Db_sim
 module Classic = Ft_workloads.Classic
 module Harness = Ft_tsan.Harness
@@ -39,7 +42,9 @@ let options =
 let parse_args () =
   let spec =
     [
-      ("--figure", Arg.String (fun s -> options.figure <- s), "FIG  only this figure (5a..9)");
+      ( "--figure",
+        Arg.String (fun s -> options.figure <- s),
+        "FIG  only this figure (5a..9, ablation, shards)" );
       ("--full", Arg.Unit (fun () -> options.full <- true), "  paper-scale sizes");
       ("--no-bechamel", Arg.Unit (fun () -> options.bechamel <- false), "  skip micro-timings");
       ("--events", Arg.Int (fun n -> options.events <- Some n), "N  events per DB trace");
@@ -137,6 +142,59 @@ let run_bechamel () =
     rows;
   print_newline ()
 
+(* --- shard scaling ---------------------------------------------------------- *)
+
+(* Wall-clock scaling of the location-sharded online detector over K worker
+   domains.  One JSON row per (workload, K) so plotting scripts can ingest
+   the output directly; verdict exactness is enforced inline — every K must
+   report the same race count as K=1, or the grid aborts. *)
+let run_shard_grid ~target_events ~jobs:_ =
+  print_newline ();
+  print_endline "Shard scaling: SO engine, location-sharded across K domains";
+  print_endline "===========================================================";
+  let workloads =
+    [
+      ( "db:tpcc",
+        let p = Option.get (Db_sim.profile "tpcc") in
+        Db_sim.generate p ~seed:7 ~target_events );
+      ( "classic:producerconsumer",
+        let b = Option.get (Classic.find "producerconsumer") in
+        b.Classic.generate ~seed:7 ~scale:6 );
+    ]
+  in
+  let sampler = Sampler.bernoulli ~rate:0.1 ~seed:7 in
+  List.iter
+    (fun (wname, trace) ->
+      let config = Detector.config_of_trace ~sampler trace in
+      let events = Trace.length trace in
+      let k1_races = ref (-1) in
+      List.iter
+        (fun shards ->
+          let sh = Sharded.create ~engine:Engine.So ~shards config in
+          let t0 = Clock.now_ns () in
+          Trace.iteri (fun i e -> Sharded.handle sh i e) trace;
+          let result = Sharded.result sh in
+          let wall_s = Clock.elapsed_s ~since:t0 in
+          Sharded.stop sh;
+          let races = List.length result.Ft_core.Detector.races in
+          if !k1_races < 0 then k1_races := races
+          else if races <> !k1_races then
+            failwith
+              (Printf.sprintf
+                 "shard grid: %s with K=%d reports %d races but K=1 reported %d"
+                 wname shards races !k1_races);
+          Printf.printf
+            "{\"figure\": \"shards\", \"workload\": %S, \"engine\": %S, \
+             \"shards\": %d, \"events\": %d, \"wall_s\": %.6f, \
+             \"events_per_s\": %.0f, \"races\": %d}\n%!"
+            wname
+            (Engine.name Engine.So)
+            shards events wall_s
+            (float_of_int events /. Float.max wall_s 1e-9)
+            races)
+        [ 1; 2; 4; 8 ])
+    workloads
+
 (* --- figures ---------------------------------------------------------------- *)
 
 let show title body =
@@ -206,6 +264,8 @@ let () =
     show "Extension: Eraser lockset baseline vs ground truth (unsoundness, §7)"
       (Experiment.eraser_comparison ())
   end;
+  if wants "shards" then
+    run_shard_grid ~target_events:(target_events / 2) ~jobs:options.jobs;
   (* Bechamel last: its GC stabilization (per-sample compactions) perturbs
      the wall-clock comparisons above if run first. *)
   if options.bechamel then begin

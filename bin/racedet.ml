@@ -19,6 +19,8 @@ module Metrics = Ft_core.Metrics
 module Race = Ft_core.Race
 module Db_sim = Ft_workloads.Db_sim
 module Classic = Ft_workloads.Classic
+module Sharded = Ft_shard.Sharded
+module Serve = Ft_shard.Serve
 
 open Cmdliner
 
@@ -42,6 +44,22 @@ let clock_size_arg =
         ~doc:
           "Vector-clock width (default: thread count). Use 256 to mimic \
            ThreadSanitizer v3's fixed clocks.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Run the engine location-sharded across K worker domains. Race \
+           reports and metrics are exact: byte-identical to K=1 for every \
+           engine and sampler.")
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 (* binary (.ftb) or textual, by extension *)
 let load_trace file =
@@ -141,32 +159,40 @@ let analyze_cmd =
                  validate is reported and the analysis replays from the start.")
   in
   let print_result ~events ~(result : Detector.result) show_races =
-    let locs = Detector.racy_locations result in
-    Printf.printf "engine          : %s\n" result.Detector.engine;
-    Printf.printf "events          : %d\n" events;
-    Printf.printf "sampled accesses: %d\n" result.Detector.metrics.Metrics.sampled_accesses;
-    Printf.printf "race declarations: %d\n" (List.length result.Detector.races);
-    Printf.printf "racy locations  : %d%s\n" (List.length locs)
-      (if locs = [] then ""
-       else "  (" ^ String.concat ", " (List.map (Printf.sprintf "x%d") locs) ^ ")");
-    Printf.printf "sync work       : %d/%d acquires skipped, %d/%d releases copied, %d deep copies\n"
-      result.Detector.metrics.Metrics.acquires_skipped
-      result.Detector.metrics.Metrics.acquires
-      result.Detector.metrics.Metrics.releases_processed
-      result.Detector.metrics.Metrics.releases
-      result.Detector.metrics.Metrics.deep_copies;
+    (* the daemon's REPORT payload and this output share one renderer, so
+       serve-vs-analyze diffs compare bytes *)
+    print_string (Serve.report_text ~events result);
     if show_races then
       List.iter (fun race -> Format.printf "%a@." Race.pp race) result.Detector.races;
-    if locs = [] then 0 else 2
+    if Detector.racy_locations result = [] then 0 else 2
   in
-  let run file engine rate seed clock_size show_races checkpoint checkpoint_every resume =
+  let run file engine rate seed clock_size shards show_races checkpoint checkpoint_every resume =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
       1
     | Some id ->
       let sampler = if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed in
-      if checkpoint <> None || resume <> None then begin
+      if shards > 1 && (checkpoint <> None || resume <> None) then begin
+        prerr_endline
+          "racedet: --shards cannot be combined with --checkpoint/--resume (use \
+           'racedet serve' for resumable sharded ingestion)";
+        1
+      end
+      else if shards > 1 then begin
+        match load_trace file with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok trace ->
+          let config = Detector.config_of_trace ~sampler ?clock_size trace in
+          let sh = Sharded.create ~engine:id ~shards config in
+          Trace.iteri (fun i e -> Sharded.handle sh i e) trace;
+          let result = Sharded.result sh in
+          Sharded.stop sh;
+          print_result ~events:(Trace.length trace) ~result show_races
+      end
+      else if checkpoint <> None || resume <> None then begin
         (* resumable path: .ftb traces stream (and record byte offsets for
            seeking); textual traces are replayed in memory *)
         let outcome =
@@ -204,12 +230,197 @@ let analyze_cmd =
   in
   let term =
     Term.(
-      const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ show_races
-      $ checkpoint $ checkpoint_every $ resume)
+      const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ shards_arg
+      $ show_races $ checkpoint $ checkpoint_every $ resume)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run a race-detection engine over a trace file (exit 2 if races found).")
+    term
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let engine =
+    Arg.(value & opt string "so" & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Engine: djit, fasttrack, fasttrack-tc, st, su, so or sl.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR"
+           ~doc:"Persist per-shard .ftc checkpoints into DIR after every ingested \
+                 batch and on shutdown.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR"
+           ~doc:"Resume from the checkpoint set in DIR. A missing or inconsistent \
+                 set is reported and the server starts fresh, which is still exact \
+                 because clients resend idempotently.")
+  in
+  let run socket engine shards rate seed clock_size checkpoint resume =
+    match Engine.of_name engine with
+    | None ->
+      prerr_endline ("racedet: unknown engine " ^ engine);
+      1
+    | Some id ->
+      if shards < 1 then begin
+        prerr_endline "racedet: --shards must be positive";
+        1
+      end
+      else begin
+        let sampler =
+          if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
+        in
+        (try
+           Serve.run
+             {
+               Serve.socket;
+               engine = id;
+               shards;
+               sampler;
+               clock_size;
+               checkpoint_dir = checkpoint;
+               resume_dir = resume;
+               max_parked = Serve.default_max_parked;
+             };
+           0
+         with
+        | Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "racedet: serve: %s(%s): %s\n" fn arg (Unix.error_message err);
+          1
+        | Failure msg ->
+          prerr_endline ("racedet: serve: " ^ msg);
+          1)
+      end
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ engine $ shards_arg $ rate_arg $ seed_arg
+      $ clock_size_arg $ checkpoint $ resume)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Ingestion daemon: accept .ftb event batches over a Unix-domain socket, \
+          feed a (sharded) online detector, answer REPORT queries. Runs until a \
+          client sends SHUTDOWN.")
+    term
+
+(* --- emit ------------------------------------------------------------------ *)
+
+let emit_cmd =
+  let connect =
+    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of a running $(b,racedet serve).")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"Trace file to stream (omit to only query/shut down the server).")
+  in
+  let batch =
+    Arg.(value & opt int 10_000 & info [ "batch" ] ~docv:"N"
+           ~doc:"Events per batch.")
+  in
+  let stride =
+    Arg.(value & opt int 1 & info [ "stride" ] ~docv:"S"
+           ~doc:"Send only every S-th batch (split one trace across S clients).")
+  in
+  let offset =
+    Arg.(value & opt int 0 & info [ "offset" ] ~docv:"I"
+           ~doc:"This client's batch residue modulo $(b,--stride).")
+  in
+  let report =
+    Arg.(value & flag & info [ "report" ]
+           ~doc:"Fetch and print the server's analysis report (exit 2 if it shows \
+                 racy locations).")
+  in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the server to checkpoint and exit after this client is done.")
+  in
+  let run connect file batch stride offset report shutdown_flag =
+    if batch < 1 then begin
+      prerr_endline "racedet: --batch must be positive";
+      1
+    end
+    else if stride < 1 then begin
+      prerr_endline "racedet: --stride must be positive";
+      1
+    end
+    else begin
+      let exception Fail of string in
+      match Serve.connect connect with
+      | exception Unix.Unix_error (err, fn, _) ->
+        Printf.eprintf "racedet: cannot connect to %s: %s: %s\n" connect fn
+          (Unix.error_message err);
+        1
+      | fd ->
+        let code = ref 0 in
+        (try
+           (match file with
+           | None -> ()
+           | Some file -> (
+             match load_trace file with
+             | Error msg -> raise (Fail msg)
+             | Ok trace ->
+               let n = Trace.length trace in
+               let nbatches = (n + batch - 1) / batch in
+               for b = 0 to nbatches - 1 do
+                 if b mod stride = offset mod stride then begin
+                   let base = b * batch in
+                   let len = min batch (n - base) in
+                   let sub =
+                     Trace.make ~nthreads:trace.Trace.nthreads
+                       ~nlocks:trace.Trace.nlocks ~nlocs:trace.Trace.nlocs
+                       (Array.init len (fun i -> Trace.get trace (base + i)))
+                   in
+                   match Serve.send_batch fd ~base sub with
+                   | Ok total ->
+                     Printf.eprintf "batch %d (base %d): server has %d events\n%!" b
+                       base total
+                   | Error msg ->
+                     raise (Fail (Printf.sprintf "batch %d: %s" b msg))
+                 end
+               done));
+           if report then begin
+             match Serve.fetch_report fd with
+             | Error msg -> raise (Fail msg)
+             | Ok text ->
+               print_string text;
+               (* mirror analyze's exit code from the shared report renderer *)
+               let clean = "racy locations  : 0\n" in
+               let has_sub hay needle =
+                 let nh = String.length hay and nn = String.length needle in
+                 let rec go i =
+                   i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+                 in
+                 go 0
+               in
+               if not (has_sub text clean) then code := 2
+           end;
+           if shutdown_flag then
+             match Serve.shutdown fd with
+             | Ok () -> ()
+             | Error msg -> raise (Fail ("shutdown: " ^ msg))
+         with
+        | Fail msg ->
+          prerr_endline ("racedet: " ^ msg);
+          code := 1
+        | Unix.Unix_error (err, fn, _) ->
+          Printf.eprintf "racedet: %s: %s\n" fn (Unix.error_message err);
+          code := 1);
+        Serve.close fd;
+        !code
+    end
+  in
+  let term =
+    Term.(
+      const run $ connect $ file $ batch $ stride $ offset $ report $ shutdown_flag)
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Stream a trace to a $(b,racedet serve) daemon in indexed batches; \
+          optionally fetch the report and/or shut the server down.")
     term
 
 (* --- compare --------------------------------------------------------------- *)
@@ -457,6 +668,9 @@ let main_cmd =
   let doc = "sampling-based dynamic race detection with efficient timestamping" in
   let info = Cmd.info "racedet" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ generate_cmd; analyze_cmd; compare_cmd; report_cmd; oracle_cmd; experiments_cmd; list_cmd ]
+    [
+      generate_cmd; analyze_cmd; serve_cmd; emit_cmd; compare_cmd; report_cmd;
+      oracle_cmd; experiments_cmd; list_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

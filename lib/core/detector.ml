@@ -38,6 +38,7 @@ module type S = sig
   val handle : t -> int -> Ft_trace.Event.t -> unit
   val result : t -> result
   val races_rev : t -> Race.t list
+  val note_sampled : t -> Ft_trace.Event.tid -> unit
   val snapshot : t -> Snap.t
   val restore : config -> Snap.t -> t
 end
@@ -111,6 +112,7 @@ module Noop = struct
 
   let result (_ : t) = { engine = name; races = []; metrics = Metrics.create () }
   let races_rev (_ : t) = []
+  let note_sampled (_ : t) (_ : Ft_trace.Event.tid) = ()
 
   let snapshot d =
     let enc = Snap.Enc.create () in

@@ -51,6 +51,19 @@ module type S = sig
       online monitor peels freshly declared races off the head instead of
       re-walking the full (reversed) list of {!result}. *)
 
+  val note_sampled : t -> Ft_trace.Event.tid -> unit
+  (** [note_sampled d t] applies the {e thread-local} state effect of a
+      sampled access by thread [t] without touching any location state: for
+      the sampling engines (ST/SU/SO and ablations) it sets the thread's
+      pending bit, so the next release/fork/join flushes the local epoch
+      exactly as if the access had been handled; for engines whose access
+      handlers only touch per-location state (DJIT+, FastTrack, the lockset
+      baseline) it is a no-op.  This is the hook location sharding rests on:
+      a shard that never sees another shard's accesses still evolves the
+      same clocks, provided the router forwards one [note_sampled] per
+      pending-bit transition (the bit is idempotent until the next flush).
+      Never called by single-stream runners. *)
+
   val snapshot : t -> Snap.t
   (** Serialize the complete detector state — clocks, epochs, access
       histories, sampler state, metrics, race reports, and (for SO) the

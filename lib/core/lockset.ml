@@ -97,6 +97,9 @@ let result d =
 
 let races_rev d = d.races
 
+(* Accesses never touch the held-lock state, so sharding needs no replay. *)
+let note_sampled (_ : t) (_ : int) = ()
+
 let encode_set enc s = Snap.Enc.list enc (Snap.Enc.int enc) (IntSet.elements s)
 
 let decode_set dec =

@@ -50,6 +50,19 @@ val decode : Snap.Dec.t -> t
 val add : into:t -> t -> unit
 (** Pointwise accumulation, for aggregating repeated runs. *)
 
+val merge_shards : sync_baseline:t -> t array -> t
+(** Exact counters of the equivalent unsharded run, from per-shard counters.
+
+    Contract: each of the K shards saw every sync event (broadcast) but only
+    its own accesses, so access-side counters sum exactly while sync-side
+    work was performed K times; [sync_baseline] is the counter set of a
+    detector fed only the broadcast sync stream (no accesses) and therefore
+    counts exactly one replica's worth of the duplicated work.  The merge is
+    pointwise [Σ shards − (K−1)·baseline] over {!to_array}, so every field —
+    including future ones — is covered by the same formula.  With K = 1 the
+    baseline cancels and the result equals the single shard.  Raises
+    [Invalid_argument] on an empty shard array. *)
+
 val acquire_total : t -> int
 val release_total : t -> int
 

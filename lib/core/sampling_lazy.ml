@@ -164,6 +164,10 @@ let result d =
 
 let races_rev d = d.races
 
+(* Sharding hook: the thread-local half of a sampled access.  Idempotent
+   until the next flush, exactly like the bit it sets. *)
+let note_sampled d t = d.pending.(t) <- true
+
 (* Like the ordered-list engine, releases publish a *reference* to the
    releasing thread's clock, and the [shared] flags only make sense if the
    restored detector reproduces that physical sharing.  Lock entries are

@@ -112,6 +112,10 @@ let result d =
 
 let races_rev d = d.races
 
+(* Sharding hook: the thread-local half of a sampled access.  Idempotent
+   until the next flush, exactly like the bit it sets. *)
+let note_sampled d t = d.pending.(t) <- true
+
 let snapshot d =
   let enc = Snap.Enc.create () in
   d.sample.Sampler.save enc;

@@ -173,6 +173,10 @@ let result d =
 
 let races_rev d = d.races
 
+(* Sharding hook: the thread-local half of a sampled access.  Idempotent
+   until the next flush, exactly like the bit it sets. *)
+let note_sampled d t = d.pending.(t) <- true
+
 (* Snapshots must reproduce Alg 4's lazy-copy sharing structure, not just
    the list values: a release stores a *reference* to the releasing
    thread's list, and several locks may alias one list (or an old version a

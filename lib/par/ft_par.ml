@@ -31,13 +31,13 @@ let map_stats ?(jobs = 1) f tasks =
   let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
   let results = Array.make n None in
   let durations = Array.make n 0.0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ft_support.Clock.now_ns () in
   if jobs = 1 then
     (* inline, in order: the sequential path spawns nothing *)
     for i = 0 to n - 1 do
-      let c0 = Unix.gettimeofday () in
+      let c0 = Ft_support.Clock.now_ns () in
       results.(i) <- Some (run_task f tasks i);
-      durations.(i) <- Unix.gettimeofday () -. c0
+      durations.(i) <- Ft_support.Clock.elapsed_s ~since:c0
     done
   else begin
     (* work queue: a shared counter of the next unclaimed task index.
@@ -48,9 +48,9 @@ let map_stats ?(jobs = 1) f tasks =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          let c0 = Unix.gettimeofday () in
+          let c0 = Ft_support.Clock.now_ns () in
           results.(i) <- Some (run_task f tasks i);
-          durations.(i) <- Unix.gettimeofday () -. c0;
+          durations.(i) <- Ft_support.Clock.elapsed_s ~since:c0;
           loop ()
         end
       in
@@ -60,7 +60,7 @@ let map_stats ?(jobs = 1) f tasks =
     worker ();
     Array.iter Domain.join domains
   end;
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Ft_support.Clock.elapsed_s ~since:t0 in
   let results =
     Array.mapi
       (fun i -> function

@@ -1,0 +1,415 @@
+module Trace = Ft_trace.Trace
+module Trace_binary = Ft_trace.Trace_binary
+module Detector = Ft_core.Detector
+module Engine = Ft_core.Engine
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Snap = Ft_core.Snap
+module Checkpoint = Ft_snapshot.Checkpoint
+
+type config = {
+  socket : string;
+  engine : Engine.id;
+  shards : int;
+  sampler : Sampler.t;
+  clock_size : int option;
+  checkpoint_dir : string option;
+  resume_dir : string option;
+  max_parked : int;
+}
+
+let default_max_parked = 1024
+
+(* --- the report, shared with [racedet analyze] -------------------------- *)
+
+let report_text ~events (result : Detector.result) =
+  let b = Buffer.create 256 in
+  let locs = Detector.racy_locations result in
+  let m = result.Detector.metrics in
+  Printf.bprintf b "engine          : %s\n" result.Detector.engine;
+  Printf.bprintf b "events          : %d\n" events;
+  Printf.bprintf b "sampled accesses: %d\n" m.Metrics.sampled_accesses;
+  Printf.bprintf b "race declarations: %d\n" (List.length result.Detector.races);
+  Printf.bprintf b "racy locations  : %d%s\n" (List.length locs)
+    (if locs = [] then ""
+     else "  (" ^ String.concat ", " (List.map (Printf.sprintf "x%d") locs) ^ ")");
+  Printf.bprintf b
+    "sync work       : %d/%d acquires skipped, %d/%d releases copied, %d deep copies\n"
+    m.Metrics.acquires_skipped m.Metrics.acquires m.Metrics.releases_processed
+    m.Metrics.releases m.Metrics.deep_copies;
+  Buffer.contents b
+
+(* --- low-level I/O ------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let read_line_fd fd =
+  let b = Buffer.create 64 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> raise End_of_file
+    | _ ->
+      let c = Bytes.get one 0 in
+      if c = '\n' then Buffer.contents b
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+  in
+  go ()
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off < n then
+      match Unix.read fd b off (n - off) with
+      | 0 -> raise End_of_file
+      | k -> go (off + k)
+  in
+  go 0;
+  Bytes.unsafe_to_string b
+
+(* --- server state -------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable data : string;  (* unconsumed input *)
+  mutable blob : (int * int) option;  (* BATCH header seen: base, bytes awaited *)
+  mutable closed : bool;
+}
+
+type state = {
+  cfg : config;
+  mutable det : Sharded.t option;
+  mutable universe : (int * int * int) option;  (* nthreads, nlocks, nlocs *)
+  mutable clock_size : int;
+  mutable expected : int;  (* next global event index *)
+  parked : (int, Trace.t) Hashtbl.t;
+  mutable quit : bool;
+}
+
+let shard_file dir k = Filename.concat dir (Printf.sprintf "shard-%d.ftc" k)
+let router_file dir = Filename.concat dir "router.ftc"
+
+let write_checkpoint st =
+  match (st.cfg.checkpoint_dir, st.det, st.universe) with
+  | Some dir, Some det, Some (nthreads, nlocks, nlocs) ->
+    let meta =
+      {
+        Checkpoint.engine = st.cfg.engine;
+        sampler = Sampler.name st.cfg.sampler;
+        nthreads;
+        nlocks;
+        nlocs;
+        clock_size = st.clock_size;
+        next_index = st.expected;
+        byte_offset = -1;
+      }
+    in
+    Array.iteri
+      (fun k snap ->
+        Checkpoint.save (shard_file dir k) { Checkpoint.meta; detector = snap })
+      (Sharded.shard_snapshots det);
+    Checkpoint.save (router_file dir)
+      { Checkpoint.meta; detector = Sharded.router_snapshot det }
+  | _ -> ()
+
+(* Resume from a checkpoint directory.  Any inconsistency (missing file,
+   checksum failure, metadata drift between the per-shard files) degrades to
+   a logged fresh start — clients resend idempotently, so the result is
+   still exact. *)
+let try_resume (cfg : config) =
+  match cfg.resume_dir with
+  | None -> None
+  | Some dir ->
+    let ( let* ) = Result.bind in
+    let outcome =
+      let* router_cp = Checkpoint.load (router_file dir) in
+      let meta = router_cp.Checkpoint.meta in
+      let* () =
+        if meta.Checkpoint.engine = cfg.engine then Ok ()
+        else Error "checkpoint engine differs from --engine"
+      in
+      let* () =
+        if meta.Checkpoint.sampler = Sampler.name cfg.sampler then Ok ()
+        else Error "checkpoint sampler differs from the configured sampler"
+      in
+      let* shard_cps =
+        let rec load k acc =
+          if k = cfg.shards then Ok (List.rev acc)
+          else
+            let* cp = Checkpoint.load (shard_file dir k) in
+            if cp.Checkpoint.meta = meta then load (k + 1) (cp :: acc)
+            else Error (Printf.sprintf "shard-%d.ftc metadata disagrees with router.ftc" k)
+        in
+        load 0 []
+      in
+      let config =
+        {
+          Detector.nthreads = meta.Checkpoint.nthreads;
+          nlocks = meta.Checkpoint.nlocks;
+          nlocs = meta.Checkpoint.nlocs;
+          clock_size = meta.Checkpoint.clock_size;
+          sampler = cfg.sampler;
+        }
+      in
+      match
+        Sharded.restore ~engine:cfg.engine ~shards:cfg.shards config
+          ~router:router_cp.Checkpoint.detector
+          (Array.of_list (List.map (fun cp -> cp.Checkpoint.detector) shard_cps))
+      with
+      | det -> Ok (det, meta)
+      | exception Snap.Corrupt msg -> Error msg
+    in
+    (match outcome with
+    | Ok r -> Some r
+    | Error msg ->
+      Printf.eprintf "racedet serve: cannot resume from %s (%s); starting fresh\n%!" dir
+        msg;
+      None)
+
+let ensure_detector st (nthreads, nlocks, nlocs) =
+  match (st.det, st.universe) with
+  | Some det, Some u ->
+    if u = (nthreads, nlocks, nlocs) then Ok det
+    else Error "batch universe differs from the session's"
+  | None, _ ->
+    let clock_size =
+      match st.cfg.clock_size with
+      | None -> nthreads
+      | Some s -> Stdlib.max s nthreads
+    in
+    let config = { Detector.nthreads; nlocks; nlocs; clock_size; sampler = st.cfg.sampler } in
+    let det = Sharded.create ~engine:st.cfg.engine ~shards:st.cfg.shards config in
+    st.det <- Some det;
+    st.universe <- Some (nthreads, nlocks, nlocs);
+    st.clock_size <- clock_size;
+    Ok det
+  | Some _, None -> assert false
+
+let feed st det trace base =
+  let n = Trace.length trace in
+  (* skip any already-ingested prefix: resends are idempotent *)
+  for i = Stdlib.max 0 (st.expected - base) to n - 1 do
+    Sharded.handle det (base + i) (Trace.get trace i)
+  done;
+  st.expected <- Stdlib.max st.expected (base + n)
+
+let rec drain_parked st det =
+  let eligible =
+    Hashtbl.fold
+      (fun base _ acc ->
+        if base <= st.expected then Some (match acc with None -> base | Some b -> Stdlib.min b base)
+        else acc)
+      st.parked None
+  in
+  match eligible with
+  | None -> ()
+  | Some base ->
+    let trace = Hashtbl.find st.parked base in
+    Hashtbl.remove st.parked base;
+    feed st det trace base;
+    drain_parked st det
+
+let reply conn s = try write_all conn.fd s with Unix.Unix_error _ -> conn.closed <- true
+
+let handle_batch st conn base payload =
+  if base < 0 then reply conn "ERR negative base index\n"
+  else
+    match Trace_binary.of_bytes (Bytes.of_string payload) with
+    | Error msg -> reply conn (Printf.sprintf "ERR bad batch: %s\n" msg)
+    | Ok trace -> (
+      let u = (trace.Trace.nthreads, trace.Trace.nlocks, trace.Trace.nlocs) in
+      match ensure_detector st u with
+      | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | Ok det -> (
+        try
+          if base > st.expected then
+            if Hashtbl.length st.parked >= st.cfg.max_parked then
+              reply conn "ERR parked batch limit exceeded\n"
+            else begin
+              Hashtbl.replace st.parked base trace;
+              reply conn (Printf.sprintf "OK %d\n" st.expected)
+            end
+          else begin
+            feed st det trace base;
+            drain_parked st det;
+            write_checkpoint st;
+            reply conn (Printf.sprintf "OK %d\n" st.expected)
+          end
+        with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+
+let handle_line st conn line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "BATCH"; base; nbytes ] -> (
+    match (int_of_string_opt base, int_of_string_opt nbytes) with
+    | Some b, Some n when n >= 0 -> conn.blob <- Some (b, n)
+    | _ -> reply conn "ERR malformed BATCH header\n")
+  | [ "REPORT" ] -> (
+    match st.det with
+    | None -> reply conn "ERR no events ingested\n"
+    | Some det -> (
+      try
+        let text = report_text ~events:(Sharded.events det) (Sharded.result det) in
+        reply conn (Printf.sprintf "REPORT %d\n%s" (String.length text) text)
+      with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+  | [ "SHUTDOWN" ] ->
+    write_checkpoint st;
+    reply conn "BYE\n";
+    st.quit <- true
+  | [ "" ] -> ()
+  | _ -> reply conn "ERR unknown command\n"
+
+let rec process st conn =
+  if not conn.closed then
+    match conn.blob with
+    | Some (base, nbytes) ->
+      if String.length conn.data >= nbytes then begin
+        let payload = String.sub conn.data 0 nbytes in
+        conn.data <- String.sub conn.data nbytes (String.length conn.data - nbytes);
+        conn.blob <- None;
+        handle_batch st conn base payload;
+        process st conn
+      end
+    | None -> (
+      match String.index_opt conn.data '\n' with
+      | None -> ()
+      | Some nl ->
+        let line = String.sub conn.data 0 nl in
+        conn.data <- String.sub conn.data (nl + 1) (String.length conn.data - nl - 1);
+        handle_line st conn line;
+        process st conn)
+
+let run cfg =
+  if cfg.shards < 1 then invalid_arg "Serve.run: shards must be positive";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd 16;
+  let st =
+    {
+      cfg;
+      det = None;
+      universe = None;
+      clock_size = 0;
+      expected = 0;
+      parked = Hashtbl.create 16;
+      quit = false;
+    }
+  in
+  (match try_resume cfg with
+  | None -> ()
+  | Some (det, meta) ->
+    st.det <- Some det;
+    st.universe <-
+      Some (meta.Checkpoint.nthreads, meta.Checkpoint.nlocks, meta.Checkpoint.nlocs);
+    st.clock_size <- meta.Checkpoint.clock_size;
+    st.expected <- meta.Checkpoint.next_index;
+    Printf.eprintf "racedet serve: resumed at event %d\n%!" st.expected);
+  let conns = ref [] in
+  let chunk = Bytes.create 65536 in
+  while not st.quit do
+    let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+    let readable, _, _ =
+      try Unix.select fds [] [] 0.5
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.memq listen_fd readable then begin
+      let fd, _ = Unix.accept listen_fd in
+      conns := { fd; data = ""; blob = None; closed = false } :: !conns
+    end;
+    List.iter
+      (fun c ->
+        if (not c.closed) && List.memq c.fd readable then
+          match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> c.closed <- true
+          | n ->
+            c.data <- c.data ^ Bytes.sub_string chunk 0 n;
+            process st c
+          | exception Unix.Unix_error _ -> c.closed <- true)
+      !conns;
+    conns :=
+      List.filter
+        (fun c ->
+          if c.closed then (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          not c.closed)
+        !conns
+  done;
+  (match st.det with Some det -> Sharded.stop det | None -> ());
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  Unix.close listen_fd;
+  try Unix.unlink cfg.socket with Unix.Unix_error _ -> ()
+
+(* --- client side ---------------------------------------------------------- *)
+
+let connect ?(retries = 100) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+      fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when n > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      go (n - 1)
+  in
+  go retries
+
+let expect_line fd =
+  match read_line_fd fd with
+  | line -> Ok line
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let send_batch fd ~base trace =
+  let payload = Trace_binary.to_bytes trace in
+  match
+    write_all fd (Printf.sprintf "BATCH %d %d\n" base (Bytes.length payload));
+    write_all fd (Bytes.to_string payload)
+  with
+  | () -> (
+    match expect_line fd with
+    | Error _ as e -> e
+    | Ok line -> (
+      match String.split_on_char ' ' line with
+      | [ "OK"; total ] -> (
+        match int_of_string_opt total with
+        | Some t -> Ok t
+        | None -> Error ("malformed reply: " ^ line))
+      | _ -> Error line))
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let fetch_report fd =
+  match write_all fd "REPORT\n" with
+  | () -> (
+    match expect_line fd with
+    | Error _ as e -> e
+    | Ok line -> (
+      match String.split_on_char ' ' line with
+      | [ "REPORT"; nbytes ] -> (
+        match int_of_string_opt nbytes with
+        | Some n -> (
+          try Ok (really_read fd n) with
+          | End_of_file -> Error "truncated report"
+          | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+        | None -> Error ("malformed reply: " ^ line))
+      | _ -> Error line))
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let shutdown fd =
+  match write_all fd "SHUTDOWN\n" with
+  | () -> (
+    match expect_line fd with
+    | Ok "BYE" -> Ok ()
+    | Ok line -> Error line
+    | Error _ as e -> e)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,71 @@
+(** The [racedet serve] ingestion daemon and its client side.
+
+    A server listens on a Unix-domain socket and feeds a {!Sharded} detector
+    from event batches pushed by any number of client processes.  The wire
+    protocol is line-framed with binary payloads:
+
+    {v
+    client → server                      server → client
+    BATCH <base> <nbytes>\n  <.ftb blob> OK <total>\n   |  ERR <reason>\n
+    REPORT\n                             REPORT <nbytes>\n <report text>
+    SHUTDOWN\n                           BYE\n
+    v}
+
+    Every batch is a complete .ftb file (header + events) whose header
+    declares the shared universe; [base] is the {e global} index of the
+    batch's first event.  Explicit bases make multi-client ingestion
+    deterministic: the server ingests strictly in index order, parking
+    batches that arrive early (bounded) and skipping already-ingested
+    prefixes idempotently — so a client may blindly resend after a crash.
+    [OK <total>] reports how many events have been ingested so far.
+
+    With a checkpoint directory the server persists, after every ingested
+    batch and on shutdown, one [.ftc] per shard ([shard-<k>.ftc]) plus
+    [router.ftc] (pending bits, router sampler state, sync-only baseline) —
+    the {!Ft_snapshot.Checkpoint} container, so each file is individually
+    checksummed and written atomically.  A restarted server pointed at the
+    directory resumes exactly; if the set is missing or inconsistent it
+    logs the reason and starts fresh, which is still correct because
+    clients resend idempotently. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  engine : Ft_core.Engine.id;
+  shards : int;
+  sampler : Ft_core.Sampler.t;
+  clock_size : int option;  (** default: the batch universe's thread count *)
+  checkpoint_dir : string option;
+  resume_dir : string option;
+  max_parked : int;  (** bound on batches parked for reordering *)
+}
+
+val default_max_parked : int
+
+val run : config -> unit
+(** Serve until a client sends [SHUTDOWN].  Creates the socket (replacing a
+    stale file), removes it on exit.  Blocking; spawns the shard domains —
+    call it from a dedicated (child) process. *)
+
+val report_text : events:int -> Ft_core.Detector.result -> string
+(** The analysis report, byte-identical to [racedet analyze]'s output —
+    both the CLI and the daemon render through this one function, which is
+    what the serve-vs-analyze smoke diffs rely on. *)
+
+(** {1 Client side} *)
+
+val connect : ?retries:int -> string -> Unix.file_descr
+(** Connect, retrying (50 ms apart, default 100 attempts) while the socket
+    does not exist yet or refuses — covers the race with server startup.
+    The returned descriptor has a receive timeout set, so a wedged server
+    surfaces as [Unix_error (EAGAIN, _, _)] rather than a hang. *)
+
+val send_batch :
+  Unix.file_descr -> base:int -> Ft_trace.Trace.t -> (int, string) result
+(** Encode the batch as .ftb and send it; [Ok total] echoes the server's
+    ingested-events count. *)
+
+val fetch_report : Unix.file_descr -> (string, string) result
+
+val shutdown : Unix.file_descr -> (unit, string) result
+
+val close : Unix.file_descr -> unit

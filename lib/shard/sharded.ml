@@ -1,0 +1,249 @@
+module Event = Ft_trace.Event
+module Detector = Ft_core.Detector
+module Engine = Ft_core.Engine
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Race = Ft_core.Race
+module Snap = Ft_core.Snap
+
+type msg =
+  | Ev of int * Event.t
+  | Mark of Event.tid  (* replicate a pending-bit transition: note_sampled *)
+  | Stop
+
+(* One engine instance behind closures, so the router can hold K of them
+   without knowing the engine's state type. *)
+type inst = {
+  i_handle : int -> Event.t -> unit;
+  i_note : Event.tid -> unit;
+  i_result : unit -> Detector.result;
+  i_snapshot : unit -> Snap.t;
+}
+
+let fresh_inst (module D : Detector.S) config =
+  let d = D.create config in
+  {
+    i_handle = (fun i e -> D.handle d i e);
+    i_note = (fun t -> D.note_sampled d t);
+    i_result = (fun () -> D.result d);
+    i_snapshot = (fun () -> D.snapshot d);
+  }
+
+let restored_inst (module D : Detector.S) config snap =
+  let d = D.restore config snap in
+  {
+    i_handle = (fun i e -> D.handle d i e);
+    i_note = (fun t -> D.note_sampled d t);
+    i_result = (fun () -> D.result d);
+    i_snapshot = (fun () -> D.snapshot d);
+  }
+
+type t = {
+  engine : Engine.id;
+  k : int;
+  rings : msg Spsc.t array;
+  shards : inst array;
+  baseline : inst;  (* same engine, fed only the broadcast sync stream *)
+  sampler_inst : Sampler.instance;
+  pending : bool array;  (* mirror of every instance's pending bit, per thread *)
+  error : (int * string) option Atomic.t;
+  mutable domains : unit Domain.t array;
+  mutable nevents : int;
+  mutable stopped : bool;
+}
+
+let ring_capacity = 1024
+
+(* Deterministic location → shard map (splitmix-style finalizer): stable
+   across runs and platforms, so per-shard checkpoints stay valid. *)
+let owner_of ~shards x =
+  if shards = 1 then 0
+  else begin
+    let h = x * 0x9E3779B1 in
+    let h = (h lxor (h lsr 16)) * 0x85EBCA6B in
+    ((h lxor (h lsr 13)) land max_int) mod shards
+  end
+
+(* Workers process their ring until [Stop].  A handler exception is recorded
+   once (first failure wins) and the worker keeps draining without
+   processing, so the router can never deadlock pushing into a dead shard. *)
+let worker ring inst error idx () =
+  let failed = ref false in
+  let rec loop spins =
+    match Spsc.peek ring with
+    | None ->
+      Domain.cpu_relax ();
+      (* an idle shard (e.g. a serve daemon between batches) must not pin a
+         core: back off to short sleeps after a burst of empty polls *)
+      if spins > 4096 then Unix.sleepf 0.0002;
+      loop (if spins > 4096 then spins else spins + 1)
+    | Some Stop -> Spsc.advance ring
+    | Some msg ->
+      if not !failed then begin
+        try
+          match msg with
+          | Ev (i, e) -> inst.i_handle i e
+          | Mark th -> inst.i_note th
+          | Stop -> assert false
+        with exn ->
+          failed := true;
+          let bt = Printexc.get_backtrace () in
+          ignore
+            (Atomic.compare_and_set error None
+               (Some (idx, Printexc.to_string exn ^ "\n" ^ bt)))
+      end;
+      Spsc.advance ring;
+      loop 0
+  in
+  loop 0
+
+let spawn_domains t =
+  t.domains <-
+    Array.init t.k (fun s ->
+        Domain.spawn (worker t.rings.(s) t.shards.(s) t.error s))
+
+let build ~engine ~shards:k ~shard_insts ~baseline ~sampler_inst ~pending ~nevents =
+  let t =
+    {
+      engine;
+      k;
+      rings = Array.init k (fun _ -> Spsc.create ~capacity:ring_capacity ~dummy:Stop);
+      shards = shard_insts;
+      baseline;
+      sampler_inst;
+      pending;
+      error = Atomic.make None;
+      domains = [||];
+      nevents;
+      stopped = false;
+    }
+  in
+  spawn_domains t;
+  t
+
+let create ~engine ~shards:k (config : Detector.config) =
+  if k < 1 then invalid_arg "Sharded.create: shards must be positive";
+  let packed = Engine.detector engine in
+  build ~engine ~shards:k
+    ~shard_insts:(Array.init k (fun _ -> fresh_inst packed config))
+    ~baseline:(fresh_inst packed config)
+    ~sampler_inst:(Sampler.fresh config.Detector.sampler)
+    ~pending:(Array.make config.Detector.nthreads false)
+    ~nevents:0
+
+let check_error t =
+  match Atomic.get t.error with
+  | None -> ()
+  | Some (s, msg) -> failwith (Printf.sprintf "Sharded: shard %d failed: %s" s msg)
+
+let broadcast t m = Array.iter (fun r -> Spsc.push r m) t.rings
+
+let handle t i (e : Event.t) =
+  if t.stopped then failwith "Sharded.handle: detector is stopped";
+  (match e.Event.op with
+  | Event.Read x | Event.Write x ->
+    let o = owner_of ~shards:t.k x in
+    (* The router's sampler instance sees every access, exactly once, in
+       trace order — the instance contract.  Query before the && so stateful
+       strategies advance even while the bit is already set. *)
+    let sampled = Sampler.query t.sampler_inst i e in
+    if sampled && not t.pending.(e.Event.thread) then begin
+      t.pending.(e.Event.thread) <- true;
+      for s = 0 to t.k - 1 do
+        (* the owner sets its own bit when it handles the event *)
+        if s <> o then Spsc.push t.rings.(s) (Mark e.Event.thread)
+      done;
+      t.baseline.i_note e.Event.thread
+    end;
+    Spsc.push t.rings.(o) (Ev (i, e))
+  | Event.Acquire _ | Event.Acquire_load _ ->
+    (* acquires never flush pending *)
+    broadcast t (Ev (i, e));
+    t.baseline.i_handle i e
+  | Event.Release _ | Event.Release_store _ ->
+    broadcast t (Ev (i, e));
+    t.baseline.i_handle i e;
+    t.pending.(e.Event.thread) <- false
+  | Event.Fork _ ->
+    (* fork flushes the forking thread *)
+    broadcast t (Ev (i, e));
+    t.baseline.i_handle i e;
+    t.pending.(e.Event.thread) <- false
+  | Event.Join u ->
+    (* join flushes the joined child *)
+    broadcast t (Ev (i, e));
+    t.baseline.i_handle i e;
+    t.pending.(u) <- false);
+  t.nevents <- t.nevents + 1
+
+let events t = t.nevents
+
+let flush t =
+  if not t.stopped then
+    Array.iter
+      (fun r ->
+        while not (Spsc.is_empty r) do
+          Domain.cpu_relax ()
+        done)
+      t.rings;
+  check_error t
+
+let result t =
+  flush t;
+  let rs = Array.map (fun s -> s.i_result ()) t.shards in
+  let base = t.baseline.i_result () in
+  let races =
+    List.sort
+      (fun (a : Race.t) (b : Race.t) -> Stdlib.compare a.Race.index b.Race.index)
+      (List.concat_map (fun (r : Detector.result) -> r.Detector.races) (Array.to_list rs))
+  in
+  {
+    Detector.engine = base.Detector.engine;
+    races;
+    metrics =
+      Metrics.merge_shards ~sync_baseline:base.Detector.metrics
+        (Array.map (fun (r : Detector.result) -> r.Detector.metrics) rs);
+  }
+
+let stop t =
+  if not t.stopped then begin
+    Array.iter (fun r -> Spsc.push r Stop) t.rings;
+    Array.iter Domain.join t.domains;
+    t.stopped <- true;
+    check_error t
+  end
+
+let shard_snapshots t =
+  flush t;
+  Array.map (fun s -> s.i_snapshot ()) t.shards
+
+let router_snapshot t =
+  flush t;
+  let enc = Snap.Enc.create () in
+  Snap.Enc.int enc t.k;
+  Snap.Enc.int enc t.nevents;
+  Snap.Enc.bool_array enc t.pending;
+  t.sampler_inst.Sampler.save enc;
+  Snap.Enc.string enc (t.baseline.i_snapshot ());
+  Snap.Enc.to_snap enc
+
+let restore ~engine ~shards:k (config : Detector.config) ~router shard_snaps =
+  if k < 1 then invalid_arg "Sharded.restore: shards must be positive";
+  Snap.expect
+    (Array.length shard_snaps = k)
+    "Sharded.restore: shard snapshot count does not match shard count";
+  let dec = Snap.Dec.of_snap router in
+  let k' = Snap.Dec.int dec in
+  Snap.expect (k' = k) "Sharded.restore: router snapshot was taken with a different K";
+  let nevents = Snap.Dec.int dec in
+  Snap.expect (nevents >= 0) "Sharded.restore: negative event count";
+  let pending = Snap.Dec.bool_array_n dec config.Detector.nthreads in
+  let sampler_inst = Sampler.fresh config.Detector.sampler in
+  sampler_inst.Sampler.load dec;
+  let base_snap = Snap.Dec.string dec in
+  Snap.Dec.finish dec;
+  let packed = Engine.detector engine in
+  build ~engine ~shards:k
+    ~shard_insts:(Array.map (fun s -> restored_inst packed config s) shard_snaps)
+    ~baseline:(restored_inst packed config base_snap)
+    ~sampler_inst ~pending ~nevents

@@ -1,0 +1,81 @@
+(** Location-sharded parallel online detection.
+
+    A sharded detector wraps K instances of one engine, each running on its
+    own domain behind a bounded SPSC ring ({!Spsc}).  The router (the caller's
+    domain) partitions access events by [hash(location) mod K] and broadcasts
+    every synchronization event (acquire/release/fork/join/atomic) to all K
+    shards, so each shard's thread and lock clocks evolve {e exactly} as in an
+    unsharded run — HB race detection factors per location once the sync-side
+    state is replicated.
+
+    The one piece of sync-side state that accesses do feed is the sampling
+    engines' per-thread {e pending} bit (a sampled access bumps the thread's
+    local epoch at its next release/fork/join).  The router therefore runs
+    its own instance of the sampler over the full access stream and, on every
+    false→true pending transition, forwards one idempotent
+    {!Ft_core.Detector.S.note_sampled} mark to every non-owner shard (the
+    owner sets the bit itself when it handles the event).  See DESIGN.md,
+    "Sharding soundness".
+
+    Race verdicts are exact: the per-shard race lists, merged by original
+    event index, are byte-identical to the unsharded engine's declarations —
+    for every engine, every sampler, and every K (property-tested).  Metrics
+    are merged exactly via {!Ft_core.Metrics.merge_shards}, using an inline
+    sync-only baseline instance that measures the duplicated sync work. *)
+
+type t
+
+val owner_of : shards:int -> Ft_trace.Event.loc -> int
+(** The shard that owns a location — a pure hash, independent of trace
+    content, so tests can place locations on chosen shards. *)
+
+val create : engine:Ft_core.Engine.id -> shards:int -> Ft_core.Detector.config -> t
+(** Spawn [shards] worker domains (K ≥ 1).  Every sharded detector must be
+    {!stop}ped, or its domains leak. *)
+
+val handle : t -> int -> Ft_trace.Event.t -> unit
+(** Route event [i].  Indices must be fed in increasing order, as with
+    {!Ft_core.Detector.S.handle}.  Blocks (backpressure) when a shard's ring
+    is full.  Raises [Failure] if called after {!stop}. *)
+
+val events : t -> int
+(** Events routed so far. *)
+
+val flush : t -> unit
+(** Wait until every shard has fully processed everything routed so far.
+    Re-raises (as [Failure]) the first exception any shard worker hit. *)
+
+val result : t -> Ft_core.Detector.result
+(** {!flush}, then merge: races from all shards sorted by declaration index
+    (each event declares at most one race, so the order is total and equals
+    the unsharded declaration order), metrics via
+    {!Ft_core.Metrics.merge_shards}.  The detector stays usable — serving a
+    report mid-stream is allowed. *)
+
+val stop : t -> unit
+(** Drain and join the worker domains.  Idempotent.  {!result},
+    {!shard_snapshots} and {!router_snapshot} remain valid afterwards. *)
+
+(** {1 Snapshots}
+
+    A sharded detector checkpoints as K engine snapshots (one per shard,
+    each a regular {!Ft_core.Detector.S.snapshot}) plus one router snapshot
+    holding the replicated-pending bits, the router's sampler state, the
+    event count and the sync-only baseline.  [restore] rebuilds the whole
+    ensemble; shard count and universe must match the snapshots. *)
+
+val shard_snapshots : t -> Ft_core.Snap.t array
+(** Flushes first; index [k] is shard [k]'s engine snapshot. *)
+
+val router_snapshot : t -> Ft_core.Snap.t
+
+val restore :
+  engine:Ft_core.Engine.id ->
+  shards:int ->
+  Ft_core.Detector.config ->
+  router:Ft_core.Snap.t ->
+  Ft_core.Snap.t array ->
+  t
+(** Raises [Ft_core.Snap.Corrupt] on malformed or mismatched payloads
+    (wrong shard count, wrong universe).  Spawns worker domains like
+    {!create}. *)

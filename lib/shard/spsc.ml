@@ -1,0 +1,32 @@
+type 'a t = {
+  buf : 'a array;
+  capacity : int;
+  head : int Atomic.t;  (* next slot to consume; written by the consumer *)
+  tail : int Atomic.t;  (* next slot to fill; written by the producer *)
+}
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be positive";
+  {
+    buf = Array.make capacity dummy;
+    capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let push q v =
+  let t = Atomic.get q.tail in
+  while t - Atomic.get q.head >= q.capacity do
+    Domain.cpu_relax ()
+  done;
+  q.buf.(t mod q.capacity) <- v;
+  (* publishes the slot write above to the consumer *)
+  Atomic.set q.tail (t + 1)
+
+let peek q =
+  let h = Atomic.get q.head in
+  if h = Atomic.get q.tail then None else Some q.buf.(h mod q.capacity)
+
+let advance q = Atomic.incr q.head
+
+let is_empty q = Atomic.get q.head = Atomic.get q.tail

@@ -1,0 +1,10 @@
+let now_ns () = Monotonic_clock.now ()
+
+let ns_per_s = 1e9
+
+let now_s () = Int64.to_float (now_ns ()) /. ns_per_s
+
+let elapsed_s ~since =
+  (* clamp: CLOCK_MONOTONIC never goes backwards, but guard against a caller
+     passing a reading from another machine/process dump *)
+  Stdlib.max 0.0 (Int64.to_float (Int64.sub (now_ns ()) since) /. ns_per_s)

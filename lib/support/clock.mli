@@ -1,0 +1,18 @@
+(** Monotonic time source for wall-clock statistics.
+
+    [Unix.gettimeofday] follows the system's wall clock, which NTP slews and
+    administrators move; an interval measured against it can come out
+    negative.  Every duration reported by the runners ({!Ft_par}, the serve
+    daemon, the bench grids) goes through this module instead, which reads
+    [CLOCK_MONOTONIC] (via the bechamel stub baked into the image) and is
+    therefore non-decreasing by construction. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock.  The epoch is arbitrary (boot time
+    on Linux); only differences are meaningful. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds, for callers doing float arithmetic on durations. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since a {!now_ns} reading.  Never negative. *)

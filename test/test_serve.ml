@@ -1,0 +1,325 @@
+(* racedet serve — the ingestion daemon:
+
+   - roundtrip: batches streamed out of order over a Unix socket produce a
+     REPORT byte-identical to the in-process unsharded analysis;
+   - two client connections interleaving disjoint batch sets (stride 2);
+   - idempotent resends, duplicate batches, universe mismatches, malformed
+     payloads and unknown commands answer without corrupting the session;
+   - crash-mid-stream: SIGKILL the daemon between batches, restart it from
+     the per-shard .ftc checkpoints, blindly resend everything — the final
+     report still matches the uninterrupted analysis.
+
+   The daemon runs in a forked child (it spawns shard domains; the parent
+   forks before ever creating a domain). *)
+
+module Trace = Ft_trace.Trace
+module Trace_gen = Ft_trace.Trace_gen
+module Prng = Ft_support.Prng
+module Engine = Ft_core.Engine
+module Sampler = Ft_core.Sampler
+module Serve = Ft_shard.Serve
+
+let dir_counter = ref 0
+
+let temp_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftserve-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let start_server ?checkpoint_dir ?resume_dir ~engine ~shards ~sampler socket =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       Serve.run
+         {
+           Serve.socket;
+           engine;
+           shards;
+           sampler;
+           clock_size = None;
+           checkpoint_dir;
+           resume_dir;
+           max_parked = Serve.default_max_parked;
+         }
+     with exn ->
+       Printf.eprintf "server died: %s\n%!" (Printexc.to_string exn);
+       Unix._exit 1);
+    Unix._exit 0
+  | pid -> pid
+
+let reap pid =
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let kill_and_reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap pid
+
+let get_ok what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s failed: %s" what msg
+
+let sample_trace ~seed ~length =
+  let prng = Prng.create ~seed in
+  Trace_gen.random prng
+    {
+      Trace_gen.nthreads = 4;
+      nlocks = 3;
+      nlocs = 10;
+      length;
+      atomics = true;
+      forkjoin = true;
+    }
+
+(* split a trace into (base, sub-trace) batches of [batch] events *)
+let slices trace ~batch =
+  let n = Trace.length trace in
+  let rec go base acc =
+    if base >= n then List.rev acc
+    else begin
+      let len = Stdlib.min batch (n - base) in
+      let sub =
+        Trace.make ~nthreads:trace.Trace.nthreads ~nlocks:trace.Trace.nlocks
+          ~nlocs:trace.Trace.nlocs
+          (Array.init len (fun i -> Trace.get trace (base + i)))
+      in
+      go (base + len) ((base, sub) :: acc)
+    end
+  in
+  go 0 []
+
+let expected_report ~engine ~sampler trace =
+  Serve.report_text ~events:(Trace.length trace)
+    (Engine.run engine ~sampler trace)
+
+(* --- roundtrip -------------------------------------------------------------- *)
+
+let test_roundtrip_out_of_order () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.So and sampler = Sampler.bernoulli ~rate:0.3 ~seed:5 in
+  let trace = sample_trace ~seed:1 ~length:2_000 in
+  let expected = expected_report ~engine ~sampler trace in
+  let socket = Filename.concat dir "serve.sock" in
+  let pid = start_server ~engine ~shards:4 ~sampler socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect socket in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  let batches = slices trace ~batch:300 in
+  (* odd-numbered batches first: everything parks until the evens arrive *)
+  let scrambled =
+    List.filteri (fun i _ -> i mod 2 = 1) batches
+    @ List.filteri (fun i _ -> i mod 2 = 0) batches
+  in
+  List.iter
+    (fun (base, sub) -> ignore (get_ok "send_batch" (Serve.send_batch fd ~base sub)))
+    scrambled;
+  let report = get_ok "fetch_report" (Serve.fetch_report fd) in
+  Alcotest.(check string) "serve report ≡ analyze" expected report;
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid
+
+(* --- two clients, stride 2 ---------------------------------------------------- *)
+
+let test_two_clients_interleaved () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.Su and sampler = Sampler.all in
+  let trace = sample_trace ~seed:2 ~length:1_500 in
+  let expected = expected_report ~engine ~sampler trace in
+  let socket = Filename.concat dir "serve.sock" in
+  let pid = start_server ~engine ~shards:2 ~sampler socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let a = Serve.connect socket in
+  let b = Serve.connect socket in
+  Fun.protect ~finally:(fun () -> Serve.close a; Serve.close b) @@ fun () ->
+  let batches = Array.of_list (slices trace ~batch:250) in
+  (* client A owns even batches, client B odd ones; B runs ahead of A *)
+  Array.iteri
+    (fun i (base, sub) ->
+      let fd = if i mod 2 = 0 then a else b in
+      ignore (get_ok "send_batch" (Serve.send_batch fd ~base sub)))
+    (Array.concat
+       [
+         Array.of_list
+           (List.filteri (fun i _ -> i mod 2 = 1) (Array.to_list batches));
+         Array.of_list
+           (List.filteri (fun i _ -> i mod 2 = 0) (Array.to_list batches));
+       ]);
+  (* careful: the iteration above alternates conns over the reordered list —
+     what matters is that both conns sent and the server reassembled *)
+  let report = get_ok "fetch_report" (Serve.fetch_report b) in
+  Alcotest.(check string) "two-client report ≡ analyze" expected report;
+  get_ok "shutdown" (Serve.shutdown a);
+  reap pid
+
+(* --- protocol edges ------------------------------------------------------------ *)
+
+let test_protocol_edges () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.St and sampler = Sampler.all in
+  let trace = sample_trace ~seed:3 ~length:600 in
+  let socket = Filename.concat dir "serve.sock" in
+  let pid = start_server ~engine ~shards:3 ~sampler socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect socket in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  let batches = Array.of_list (slices trace ~batch:200) in
+  let base0, sub0 = batches.(0) in
+  let total = get_ok "first batch" (Serve.send_batch fd ~base:base0 sub0) in
+  Alcotest.(check int) "total after batch 0" 200 total;
+  (* duplicate resend is idempotent *)
+  let total = get_ok "duplicate" (Serve.send_batch fd ~base:base0 sub0) in
+  Alcotest.(check int) "duplicate leaves total alone" 200 total;
+  (* a batch from a different universe is refused *)
+  let alien = sample_trace ~seed:99 ~length:50 in
+  let alien =
+    Trace.make ~nthreads:(alien.Trace.nthreads + 3) ~nlocks:alien.Trace.nlocks
+      ~nlocs:alien.Trace.nlocs
+      (Array.init (Trace.length alien) (Trace.get alien))
+  in
+  (match Serve.send_batch fd ~base:200 alien with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "universe mismatch accepted");
+  (* malformed payload and unknown commands answer ERR without wedging *)
+  let module U = Unix in
+  let write_all s =
+    let b = Bytes.of_string s in
+    ignore (U.write fd b 0 (Bytes.length b))
+  in
+  write_all "BATCH 200 5\nHELLO";
+  write_all "NONSENSE\n";
+  (* both must answer ERR, in order *)
+  let read_line () =
+    let b = Buffer.create 32 in
+    let one = Bytes.create 1 in
+    let rec go () =
+      if U.read fd one 0 1 = 0 then Alcotest.fail "server closed on bad input"
+      else if Bytes.get one 0 = '\n' then Buffer.contents b
+      else (Buffer.add_char b (Bytes.get one 0); go ())
+    in
+    go ()
+  in
+  List.iter
+    (fun what ->
+      let line = read_line () in
+      Alcotest.(check bool) (what ^ " answered ERR") true
+        (String.length line >= 3 && String.sub line 0 3 = "ERR"))
+    [ "malformed payload"; "unknown command" ];
+  (* the connection still works: finish the stream and report *)
+  Array.iteri
+    (fun i (base, sub) ->
+      if i > 0 then ignore (get_ok "rest" (Serve.send_batch fd ~base sub)))
+    batches;
+  let report = get_ok "fetch_report after errors" (Serve.fetch_report fd) in
+  let expected = expected_report ~engine ~sampler trace in
+  Alcotest.(check string) "session survived bad input" expected report;
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid
+
+(* --- crash mid-stream, resume from .ftc checkpoints ---------------------------- *)
+
+let test_crash_and_resume () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.So and sampler = Sampler.cold_region ~threshold:2 in
+  let trace = sample_trace ~seed:4 ~length:1_800 in
+  let expected = expected_report ~engine ~sampler trace in
+  let socket = Filename.concat dir "serve.sock" in
+  let ckpt = Filename.concat dir "ckpt" in
+  Unix.mkdir ckpt 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf ckpt) @@ fun () ->
+  let batches = Array.of_list (slices trace ~batch:300) in
+  let shards = 4 in
+  (* phase 1: ingest half the stream, checkpointing after every batch *)
+  let pid = start_server ~engine ~shards ~sampler ~checkpoint_dir:ckpt socket in
+  let survived_events =
+    Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+    let fd = Serve.connect socket in
+    Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+    let total = ref 0 in
+    for i = 0 to 2 do
+      let base, sub = batches.(i) in
+      total := get_ok "phase-1 batch" (Serve.send_batch fd ~base sub)
+    done;
+    (* SIGKILL between batches: no goodbye, no final checkpoint *)
+    Unix.kill pid Sys.sigkill;
+    reap pid;
+    !total
+  in
+  Alcotest.(check int) "three batches ingested before the crash" 900 survived_events;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (* phase 2: restart from the checkpoint directory, blindly resend all *)
+  let pid =
+    start_server ~engine ~shards ~sampler ~checkpoint_dir:ckpt ~resume_dir:ckpt socket
+  in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect socket in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  (* the first resent batch's reply proves state survived the crash *)
+  let base0, sub0 = batches.(0) in
+  let total = get_ok "resent batch 0" (Serve.send_batch fd ~base:base0 sub0) in
+  Alcotest.(check int) "resumed from the checkpoint, not from zero" 900 total;
+  Array.iteri
+    (fun i (base, sub) ->
+      if i > 0 then ignore (get_ok "resend" (Serve.send_batch fd ~base sub)))
+    batches;
+  let report = get_ok "post-resume report" (Serve.fetch_report fd) in
+  Alcotest.(check string) "crash+resume report ≡ analyze" expected report;
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid
+
+(* A missing/garbled checkpoint set must degrade to a fresh start, and the
+   blind resend still converges to the exact report. *)
+let test_resume_with_corrupt_checkpoint_starts_fresh () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.Fasttrack and sampler = Sampler.all in
+  let trace = sample_trace ~seed:6 ~length:800 in
+  let expected = expected_report ~engine ~sampler trace in
+  let socket = Filename.concat dir "serve.sock" in
+  let ckpt = Filename.concat dir "ckpt" in
+  Unix.mkdir ckpt 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf ckpt) @@ fun () ->
+  Out_channel.with_open_bin (Filename.concat ckpt "router.ftc") (fun oc ->
+      Out_channel.output_string oc "FTCKgarbage");
+  let pid = start_server ~engine ~shards:2 ~sampler ~resume_dir:ckpt socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect socket in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  List.iter
+    (fun (base, sub) -> ignore (get_ok "send" (Serve.send_batch fd ~base sub)))
+    (slices trace ~batch:250);
+  let report = get_ok "report" (Serve.fetch_report fd) in
+  Alcotest.(check string) "fresh start still exact" expected report;
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "daemon",
+        [
+          Alcotest.test_case "out-of-order roundtrip ≡ analyze" `Quick
+            test_roundtrip_out_of_order;
+          Alcotest.test_case "two clients, stride 2" `Quick test_two_clients_interleaved;
+          Alcotest.test_case "protocol edges" `Quick test_protocol_edges;
+        ] );
+      ( "crash/resume",
+        [
+          Alcotest.test_case "SIGKILL mid-stream, resume from .ftc" `Quick
+            test_crash_and_resume;
+          Alcotest.test_case "corrupt checkpoint degrades to fresh start" `Quick
+            test_resume_with_corrupt_checkpoint_starts_fresh;
+        ] );
+    ]
