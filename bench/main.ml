@@ -24,6 +24,8 @@ module Db_sim = Ft_workloads.Db_sim
 module Classic = Ft_workloads.Classic
 module Harness = Ft_tsan.Harness
 module Experiment = Ft_rapid.Experiment
+module Json = Ft_obs.Json
+module Metrics = Ft_core.Metrics
 
 (* --- options -------------------------------------------------------------- *)
 
@@ -64,6 +66,136 @@ let report label stats =
   Format.eprintf "[%s] %a@." label Ft_par.pp_stats stats
 
 let wants fig = options.figure = "all" || options.figure = fig
+
+(* --- BENCH_<figure>.json sink ---------------------------------------------- *)
+
+(* Every rendered figure also collects machine-readable rows; at exit one
+   BENCH_<figure>.json per figure with data is written as a JSON array.  Rows
+   carry engine, sampling rate, events, wall-clock seconds and the key
+   Metrics ratios behind the figure, so plotting scripts need not scrape the
+   printed tables. *)
+let bench_rows : (string, Json.t list ref) Hashtbl.t = Hashtbl.create 16
+let bench_order : string list ref = ref []
+
+let add_row figure (fields : (string * Json.t) list) =
+  let rows =
+    match Hashtbl.find_opt bench_rows figure with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add bench_rows figure r;
+      bench_order := figure :: !bench_order;
+      r
+  in
+  rows := Json.Obj (("figure", Json.Str figure) :: fields) :: !rows
+
+let write_bench_files () =
+  List.iter
+    (fun figure ->
+      let rows = List.rev !(Hashtbl.find bench_rows figure) in
+      let path = Printf.sprintf "BENCH_%s.json" figure in
+      let oc = open_out path in
+      output_string oc (Json.to_string_pretty (Json.Arr rows));
+      close_out oc;
+      Printf.eprintf "wrote %s (%d rows)\n%!" path (List.length rows))
+    (List.rev !bench_order)
+
+let jf x = Json.Float x
+
+let add_tsan_rows (ms : Harness.measurement list) =
+  List.iter
+    (fun (m : Harness.measurement) ->
+      let base extra =
+        ("benchmark", Json.Str m.Harness.benchmark)
+        :: ("events", Json.Int m.Harness.events)
+        :: extra
+      in
+      let rel t = t /. Float.max m.Harness.nt 1e-12 in
+      if wants "5a" then begin
+        add_row "5a"
+          (base [ ("engine", Json.Str "ET"); ("rate", jf 1.0); ("wall_s", jf m.et);
+                  ("rel_nt", jf (rel m.et)) ]);
+        add_row "5a"
+          (base [ ("engine", Json.Str "FT"); ("rate", jf 1.0); ("wall_s", jf m.ft);
+                  ("rel_nt", jf (rel m.ft)) ]);
+        List.iter
+          (fun (r : Harness.rate_result) ->
+            add_row "5a"
+              (base [ ("engine", Json.Str "ST"); ("rate", jf r.rate);
+                      ("wall_s", jf r.st_time); ("rel_nt", jf (rel r.st_time)) ]))
+          m.per_rate
+      end;
+      if wants "5b" then
+        List.iter
+          (fun (r : Harness.rate_result) ->
+            let ao_st = Harness.ao m ~time:r.st_time in
+            let row eng time =
+              let ao = Harness.ao m ~time in
+              base
+                [ ("engine", Json.Str eng); ("rate", jf r.rate); ("wall_s", jf time);
+                  ("ao_s", jf ao); ("ao_st_s", jf ao_st);
+                  ("improvement", jf (1.0 -. (ao /. Float.max ao_st 1e-12))) ]
+            in
+            add_row "5b" (row "SU" r.su_time);
+            add_row "5b" (row "SO" r.so_time))
+          m.per_rate;
+      if wants "6a" then
+        List.iter
+          (fun (r : Harness.rate_result) ->
+            let rel_ft locs =
+              float_of_int locs /. Float.max (float_of_int m.Harness.ft_locs) 1.0
+            in
+            let row eng locs =
+              base
+                [ ("engine", Json.Str eng); ("rate", jf r.rate);
+                  ("racy_locations", Json.Int locs);
+                  ("ft_locations", Json.Int m.Harness.ft_locs);
+                  ("rel_ft", jf (rel_ft locs)) ]
+            in
+            add_row "6a" (row "ST" r.st_locs);
+            add_row "6a" (row "SU" r.su_locs);
+            add_row "6a" (row "SO" r.so_locs))
+          m.per_rate;
+      if wants "6b" then
+        List.iter
+          (fun (r : Harness.rate_result) ->
+            add_row "6b"
+              (base [ ("engine", Json.Str "SU"); ("rate", jf r.rate);
+                      ("wall_s", jf r.su_time);
+                      ("sync_full_work_ratio", jf (Metrics.sync_full_work_ratio r.su_metrics)) ]))
+          m.per_rate;
+      if wants "6c" then
+        List.iter
+          (fun (r : Harness.rate_result) ->
+            add_row "6c"
+              (base [ ("engine", Json.Str "SO"); ("rate", jf r.rate);
+                      ("wall_s", jf r.so_time);
+                      ("mean_entries_per_acquire", jf (Metrics.mean_entries_per_acquire r.so_metrics));
+                      ("saved_traversal_ratio", jf (Metrics.saved_traversal_ratio r.so_metrics)) ]))
+          m.per_rate)
+    ms
+
+let add_rapid_rows ~grid_wall_s (rows : Experiment.row list) =
+  List.iter
+    (fun (r : Experiment.row) ->
+      let m = r.Experiment.metrics in
+      let base extra =
+        ("benchmark", Json.Str r.Experiment.benchmark)
+        :: ("engine", Json.Str r.Experiment.label)
+        :: ("runs", Json.Int r.Experiment.runs)
+        :: ("events", Json.Int m.Metrics.events)
+        :: ("grid_wall_s", jf grid_wall_s)
+        :: extra
+      in
+      if wants "7" then
+        add_row "7" (base [ ("acquires_skipped_ratio", jf (Metrics.acquires_skipped_ratio m)) ]);
+      if wants "8" then
+        add_row "8"
+          (base [ ("releases_processed_ratio", jf (Metrics.releases_processed_ratio m));
+                  ("deep_copy_ratio", jf (Metrics.deep_copy_ratio m)) ]);
+      if wants "9" then
+        add_row "9" (base [ ("saved_traversal_ratio", jf (Metrics.saved_traversal_ratio m)) ]))
+    rows
 
 (* --- bechamel section ------------------------------------------------------ *)
 
@@ -183,15 +315,23 @@ let run_shard_grid ~target_events ~jobs:_ =
               (Printf.sprintf
                  "shard grid: %s with K=%d reports %d races but K=1 reported %d"
                  wname shards races !k1_races);
+          let events_per_s = float_of_int events /. Float.max wall_s 1e-9 in
+          add_row "shards"
+            [ ("workload", Json.Str wname);
+              ("engine", Json.Str (Engine.name Engine.So));
+              ("rate", jf 0.1);
+              ("shards", Json.Int shards);
+              ("events", Json.Int events);
+              ("wall_s", jf wall_s);
+              ("events_per_s", jf events_per_s);
+              ("races", Json.Int races) ];
           Printf.printf
             "{\"figure\": \"shards\", \"workload\": %S, \"engine\": %S, \
              \"shards\": %d, \"events\": %d, \"wall_s\": %.6f, \
              \"events_per_s\": %.0f, \"races\": %d}\n%!"
             wname
             (Engine.name Engine.So)
-            shards events wall_s
-            (float_of_int events /. Float.max wall_s 1e-9)
-            races)
+            shards events wall_s events_per_s races)
         [ 1; 2; 4; 8 ])
     workloads
 
@@ -233,12 +373,15 @@ let () =
       show "Fig 6b: share of sync events with O(T) work under SU" (Harness.fig6b ms);
     if wants "6c" then
       show "Fig 6c: mean ordered-list entries per acquire under SO" (Harness.fig6c ms);
-    show "Summary (paper §6.2.3–6.2.4 headline numbers)" (Harness.summary ms)
+    show "Summary (paper §6.2.3–6.2.4 headline numbers)" (Harness.summary ms);
+    add_tsan_rows ms
   end;
   if rapid_figures then begin
+    let t0 = Clock.now_ns () in
     let rows =
       Experiment.run ~runs ~scale ~jobs:options.jobs ~report:(report "figs 7-9") ()
     in
+    let grid_wall_s = Clock.elapsed_s ~since:t0 in
     if wants "7" then
       show "Fig 7: acquires skipped / total acquires (offline, 26 benchmarks)"
         (Experiment.fig7 rows);
@@ -247,7 +390,8 @@ let () =
         (Experiment.fig8 rows);
     if wants "9" then
       show "Fig 9: ordered-list saving ratio (SO engines)" (Experiment.fig9 rows);
-    show "Summary (paper §A.1.2 observations)" (Experiment.summary rows)
+    show "Summary (paper §A.1.2 observations)" (Experiment.summary rows);
+    add_rapid_rows ~grid_wall_s rows
   end;
   if wants "ablation" || options.figure = "all" then begin
     let ae = target_events / 2 in
@@ -271,4 +415,5 @@ let () =
   if options.bechamel then begin
     print_newline ();
     run_bechamel ()
-  end
+  end;
+  write_bench_files ()

@@ -21,6 +21,8 @@ module Db_sim = Ft_workloads.Db_sim
 module Classic = Ft_workloads.Classic
 module Sharded = Ft_shard.Sharded
 module Serve = Ft_shard.Serve
+module Clock = Ft_support.Clock
+module Json = Ft_obs.Json
 
 open Cmdliner
 
@@ -158,6 +160,34 @@ let analyze_cmd =
                  engine, sampler and trace. A checkpoint that fails to load or \
                  validate is reported and the analysis replays from the start.")
   in
+  let metrics_json =
+    Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"Write the run's full work counters and wall-clock timing as a JSON \
+                 document to FILE (stdout stays byte-identical).")
+  in
+  let write_metrics_json ~path ~file ~engine ~sampler ~shards ~events ~wall_s
+      ~(result : Detector.result) =
+    let doc =
+      Json.Obj
+        [
+          ("tool", Json.Str "racedet analyze");
+          ("trace", Json.Str file);
+          ("engine", Json.Str result.Detector.engine);
+          ("engine_requested", Json.Str (Engine.name engine));
+          ("sampler", Json.Str (Sampler.name sampler));
+          ("shards", Json.Int shards);
+          ("events", Json.Int events);
+          ("wall_s", Json.Float wall_s);
+          ("races", Json.Int (List.length result.Detector.races));
+          ( "racy_locations",
+            Json.Arr (List.map (fun x -> Json.Int x) (Detector.racy_locations result)) );
+          ("metrics", Serve.metrics_json_value result.Detector.metrics);
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string_pretty doc);
+    close_out oc
+  in
   let print_result ~events ~(result : Detector.result) show_races =
     (* the daemon's REPORT payload and this output share one renderer, so
        serve-vs-analyze diffs compare bytes *)
@@ -166,13 +196,23 @@ let analyze_cmd =
       List.iter (fun race -> Format.printf "%a@." Race.pp race) result.Detector.races;
     if Detector.racy_locations result = [] then 0 else 2
   in
-  let run file engine rate seed clock_size shards show_races checkpoint checkpoint_every resume =
+  let run file engine rate seed clock_size shards show_races checkpoint checkpoint_every resume
+      metrics_json =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
       1
     | Some id ->
       let sampler = if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed in
+      let t0 = Clock.now_ns () in
+      let finish ~events ~result =
+        let wall_s = Clock.elapsed_s ~since:t0 in
+        (match metrics_json with
+        | Some path ->
+          write_metrics_json ~path ~file ~engine:id ~sampler ~shards ~events ~wall_s ~result
+        | None -> ());
+        print_result ~events ~result show_races
+      in
       if shards > 1 && (checkpoint <> None || resume <> None) then begin
         prerr_endline
           "racedet: --shards cannot be combined with --checkpoint/--resume (use \
@@ -190,7 +230,7 @@ let analyze_cmd =
           Trace.iteri (fun i e -> Sharded.handle sh i e) trace;
           let result = Sharded.result sh in
           Sharded.stop sh;
-          print_result ~events:(Trace.length trace) ~result show_races
+          finish ~events:(Trace.length trace) ~result
       end
       else if checkpoint <> None || resume <> None then begin
         (* resumable path: .ftb traces stream (and record byte offsets for
@@ -215,8 +255,8 @@ let analyze_cmd =
           (match o.Ft_snapshot.Runner.resumed_at with
           | Some k -> Printf.eprintf "resumed at event : %d\n%!" k
           | None -> ());
-          print_result ~events:o.Ft_snapshot.Runner.result.Detector.metrics.Metrics.events
-            ~result:o.Ft_snapshot.Runner.result show_races
+          finish ~events:o.Ft_snapshot.Runner.result.Detector.metrics.Metrics.events
+            ~result:o.Ft_snapshot.Runner.result
       end
       else begin
         match load_trace file with
@@ -225,13 +265,13 @@ let analyze_cmd =
           1
         | Ok trace ->
           let result = Engine.run id ~sampler ?clock_size trace in
-          print_result ~events:(Trace.length trace) ~result show_races
+          finish ~events:(Trace.length trace) ~result
       end
   in
   let term =
     Term.(
       const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ shards_arg
-      $ show_races $ checkpoint $ checkpoint_every $ resume)
+      $ show_races $ checkpoint $ checkpoint_every $ resume $ metrics_json)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -256,7 +296,16 @@ let serve_cmd =
                  set is reported and the server starts fresh, which is still exact \
                  because clients resend idempotently.")
   in
-  let run socket engine shards rate seed clock_size checkpoint resume =
+  let heartbeat =
+    Arg.(value & opt float 10.0 & info [ "heartbeat" ] ~docv:"SECONDS"
+           ~doc:"Period of the one-line telemetry heartbeat on stderr (0 disables).")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"On shutdown, write the final telemetry and merged work counters \
+                 (the $(b,STATS JSON) payload) to FILE.")
+  in
+  let run socket engine shards rate seed clock_size checkpoint resume heartbeat metrics_json =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
@@ -281,6 +330,8 @@ let serve_cmd =
                checkpoint_dir = checkpoint;
                resume_dir = resume;
                max_parked = Serve.default_max_parked;
+               heartbeat_s = (if heartbeat > 0.0 then Some heartbeat else None);
+               metrics_json;
              };
            0
          with
@@ -295,7 +346,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ socket_arg $ engine $ shards_arg $ rate_arg $ seed_arg
-      $ clock_size_arg $ checkpoint $ resume)
+      $ clock_size_arg $ checkpoint $ resume $ heartbeat $ metrics_json)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -337,7 +388,15 @@ let emit_cmd =
     Arg.(value & flag & info [ "shutdown" ]
            ~doc:"Ask the server to checkpoint and exit after this client is done.")
   in
-  let run connect file batch stride offset report shutdown_flag =
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Fetch and print the server's telemetry as Prometheus text.")
+  in
+  let stats_json_flag =
+    Arg.(value & flag & info [ "stats-json" ]
+           ~doc:"Fetch and print the server's telemetry as a JSON document.")
+  in
+  let run connect file batch stride offset report stats stats_json shutdown_flag =
     if batch < 1 then begin
       prerr_endline "racedet: --batch must be positive";
       1
@@ -381,6 +440,16 @@ let emit_cmd =
                      raise (Fail (Printf.sprintf "batch %d: %s" b msg))
                  end
                done));
+           if stats then begin
+             match Serve.fetch_stats fd ~format:`Prometheus with
+             | Error msg -> raise (Fail ("stats: " ^ msg))
+             | Ok text -> print_string text
+           end;
+           if stats_json then begin
+             match Serve.fetch_stats fd ~format:`Json with
+             | Error msg -> raise (Fail ("stats: " ^ msg))
+             | Ok text -> print_string text
+           end;
            if report then begin
              match Serve.fetch_report fd with
              | Error msg -> raise (Fail msg)
@@ -414,7 +483,8 @@ let emit_cmd =
   in
   let term =
     Term.(
-      const run $ connect $ file $ batch $ stride $ offset $ report $ shutdown_flag)
+      const run $ connect $ file $ batch $ stride $ offset $ report $ stats_flag
+      $ stats_json_flag $ shutdown_flag)
   in
   Cmd.v
     (Cmd.info "emit"

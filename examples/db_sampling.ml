@@ -15,11 +15,12 @@ module Sampler = Ft_core.Sampler
 module Metrics = Ft_core.Metrics
 module Db_sim = Ft_workloads.Db_sim
 module Tabulate = Ft_support.Tabulate
+module Clock = Ft_support.Clock
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Clock.elapsed_s ~since:t0)
 
 let () =
   let profile = Option.get (Db_sim.profile "tpcc") in

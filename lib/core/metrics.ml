@@ -62,6 +62,42 @@ let to_array m =
 
 let field_count = Array.length (to_array (create ()))
 
+(* Parallel to [to_array]: the JSON renderers zip the two, so a field added
+   to one but not the other trips the assertion below (and the test_obs arity
+   guard) instead of silently dropping the counter from every export. *)
+let field_names =
+  [|
+    "events";
+    "reads";
+    "writes";
+    "sampled_accesses";
+    "acquires";
+    "releases";
+    "acquires_skipped";
+    "releases_processed";
+    "deep_copies";
+    "shallow_copies";
+    "vc_full_ops";
+    "entries_traversed";
+    "entries_saved";
+    "race_checks";
+    "races";
+  |]
+
+let () = assert (Array.length field_names = field_count)
+
+let to_json m =
+  let vals = to_array m in
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  Array.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "\"%s\": %d" name vals.(i))
+    field_names;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 let of_array a =
   if Array.length a <> field_count then None
   else
@@ -133,17 +169,30 @@ let merge_shards ~sync_baseline shards =
 let acquire_total m = m.acquires
 let release_total m = m.releases
 
-let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+(* All ratios are computed in float space: summing two counters near
+   [max_int] (a merged weeks-long serve session) must not wrap to a negative
+   denominator, and a zero or negative denominator (empty run, garbage
+   snapshot) must yield a finite 0 rather than nan/inf — the JSON and STATS
+   renderers embed these values verbatim. *)
+let fdiv num den = if den <= 0.0 || not (Float.is_finite den) then 0.0 else num /. den
+
+let ratio num den = fdiv (float_of_int num) (float_of_int den)
 
 let acquires_skipped_ratio m = ratio m.acquires_skipped m.acquires
 let releases_processed_ratio m = ratio m.releases_processed m.releases
 let deep_copy_ratio m = ratio m.deep_copies m.releases
-let saved_traversal_ratio m = ratio m.entries_saved (m.entries_saved + m.entries_traversed)
+
+let saved_traversal_ratio m =
+  fdiv (float_of_int m.entries_saved)
+    (float_of_int m.entries_saved +. float_of_int m.entries_traversed)
 
 let sync_full_work_ratio m =
-  let total = m.acquires + m.releases in
-  let full = m.acquires - m.acquires_skipped + m.releases_processed in
-  ratio full total
+  let total = float_of_int m.acquires +. float_of_int m.releases in
+  let full =
+    float_of_int m.acquires -. float_of_int m.acquires_skipped
+    +. float_of_int m.releases_processed
+  in
+  fdiv full total
 
 let mean_entries_per_acquire m = ratio m.entries_traversed m.acquires
 

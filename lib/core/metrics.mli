@@ -39,6 +39,15 @@ val to_array : t -> int array
     snapshots.  The guard test checks its length against the record's actual
     arity so that field drift breaks the suite, not the checkpoints. *)
 
+val field_names : string array
+(** Field names parallel to {!to_array} — the JSON/STATS renderers zip the
+    two arrays, so every counter (including future ones) appears in every
+    export or the startup assertion fires. *)
+
+val to_json : t -> string
+(** One flat JSON object, [{"events": 1, ...}], keys from {!field_names} in
+    {!to_array} order. *)
+
 val of_array : int array -> t option
 (** Inverse of {!to_array}; [None] on arity mismatch. *)
 

@@ -1,0 +1,68 @@
+let nbuckets = 63
+
+type t = {
+  counts : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  max : int Atomic.t;
+}
+
+let create () =
+  {
+    counts = Array.init nbuckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    max = Atomic.make 0;
+  }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    Stdlib.min (nbuckets - 1) (bits 0 v)
+  end
+
+let bucket_upper i = if i >= 62 then max_int else (1 lsl i) - 1
+
+let observe h v =
+  let v = Stdlib.max 0 v in
+  ignore (Atomic.fetch_and_add h.counts.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.count 1);
+  ignore (Atomic.fetch_and_add h.sum v);
+  let rec raise_max () =
+    let cur = Atomic.get h.max in
+    if v > cur && not (Atomic.compare_and_set h.max cur v) then raise_max ()
+  in
+  raise_max ()
+
+let count h = Atomic.get h.count
+let sum h = Atomic.get h.sum
+let max_value h = Atomic.get h.max
+
+let quantile h q =
+  let n = count h in
+  if n = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = Stdlib.min n (Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n)))) in
+    let acc = ref 0 and res = ref (max_value h) and found = ref false in
+    (try
+       for i = 0 to nbuckets - 1 do
+         acc := !acc + Atomic.get h.counts.(i);
+         if (not !found) && !acc >= rank then begin
+           found := true;
+           res := Stdlib.min (bucket_upper i) (max_value h);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+let cumulative h =
+  let top = ref (-1) in
+  Array.iteri (fun i c -> if Atomic.get c > 0 then top := i) h.counts;
+  let acc = ref 0 in
+  List.init (!top + 1) (fun i ->
+      acc := !acc + Atomic.get h.counts.(i);
+      (bucket_upper i, !acc))

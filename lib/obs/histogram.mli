@@ -1,0 +1,48 @@
+(** Log-bucketed histogram with lock-free atomic updates.
+
+    Values are non-negative integers in whatever unit the caller picks
+    (the serve daemon observes nanoseconds).  Bucket [i] holds values whose
+    binary magnitude is [i] — i.e. value [v > 0] lands in bucket
+    [⌊log2 v⌋ + 1], covering the half-open range [[2^(i-1), 2^i)] — so 63
+    buckets cover the whole of [int] with ≤ 2× relative quantile error,
+    and {!observe} is two array reads, a shift loop and three atomic adds:
+    cheap enough for per-batch instrumentation, still too dear for
+    per-event hot paths (see DESIGN.md, "Telemetry stays off the hot
+    path").
+
+    All operations are safe to call from any domain.  Readers see a
+    near-consistent view: an {!observe} racing a {!quantile} can be counted
+    in [count] but not yet in its bucket (or vice versa), which moves a
+    quantile estimate by one sample — fine for telemetry, never a crash. *)
+
+type t
+
+val nbuckets : int
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one value.  Negative values clamp to 0. *)
+
+val count : t -> int
+val sum : t -> int
+
+val max_value : t -> int
+(** Largest value observed; 0 when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile h q] for [q] in [0, 1]: an upper bound on the [q]-quantile
+    (the upper edge of the bucket holding the rank-⌈q·count⌉ sample,
+    clamped to {!max_value}).  0 when the histogram is empty. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in (exposed for the unit tests). *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of bucket [i]: [2^i - 1] (saturating at
+    [max_int]). *)
+
+val cumulative : t -> (int * int) list
+(** [(upper_bound, cumulative_count)] per bucket, from bucket 0 through the
+    highest non-empty bucket — the Prometheus [_bucket{le=...}] series
+    (the renderer appends the [+Inf] bucket). *)

@@ -1,0 +1,108 @@
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+type kind =
+  | Counter of counter
+  | Gauge of gauge
+  | Hist of Histogram.t
+
+type entry = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  kind : kind;
+}
+
+type t = { mutable entries : entry list (* reversed *) }
+
+let create () = { entries = [] }
+
+let register t ~help ~labels name kind =
+  t.entries <- { name; help; labels; kind } :: t.entries
+
+let counter t ?(help = "") ?(labels = []) name =
+  let c = Atomic.make 0 in
+  register t ~help ~labels name (Counter c);
+  c
+
+let gauge t ?(help = "") ?(labels = []) name =
+  let g = Atomic.make 0 in
+  register t ~help ~labels name (Gauge g);
+  g
+
+let histogram t ?(help = "") ?(labels = []) name =
+  let h = Histogram.create () in
+  register t ~help ~labels name (Hist h);
+  h
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = if n > 0 then ignore (Atomic.fetch_and_add c n)
+let set_counter c v = Atomic.set c v
+let counter_value c = Atomic.get c
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (Json.escape v)) labels)
+    ^ "}"
+
+let series_key e = e.name ^ label_string e.labels
+
+let type_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Hist _ -> "histogram"
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem seen e.name) then begin
+        Hashtbl.add seen e.name ();
+        if e.help <> "" then Printf.bprintf b "# HELP %s %s\n" e.name e.help;
+        Printf.bprintf b "# TYPE %s %s\n" e.name (type_name e.kind)
+      end;
+      match e.kind with
+      | Counter c -> Printf.bprintf b "%s%s %d\n" e.name (label_string e.labels) (Atomic.get c)
+      | Gauge g -> Printf.bprintf b "%s%s %d\n" e.name (label_string e.labels) (Atomic.get g)
+      | Hist h ->
+        let cum = Histogram.cumulative h in
+        let le v rest = ("le", v) :: rest in
+        List.iter
+          (fun (upper, c) ->
+            Printf.bprintf b "%s_bucket%s %d\n" e.name
+              (label_string (le (string_of_int upper) e.labels))
+              c)
+          cum;
+        Printf.bprintf b "%s_bucket%s %d\n" e.name
+          (label_string (le "+Inf" e.labels))
+          (Histogram.count h);
+        Printf.bprintf b "%s_sum%s %d\n" e.name (label_string e.labels) (Histogram.sum h);
+        Printf.bprintf b "%s_count%s %d\n" e.name (label_string e.labels) (Histogram.count h))
+    (List.rev t.entries);
+  Buffer.contents b
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun e ->
+         ( series_key e,
+           match e.kind with
+           | Counter c -> Json.Int (Atomic.get c)
+           | Gauge g -> Json.Int (Atomic.get g)
+           | Hist h ->
+             Json.Obj
+               [
+                 ("count", Json.Int (Histogram.count h));
+                 ("sum", Json.Int (Histogram.sum h));
+                 ("max", Json.Int (Histogram.max_value h));
+                 ("p50", Json.Int (Histogram.quantile h 0.50));
+                 ("p90", Json.Int (Histogram.quantile h 0.90));
+                 ("p99", Json.Int (Histogram.quantile h 0.99));
+               ] ))
+       (List.rev t.entries))

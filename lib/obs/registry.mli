@@ -1,0 +1,49 @@
+(** A named collection of telemetry instruments with two renderers:
+    Prometheus text exposition (format version 0.0.4) and JSON.
+
+    Instruments are registered once, at setup time, from one domain;
+    updates ({!incr}, {!add}, {!set}, {!Histogram.observe}) are atomic and
+    may come from any domain.  Rendering walks the registry in registration
+    order, so two renders of an otherwise-idle registry are byte-identical
+    and counters are monotone across successive renders.
+
+    Registering the same name twice with different [labels] yields one
+    time series per label set, sharing a single [# HELP]/[# TYPE] header —
+    the per-shard gauges of the serve daemon. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Prometheus convention: suffix counters with [_total]. *)
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram : t -> ?help:string -> ?labels:(string * string) list -> string -> Histogram.t
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] with negative [n] is a no-op: counters never go down. *)
+
+val set_counter : counter -> int -> unit
+(** Overwrite the value — for mirroring an {e externally monotone} source
+    (the detector's merged {!Ft_core.Metrics}) into the exposition.  The
+    caller owns the monotonicity argument. *)
+
+val counter_value : counter -> int
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val to_prometheus : t -> string
+(** Text exposition: [# HELP]/[# TYPE] headers, one line per series,
+    histograms as cumulative [_bucket{le=...}] plus [_sum]/[_count]. *)
+
+val to_json : t -> Json.t
+(** One object keyed by series name (labels rendered into the key as
+    [name{k="v",...}]).  Counters and gauges map to their integer value;
+    histograms to [{count, sum, max, p50, p90, p99}]. *)

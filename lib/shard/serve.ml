@@ -6,6 +6,10 @@ module Sampler = Ft_core.Sampler
 module Metrics = Ft_core.Metrics
 module Snap = Ft_core.Snap
 module Checkpoint = Ft_snapshot.Checkpoint
+module Clock = Ft_support.Clock
+module Json = Ft_obs.Json
+module Registry = Ft_obs.Registry
+module Histogram = Ft_obs.Histogram
 
 type config = {
   socket : string;
@@ -16,9 +20,12 @@ type config = {
   checkpoint_dir : string option;
   resume_dir : string option;
   max_parked : int;
+  heartbeat_s : float option;
+  metrics_json : string option;
 }
 
 let default_max_parked = 1024
+let default_deadline_s = 30.0
 
 (* --- the report, shared with [racedet analyze] -------------------------- *)
 
@@ -39,19 +46,47 @@ let report_text ~events (result : Detector.result) =
     m.Metrics.releases m.Metrics.deep_copies;
   Buffer.contents b
 
+let metrics_json_value (m : Metrics.t) =
+  Json.Obj
+    (Array.to_list
+       (Array.map2 (fun n v -> (n, Json.Int v)) Metrics.field_names (Metrics.to_array m)))
+
 (* --- low-level I/O ------------------------------------------------------- *)
+
+exception Recv_deadline of float
 
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
-  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        go off
+  in
   go 0
 
-let read_line_fd fd =
+(* One read, retrying [EINTR] (a signal landed) and [EAGAIN] (the
+   descriptor's receive timeout fired mid-transfer — e.g. a slow or busy
+   server trickling out a large REPORT blob) until [deadline_at]
+   ([Clock.now_s] time).  The per-descriptor timeout is thereby demoted to a
+   poll granularity; only the overall deadline fails the operation. *)
+let read_retry ~deadline_at fd buf off len =
+  let rec go () =
+    match Unix.read fd buf off len with
+    | n -> n
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      if Clock.now_s () >= deadline_at then raise (Recv_deadline deadline_at) else go ()
+  in
+  go ()
+
+let read_line_fd ~deadline_at fd =
   let b = Buffer.create 64 in
   let one = Bytes.create 1 in
   let rec go () =
-    match Unix.read fd one 0 1 with
+    match read_retry ~deadline_at fd one 0 1 with
     | 0 -> raise End_of_file
     | _ ->
       let c = Bytes.get one 0 in
@@ -63,16 +98,106 @@ let read_line_fd fd =
   in
   go ()
 
-let really_read fd n =
+let really_read ~deadline_at fd n =
   let b = Bytes.create n in
   let rec go off =
     if off < n then
-      match Unix.read fd b off (n - off) with
+      match read_retry ~deadline_at fd b off (n - off) with
       | 0 -> raise End_of_file
       | k -> go (off + k)
   in
   go 0;
   Bytes.unsafe_to_string b
+
+(* --- telemetry ------------------------------------------------------------ *)
+
+(* Counters are bumped only at batch and command boundaries — never inside
+   the per-event detection loop — so instrumentation cannot perturb the
+   verdict-relevant hot path (DESIGN.md, "Telemetry stays off the hot
+   path").  Per-shard and detector series are mirrors refreshed on demand:
+   the shard counters live with the router, the merged Metrics with the
+   engines, and both are monotone, so copying them into registry counters
+   at STATS time preserves Prometheus counter semantics. *)
+type telemetry = {
+  reg : Registry.t;
+  batches_total : Registry.counter;
+  parked_total : Registry.counter;
+  duplicate_total : Registry.counter;
+  resent_total : Registry.counter;
+  events_total : Registry.counter;
+  conns_total : Registry.counter;
+  conns_active : Registry.gauge;
+  parked_now : Registry.gauge;
+  uptime : Registry.gauge;
+  stats_total : Registry.counter;
+  checkpoints_total : Registry.counter;
+  ingest_ns : Histogram.t;
+  started_ns : int64;
+  mutable ring_gauges : Registry.gauge array;    (* one per shard *)
+  mutable shard_events : Registry.counter array; (* one per shard, mirrored *)
+  mutable det_fields : Registry.counter array;   (* Metrics.field_names order *)
+}
+
+let make_telemetry () =
+  let reg = Registry.create () in
+  {
+    reg;
+    batches_total =
+      Registry.counter reg "serve_batches_ingested_total"
+        ~help:"Batches whose events were fed to the detector";
+    parked_total =
+      Registry.counter reg "serve_batches_parked_total"
+        ~help:"Batches that arrived ahead of the expected index and were parked";
+    duplicate_total =
+      Registry.counter reg "serve_batches_duplicate_total"
+        ~help:"Batches whose events were all already ingested (idempotent resend)";
+    resent_total =
+      Registry.counter reg "serve_batches_resent_total"
+        ~help:"Batches overlapping the ingested prefix that still carried new events";
+    events_total =
+      Registry.counter reg "serve_events_ingested_total"
+        ~help:"Events fed to the detector";
+    conns_total =
+      Registry.counter reg "serve_connections_total" ~help:"Client connections accepted";
+    conns_active =
+      Registry.gauge reg "serve_connections_active" ~help:"Currently open client connections";
+    parked_now = Registry.gauge reg "serve_parked_batches" ~help:"Batches currently parked";
+    uptime = Registry.gauge reg "serve_uptime_seconds" ~help:"Seconds since server start";
+    stats_total =
+      Registry.counter reg "serve_stats_queries_total" ~help:"STATS commands answered";
+    checkpoints_total =
+      Registry.counter reg "serve_checkpoints_total" ~help:"Checkpoint sets written";
+    ingest_ns =
+      Registry.histogram reg "serve_batch_ingest_ns"
+        ~help:"Per-batch ingest latency (feed + drain + checkpoint), nanoseconds";
+    started_ns = Clock.now_ns ();
+    ring_gauges = [||];
+    shard_events = [||];
+    det_fields = [||];
+  }
+
+(* Per-shard and per-field series exist once the detector does (K and the
+   field set are only known then). *)
+let attach_shard_series tel ~shards =
+  if Array.length tel.ring_gauges = 0 then begin
+    tel.ring_gauges <-
+      Array.init shards (fun k ->
+          Registry.gauge tel.reg "serve_shard_ring_occupancy"
+            ~help:"Unconsumed messages in each shard's ring"
+            ~labels:[ ("shard", string_of_int k) ]);
+    tel.shard_events <-
+      Array.init shards (fun k ->
+          Registry.counter tel.reg "serve_shard_events_total"
+            ~help:"Events routed to each shard (accesses to the owner, sync to all)"
+            ~labels:[ ("shard", string_of_int k) ]);
+    tel.det_fields <-
+      Array.map
+        (fun f ->
+          Registry.counter tel.reg "racedet_metric"
+            ~help:"Merged detector work counters (Metrics.merge_shards over all shards)"
+            ~labels:[ ("field", f) ])
+        Metrics.field_names
+  end
 
 (* --- server state -------------------------------------------------------- *)
 
@@ -85,6 +210,7 @@ type conn = {
 
 type state = {
   cfg : config;
+  tel : telemetry;
   mutable det : Sharded.t option;
   mutable universe : (int * int * int) option;  (* nthreads, nlocks, nlocs *)
   mutable clock_size : int;
@@ -116,7 +242,8 @@ let write_checkpoint st =
         Checkpoint.save (shard_file dir k) { Checkpoint.meta; detector = snap })
       (Sharded.shard_snapshots det);
     Checkpoint.save (router_file dir)
-      { Checkpoint.meta; detector = Sharded.router_snapshot det }
+      { Checkpoint.meta; detector = Sharded.router_snapshot det };
+    Registry.incr st.tel.checkpoints_total
   | _ -> ()
 
 (* Resume from a checkpoint directory.  Any inconsistency (missing file,
@@ -189,6 +316,7 @@ let ensure_detector st (nthreads, nlocks, nlocs) =
     st.det <- Some det;
     st.universe <- Some (nthreads, nlocks, nlocs);
     st.clock_size <- clock_size;
+    attach_shard_series st.tel ~shards:st.cfg.shards;
     Ok det
   | Some _, None -> assert false
 
@@ -234,15 +362,119 @@ let handle_batch st conn base payload =
               reply conn "ERR parked batch limit exceeded\n"
             else begin
               Hashtbl.replace st.parked base trace;
+              Registry.incr st.tel.parked_total;
               reply conn (Printf.sprintf "OK %d\n" st.expected)
             end
           else begin
+            let before = st.expected in
+            let t0 = Clock.now_ns () in
             feed st det trace base;
             drain_parked st det;
             write_checkpoint st;
+            let ingested = st.expected - before in
+            let tel = st.tel in
+            if ingested = 0 then Registry.incr tel.duplicate_total
+            else begin
+              Registry.incr tel.batches_total;
+              Registry.add tel.events_total ingested;
+              if base < before then Registry.incr tel.resent_total
+            end;
+            Histogram.observe tel.ingest_ns
+              (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
             reply conn (Printf.sprintf "OK %d\n" st.expected)
           end
         with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+
+(* --- STATS ----------------------------------------------------------------- *)
+
+(* Cheap refresh: registry gauges and router-side mirrors only — safe for
+   the heartbeat, which must not stall ingestion behind a shard flush. *)
+let refresh_cheap st =
+  let tel = st.tel in
+  Registry.set tel.parked_now (Hashtbl.length st.parked);
+  Registry.set tel.uptime (int_of_float (Clock.elapsed_s ~since:tel.started_ns));
+  match st.det with
+  | None -> ()
+  | Some det ->
+    Array.iteri
+      (fun k occ -> if k < Array.length tel.ring_gauges then Registry.set tel.ring_gauges.(k) occ)
+      (Sharded.ring_occupancy det);
+    Array.iteri
+      (fun k c ->
+        if k < Array.length tel.shard_events then Registry.set_counter tel.shard_events.(k) c)
+      (Sharded.shard_event_counts det)
+
+(* Full refresh: additionally flush the shards and mirror the merged
+   detector metrics.  [Sharded.result] waits for the rings to drain, so this
+   runs only on explicit STATS queries and at shutdown, never on the
+   heartbeat. *)
+let refresh_full st =
+  refresh_cheap st;
+  match st.det with
+  | None -> None
+  | Some det ->
+    let result = Sharded.result det in
+    Array.iteri
+      (fun i v ->
+        if i < Array.length st.tel.det_fields then
+          Registry.set_counter st.tel.det_fields.(i) v)
+      (Metrics.to_array result.Detector.metrics);
+    Some result
+
+let stats_json st result =
+  let events = match st.det with Some det -> Sharded.events det | None -> 0 in
+  Json.Obj
+    [
+      ("engine", Json.Str (Engine.name st.cfg.engine));
+      ("sampler", Json.Str (Sampler.name st.cfg.sampler));
+      ("shards", Json.Int st.cfg.shards);
+      ("events", Json.Int events);
+      ("next_index", Json.Int st.expected);
+      ("parked", Json.Int (Hashtbl.length st.parked));
+      ("uptime_s", Json.Float (Clock.elapsed_s ~since:st.tel.started_ns));
+      ( "ring_occupancy",
+        match st.det with
+        | None -> Json.Arr []
+        | Some det ->
+          Json.Arr (Array.to_list (Array.map (fun n -> Json.Int n) (Sharded.ring_occupancy det)))
+      );
+      ( "shard_events",
+        match st.det with
+        | None -> Json.Arr []
+        | Some det ->
+          Json.Arr
+            (Array.to_list (Array.map (fun n -> Json.Int n) (Sharded.shard_event_counts det)))
+      );
+      ("telemetry", Registry.to_json st.tel.reg);
+      ( "metrics",
+        match result with
+        | None -> Json.Null
+        | Some (r : Detector.result) -> metrics_json_value r.Detector.metrics );
+      ( "races",
+        match result with
+        | None -> Json.Null
+        | Some r -> Json.Int (List.length r.Detector.races) );
+    ]
+
+let stats_payload st format =
+  Registry.incr st.tel.stats_total;
+  let result = refresh_full st in
+  match format with
+  | `Prometheus -> Registry.to_prometheus st.tel.reg
+  | `Json -> Json.to_string_pretty (stats_json st result)
+
+let heartbeat_line st =
+  let tel = st.tel in
+  refresh_cheap st;
+  Printf.sprintf
+    "racedet serve: up %ds, events=%d batches=%d parked=%d conns=%d ingest p99=%.3fms max=%.3fms"
+    (Registry.gauge_value tel.uptime)
+    (Registry.counter_value tel.events_total)
+    (Registry.counter_value tel.batches_total)
+    (Hashtbl.length st.parked)
+    (Registry.gauge_value tel.conns_active)
+    (float_of_int (Histogram.quantile tel.ingest_ns 0.99) /. 1e6)
+    (float_of_int (Histogram.max_value tel.ingest_ns) /. 1e6)
 
 let handle_line st conn line =
   match String.split_on_char ' ' (String.trim line) with
@@ -258,6 +490,16 @@ let handle_line st conn line =
         let text = report_text ~events:(Sharded.events det) (Sharded.result det) in
         reply conn (Printf.sprintf "REPORT %d\n%s" (String.length text) text)
       with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+  | [ "STATS" ] | [ "STATS"; "PROM" ] -> (
+    try
+      let text = stats_payload st `Prometheus in
+      reply conn (Printf.sprintf "STATS %d\n%s" (String.length text) text)
+    with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg))
+  | [ "STATS"; "JSON" ] -> (
+    try
+      let text = stats_payload st `Json in
+      reply conn (Printf.sprintf "STATS %d\n%s" (String.length text) text)
+    with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg))
   | [ "SHUTDOWN" ] ->
     write_checkpoint st;
     reply conn "BYE\n";
@@ -285,6 +527,16 @@ let rec process st conn =
         handle_line st conn line;
         process st conn)
 
+let write_metrics_json_file st =
+  match st.cfg.metrics_json with
+  | None -> ()
+  | Some path ->
+    let result = refresh_full st in
+    let doc = stats_json st result in
+    let oc = open_out path in
+    output_string oc (Json.to_string_pretty doc);
+    close_out oc
+
 let run cfg =
   if cfg.shards < 1 then invalid_arg "Serve.run: shards must be positive";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -295,6 +547,7 @@ let run cfg =
   let st =
     {
       cfg;
+      tel = make_telemetry ();
       det = None;
       universe = None;
       clock_size = 0;
@@ -311,9 +564,11 @@ let run cfg =
       Some (meta.Checkpoint.nthreads, meta.Checkpoint.nlocks, meta.Checkpoint.nlocs);
     st.clock_size <- meta.Checkpoint.clock_size;
     st.expected <- meta.Checkpoint.next_index;
+    attach_shard_series st.tel ~shards:cfg.shards;
     Printf.eprintf "racedet serve: resumed at event %d\n%!" st.expected);
   let conns = ref [] in
   let chunk = Bytes.create 65536 in
+  let last_beat = ref (Clock.now_ns ()) in
   while not st.quit do
     let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
     let readable, _, _ =
@@ -322,7 +577,8 @@ let run cfg =
     in
     if List.memq listen_fd readable then begin
       let fd, _ = Unix.accept listen_fd in
-      conns := { fd; data = ""; blob = None; closed = false } :: !conns
+      conns := { fd; data = ""; blob = None; closed = false } :: !conns;
+      Registry.incr st.tel.conns_total
     end;
     List.iter
       (fun c ->
@@ -332,6 +588,9 @@ let run cfg =
           | n ->
             c.data <- c.data ^ Bytes.sub_string chunk 0 n;
             process st c
+          (* a signal or a spurious wakeup is not a dead client *)
+          | exception
+              Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
           | exception Unix.Unix_error _ -> c.closed <- true)
       !conns;
     conns :=
@@ -339,8 +598,15 @@ let run cfg =
         (fun c ->
           if c.closed then (try Unix.close c.fd with Unix.Unix_error _ -> ());
           not c.closed)
-        !conns
+        !conns;
+    Registry.set st.tel.conns_active (List.length !conns);
+    (match cfg.heartbeat_s with
+    | Some period when period > 0.0 && Clock.elapsed_s ~since:!last_beat >= period ->
+      last_beat := Clock.now_ns ();
+      Printf.eprintf "%s\n%!" (heartbeat_line st)
+    | _ -> ())
   done;
+  write_metrics_json_file st;
   (match st.det with Some det -> Sharded.stop det | None -> ());
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
   Unix.close listen_fd;
@@ -348,12 +614,12 @@ let run cfg =
 
 (* --- client side ---------------------------------------------------------- *)
 
-let connect ?(retries = 100) path =
+let connect ?(retries = 100) ?(recv_timeout_s = 0.25) path =
   let rec go n =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
     | () ->
-      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout_s;
       fd
     | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when n > 0 ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -362,20 +628,44 @@ let connect ?(retries = 100) path =
   in
   go retries
 
-let expect_line fd =
-  match read_line_fd fd with
+let deadline_at deadline_s =
+  Clock.now_s () +. Option.value deadline_s ~default:default_deadline_s
+
+let deadline_error at = Printf.sprintf "timed out (deadline %.1fs ago)" (Clock.now_s () -. at)
+
+let expect_line ~deadline_at fd =
+  match read_line_fd ~deadline_at fd with
   | line -> Ok line
   | exception End_of_file -> Error "server closed the connection"
+  | exception Recv_deadline at -> Error (deadline_error at)
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-let send_batch fd ~base trace =
+(* [<verb> <nbytes>\n<blob>] replies: validate the header, then read the
+   sized blob under the same overall deadline. *)
+let expect_blob ~deadline_at fd ~verb =
+  match expect_line ~deadline_at fd with
+  | Error _ as e -> e
+  | Ok line -> (
+    match String.split_on_char ' ' line with
+    | [ v; nbytes ] when v = verb -> (
+      match int_of_string_opt nbytes with
+      | Some n -> (
+        try Ok (really_read ~deadline_at fd n) with
+        | End_of_file -> Error ("truncated " ^ String.lowercase_ascii verb)
+        | Recv_deadline at -> Error (deadline_error at)
+        | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+      | None -> Error ("malformed reply: " ^ line))
+    | _ -> Error line)
+
+let send_batch ?deadline_s fd ~base trace =
+  let deadline_at = deadline_at deadline_s in
   let payload = Trace_binary.to_bytes trace in
   match
     write_all fd (Printf.sprintf "BATCH %d %d\n" base (Bytes.length payload));
     write_all fd (Bytes.to_string payload)
   with
   | () -> (
-    match expect_line fd with
+    match expect_line ~deadline_at fd with
     | Error _ as e -> e
     | Ok line -> (
       match String.split_on_char ' ' line with
@@ -386,27 +676,24 @@ let send_batch fd ~base trace =
       | _ -> Error line))
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-let fetch_report fd =
+let fetch_report ?deadline_s fd =
+  let deadline_at = deadline_at deadline_s in
   match write_all fd "REPORT\n" with
-  | () -> (
-    match expect_line fd with
-    | Error _ as e -> e
-    | Ok line -> (
-      match String.split_on_char ' ' line with
-      | [ "REPORT"; nbytes ] -> (
-        match int_of_string_opt nbytes with
-        | Some n -> (
-          try Ok (really_read fd n) with
-          | End_of_file -> Error "truncated report"
-          | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
-        | None -> Error ("malformed reply: " ^ line))
-      | _ -> Error line))
+  | () -> expect_blob ~deadline_at fd ~verb:"REPORT"
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
-let shutdown fd =
+let fetch_stats ?deadline_s ?(format = `Prometheus) fd =
+  let deadline_at = deadline_at deadline_s in
+  let cmd = match format with `Prometheus -> "STATS\n" | `Json -> "STATS JSON\n" in
+  match write_all fd cmd with
+  | () -> expect_blob ~deadline_at fd ~verb:"STATS"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let shutdown ?deadline_s fd =
+  let deadline_at = deadline_at deadline_s in
   match write_all fd "SHUTDOWN\n" with
   | () -> (
-    match expect_line fd with
+    match expect_line ~deadline_at fd with
     | Ok "BYE" -> Ok ()
     | Ok line -> Error line
     | Error _ as e -> e)

@@ -8,6 +8,8 @@
     client → server                      server → client
     BATCH <base> <nbytes>\n  <.ftb blob> OK <total>\n   |  ERR <reason>\n
     REPORT\n                             REPORT <nbytes>\n <report text>
+    STATS\n                              STATS <nbytes>\n <Prometheus text>
+    STATS JSON\n                         STATS <nbytes>\n <JSON document>
     SHUTDOWN\n                           BYE\n
     v}
 
@@ -18,6 +20,17 @@
     batches that arrive early (bounded) and skipping already-ingested
     prefixes idempotently — so a client may blindly resend after a crash.
     [OK <total>] reports how many events have been ingested so far.
+
+    [STATS] snapshots the daemon's telemetry ({!Ft_obs.Registry}): ingest
+    counters (batches fed / parked / duplicate / resent, events), per-batch
+    ingest-latency histogram (p50/p90/p99/max), per-shard ring occupancy
+    and routed-event throughput, connection counts, and the merged detector
+    {!Ft_core.Metrics} — as Prometheus text exposition or as one JSON
+    document.  Counters are monotone across successive queries; answering
+    [STATS] flushes the shard rings (like [REPORT]) so the merged metrics
+    are a consistent prefix snapshot.  Instrumentation is confined to batch
+    and command boundaries and never touches the per-event detection loop,
+    so [REPORT] output stays byte-identical to [racedet analyze].
 
     With a checkpoint directory the server persists, after every ingested
     batch and on shutdown, one [.ftc] per shard ([shard-<k>.ftc]) plus
@@ -37,9 +50,20 @@ type config = {
   checkpoint_dir : string option;
   resume_dir : string option;
   max_parked : int;  (** bound on batches parked for reordering *)
+  heartbeat_s : float option;
+      (** period of the one-line stderr telemetry heartbeat; [None] (or a
+          non-positive period) disables it.  The heartbeat reads only
+          router-side counters — it never flushes the shard rings. *)
+  metrics_json : string option;
+      (** write the full telemetry + merged-metrics JSON document (the
+          [STATS JSON] payload) to this file on shutdown *)
 }
 
 val default_max_parked : int
+
+val default_deadline_s : float
+(** Overall per-operation client deadline (30 s) used when [?deadline_s]
+    is omitted. *)
 
 val run : config -> unit
 (** Serve until a client sends [SHUTDOWN].  Creates the socket (replacing a
@@ -51,21 +75,40 @@ val report_text : events:int -> Ft_core.Detector.result -> string
     both the CLI and the daemon render through this one function, which is
     what the serve-vs-analyze smoke diffs rely on. *)
 
-(** {1 Client side} *)
+val metrics_json_value : Ft_core.Metrics.t -> Ft_obs.Json.t
+(** The merged work counters as one flat JSON object, zipping
+    {!Ft_core.Metrics.field_names} with [to_array] so a future counter
+    cannot be silently dropped from the export. *)
 
-val connect : ?retries:int -> string -> Unix.file_descr
+(** {1 Client side}
+
+    Every receive loop retries [EINTR] (signals) and [EAGAIN] (the
+    descriptor's receive timeout firing mid-transfer — a slow or busy
+    server trickling out a large blob) and fails only once an {e overall}
+    per-operation deadline has passed ([?deadline_s], default
+    {!default_deadline_s}).  The per-descriptor timeout set by {!connect}
+    is just the poll granularity of that deadline check. *)
+
+val connect : ?retries:int -> ?recv_timeout_s:float -> string -> Unix.file_descr
 (** Connect, retrying (50 ms apart, default 100 attempts) while the socket
     does not exist yet or refuses — covers the race with server startup.
-    The returned descriptor has a receive timeout set, so a wedged server
-    surfaces as [Unix_error (EAGAIN, _, _)] rather than a hang. *)
+    [recv_timeout_s] (default 0.25) is the per-[read] wakeup used to check
+    operation deadlines; it is {e not} the failure timeout. *)
 
 val send_batch :
-  Unix.file_descr -> base:int -> Ft_trace.Trace.t -> (int, string) result
+  ?deadline_s:float -> Unix.file_descr -> base:int -> Ft_trace.Trace.t -> (int, string) result
 (** Encode the batch as .ftb and send it; [Ok total] echoes the server's
     ingested-events count. *)
 
-val fetch_report : Unix.file_descr -> (string, string) result
+val fetch_report : ?deadline_s:float -> Unix.file_descr -> (string, string) result
 
-val shutdown : Unix.file_descr -> (unit, string) result
+val fetch_stats :
+  ?deadline_s:float ->
+  ?format:[ `Prometheus | `Json ] ->
+  Unix.file_descr ->
+  (string, string) result
+(** The [STATS] payload (default [`Prometheus]). *)
+
+val shutdown : ?deadline_s:float -> Unix.file_descr -> (unit, string) result
 
 val close : Unix.file_descr -> unit

@@ -47,6 +47,7 @@ type t = {
   sampler_inst : Sampler.instance;
   pending : bool array;  (* mirror of every instance's pending bit, per thread *)
   error : (int * string) option Atomic.t;
+  routed : int array;  (* events pushed per shard ring; router-domain only *)
   mutable domains : unit Domain.t array;
   mutable nevents : int;
   mutable stopped : bool;
@@ -113,6 +114,7 @@ let build ~engine ~shards:k ~shard_insts ~baseline ~sampler_inst ~pending ~neven
       sampler_inst;
       pending;
       error = Atomic.make None;
+      routed = Array.make k 0;
       domains = [||];
       nevents;
       stopped = false;
@@ -136,7 +138,12 @@ let check_error t =
   | None -> ()
   | Some (s, msg) -> failwith (Printf.sprintf "Sharded: shard %d failed: %s" s msg)
 
-let broadcast t m = Array.iter (fun r -> Spsc.push r m) t.rings
+let broadcast t m =
+  Array.iteri
+    (fun s r ->
+      Spsc.push r m;
+      t.routed.(s) <- t.routed.(s) + 1)
+    t.rings
 
 let handle t i (e : Event.t) =
   if t.stopped then failwith "Sharded.handle: detector is stopped";
@@ -155,7 +162,8 @@ let handle t i (e : Event.t) =
       done;
       t.baseline.i_note e.Event.thread
     end;
-    Spsc.push t.rings.(o) (Ev (i, e))
+    Spsc.push t.rings.(o) (Ev (i, e));
+    t.routed.(o) <- t.routed.(o) + 1
   | Event.Acquire _ | Event.Acquire_load _ ->
     (* acquires never flush pending *)
     broadcast t (Ev (i, e));
@@ -177,6 +185,10 @@ let handle t i (e : Event.t) =
   t.nevents <- t.nevents + 1
 
 let events t = t.nevents
+
+let shard_event_counts t = Array.copy t.routed
+
+let ring_occupancy t = Array.map Spsc.length t.rings
 
 let flush t =
   if not t.stopped then

@@ -41,6 +41,16 @@ val handle : t -> int -> Ft_trace.Event.t -> unit
 val events : t -> int
 (** Events routed so far. *)
 
+val shard_event_counts : t -> int array
+(** Events pushed to each shard's ring so far (accesses go to the owner
+    only, sync events to all K) — the per-shard throughput series of the
+    serve daemon's [STATS].  Router-domain callers only, like {!handle}. *)
+
+val ring_occupancy : t -> int array
+(** Instantaneous unconsumed-message count of each shard's ring, readable
+    from any domain.  A telemetry snapshot: concurrent workers may have
+    drained (or the router filled) slots by the time the array returns. *)
+
 val flush : t -> unit
 (** Wait until every shard has fully processed everything routed so far.
     Re-raises (as [Failure]) the first exception any shard worker hit. *)

@@ -30,3 +30,5 @@ let peek q =
 let advance q = Atomic.incr q.head
 
 let is_empty q = Atomic.get q.head = Atomic.get q.tail
+
+let length q = Stdlib.max 0 (Atomic.get q.tail - Atomic.get q.head)

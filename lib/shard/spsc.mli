@@ -35,3 +35,8 @@ val advance : 'a t -> unit
 
 val is_empty : 'a t -> bool
 (** Callable from any domain. *)
+
+val length : 'a t -> int
+(** Unconsumed elements, callable from any domain.  Racing a concurrent
+    push/advance it may be off by the in-flight operations — an occupancy
+    telemetry reading, not a synchronization primitive. *)

@@ -1,7 +1,7 @@
 (** Monotonic time source for wall-clock statistics.
 
-    [Unix.gettimeofday] follows the system's wall clock, which NTP slews and
-    administrators move; an interval measured against it can come out
+    The time-of-day clock follows the system's wall time, which NTP slews
+    and administrators move; an interval measured against it can come out
     negative.  Every duration reported by the runners ({!Ft_par}, the serve
     daemon, the bench grids) goes through this module instead, which reads
     [CLOCK_MONOTONIC] (via the bechamel stub baked into the image) and is

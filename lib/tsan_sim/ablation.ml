@@ -5,13 +5,16 @@ module Metrics = Ft_core.Metrics
 module Db_sim = Ft_workloads.Db_sim
 module Trace = Ft_trace.Trace
 module Tabulate = Ft_support.Tabulate
+module Clock = Ft_support.Clock
 
+(* Monotonic clock, not wall time: an NTP step mid-run must not be able to
+   produce a negative or skewed latency sample. *)
 let time_best ~repeats f =
   let best = ref infinity in
   for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_ns () in
     ignore (Sys.opaque_identity (f ()));
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Clock.elapsed_s ~since:t0 in
     if dt < !best then best := dt
   done;
   !best

@@ -6,6 +6,7 @@ module Db_sim = Ft_workloads.Db_sim
 module Trace = Ft_trace.Trace
 module Tabulate = Ft_support.Tabulate
 module Stats = Ft_support.Stats
+module Clock = Ft_support.Clock
 
 type rate_result = {
   rate : float;
@@ -31,12 +32,14 @@ type measurement = {
 
 let default_rates = [ 0.003; 0.03; 0.10 ]
 
+(* Monotonic clock, not wall time: an NTP step mid-run must not be able to
+   produce a negative or skewed latency sample. *)
 let time_best ~repeats f =
   let best = ref infinity in
   for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_ns () in
     ignore (Sys.opaque_identity (f ()));
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Clock.elapsed_s ~since:t0 in
     if dt < !best then best := dt
   done;
   !best

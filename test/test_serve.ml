@@ -18,6 +18,7 @@ module Prng = Ft_support.Prng
 module Engine = Ft_core.Engine
 module Sampler = Ft_core.Sampler
 module Serve = Ft_shard.Serve
+module Json = Ft_obs.Json
 
 let dir_counter = ref 0
 
@@ -41,7 +42,7 @@ let with_temp_dir f =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
-let start_server ?checkpoint_dir ?resume_dir ~engine ~shards ~sampler socket =
+let start_server ?checkpoint_dir ?resume_dir ?metrics_json ~engine ~shards ~sampler socket =
   match Unix.fork () with
   | 0 ->
     (try
@@ -55,6 +56,8 @@ let start_server ?checkpoint_dir ?resume_dir ~engine ~shards ~sampler socket =
            checkpoint_dir;
            resume_dir;
            max_parked = Serve.default_max_parked;
+           heartbeat_s = None;
+           metrics_json;
          }
      with exn ->
        Printf.eprintf "server died: %s\n%!" (Printexc.to_string exn);
@@ -305,6 +308,199 @@ let test_resume_with_corrupt_checkpoint_starts_fresh () =
   get_ok "shutdown" (Serve.shutdown fd);
   reap pid
 
+(* --- slow server: partial reads must not spuriously fail ----------------------- *)
+
+(* A fake server on a socketpair trickles a REPORT reply out in tiny chunks
+   with pauses longer than the client's receive timeout, so every chunk
+   boundary fires EAGAIN mid-blob.  The regression: the client used to treat
+   the first EAGAIN as a hard failure; it must instead keep reading until its
+   overall deadline. *)
+
+let fake_report_payload =
+  String.concat "" (List.init 24 (fun i -> Printf.sprintf "report line %d\n" i))
+
+let with_fake_server ~serve f =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close client;
+    (try serve server with _ -> ());
+    (try Unix.close server with Unix.Unix_error _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close server;
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        kill_and_reap pid)
+      (fun () -> f client)
+
+let write_slowly ?(chunk = 9) ?(pause = 0.05) fd s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let len = Stdlib.min chunk (n - !i) in
+    ignore (Unix.write_substring fd s !i len);
+    ignore (Unix.select [] [] [] pause);
+    i := !i + len
+  done
+
+let test_slow_server_partial_reads () =
+  with_fake_server
+    ~serve:(fun fd ->
+      let buf = Bytes.create 64 in
+      ignore (Unix.read fd buf 0 64);
+      write_slowly fd
+        (Printf.sprintf "REPORT %d\n" (String.length fake_report_payload));
+      write_slowly fd fake_report_payload)
+  @@ fun client ->
+  (* a receive timeout shorter than the server's inter-chunk pause: every
+     chunk boundary surfaces EAGAIN to the reader *)
+  Unix.setsockopt_float client Unix.SO_RCVTIMEO 0.02;
+  let report = get_ok "fetch_report from slow server" (Serve.fetch_report client) in
+  Alcotest.(check string) "blob reassembled across partial reads"
+    fake_report_payload report
+
+let test_slow_server_deadline_expires () =
+  with_fake_server
+    ~serve:(fun fd ->
+      let buf = Bytes.create 64 in
+      ignore (Unix.read fd buf 0 64);
+      (* claim a large blob, deliver a sliver, then stall past any deadline *)
+      ignore (Unix.write_substring fd "REPORT 100000\nstall" 0 19);
+      ignore (Unix.select [] [] [] 30.0))
+  @@ fun client ->
+  Unix.setsockopt_float client Unix.SO_RCVTIMEO 0.02;
+  match Serve.fetch_report ~deadline_s:0.4 client with
+  | Ok _ -> Alcotest.fail "stalled server produced a report"
+  | Error msg ->
+    Alcotest.(check bool) "error mentions the deadline" true
+      (String.length msg > 0)
+
+(* --- STATS under concurrent ingestion ------------------------------------------ *)
+
+let member_int path doc =
+  let rec go doc = function
+    | [] -> Json.to_int doc
+    | key :: rest -> Option.bind (Json.member key doc) (fun d -> go d rest)
+  in
+  match go doc path with
+  | Some n -> n
+  | None ->
+    Alcotest.failf "stats JSON is missing %s" (String.concat "." path)
+
+let test_stats_during_ingestion () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.So and sampler = Sampler.bernoulli ~rate:0.25 ~seed:9 in
+  let trace = sample_trace ~seed:8 ~length:2_000 in
+  let expected_result = Engine.run engine ~sampler trace in
+  let expected_report = expected_report ~engine ~sampler trace in
+  let socket = Filename.concat dir "serve.sock" in
+  let pid = start_server ~engine ~shards:3 ~sampler socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let a = Serve.connect socket in
+  let b = Serve.connect socket in
+  let c = Serve.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Serve.close a; Serve.close b; Serve.close c)
+  @@ fun () ->
+  let batches = Array.of_list (slices trace ~batch:200) in
+  let last_events = ref (-1) in
+  let last_batches = ref (-1) in
+  let query_stats () =
+    (* Prometheus first: must expose the ingest counters as text *)
+    let prom = get_ok "fetch_stats prom" (Serve.fetch_stats c ~format:`Prometheus) in
+    List.iter
+      (fun series ->
+        Alcotest.(check bool) (series ^ " exposed") true
+          (let nh = String.length prom and nn = String.length series in
+           let rec go i = i + nn <= nh && (String.sub prom i nn = series || go (i + 1)) in
+           go 0))
+      [
+        "# TYPE serve_batches_ingested_total counter";
+        "serve_events_ingested_total";
+        "serve_batch_ingest_ns_bucket{le=";
+        "serve_shard_ring_occupancy{shard=\"0\"}";
+      ];
+    (* JSON: parseable, counters monotone across successive queries *)
+    let text = get_ok "fetch_stats json" (Serve.fetch_stats c ~format:`Json) in
+    match Json.parse text with
+    | Error msg -> Alcotest.failf "STATS JSON does not parse: %s" msg
+    | Ok doc ->
+      let events = member_int [ "telemetry"; "serve_events_ingested_total" ] doc in
+      let nbatches = member_int [ "telemetry"; "serve_batches_ingested_total" ] doc in
+      Alcotest.(check bool) "events counter is monotone" true (events >= !last_events);
+      Alcotest.(check bool) "batches counter is monotone" true (nbatches >= !last_batches);
+      last_events := events;
+      last_batches := nbatches;
+      doc
+  in
+  (* two clients interleave disjoint batch halves; a third queries STATS
+     after every round of sends *)
+  let final_doc = ref None in
+  Array.iteri
+    (fun i (base, sub) ->
+      let fd = if i mod 2 = 0 then a else b in
+      ignore (get_ok "send_batch" (Serve.send_batch fd ~base sub));
+      if i mod 3 = 0 then final_doc := Some (query_stats ()))
+    batches;
+  let doc = query_stats () in
+  ignore !final_doc;
+  (* final values agree with the REPORT-side analysis *)
+  let n = Ft_trace.Trace.length trace in
+  Alcotest.(check int) "all events ingested" n
+    (member_int [ "telemetry"; "serve_events_ingested_total" ] doc);
+  Alcotest.(check int) "session event count" n (member_int [ "events" ] doc);
+  Alcotest.(check int) "race count matches the in-process run"
+    (List.length expected_result.Ft_core.Detector.races)
+    (member_int [ "races" ] doc);
+  Alcotest.(check int) "merged metrics events match"
+    expected_result.Ft_core.Detector.metrics.Ft_core.Metrics.events
+    (member_int [ "metrics"; "events" ] doc);
+  Alcotest.(check int) "no batches left parked" 0 (member_int [ "parked" ] doc);
+  (* STATS instrumentation must leave the report byte-identical *)
+  let report = get_ok "fetch_report" (Serve.fetch_report c) in
+  Alcotest.(check string) "report unchanged by telemetry" expected_report report;
+  get_ok "shutdown" (Serve.shutdown c);
+  reap pid
+
+(* --- --metrics-json on shutdown ------------------------------------------------- *)
+
+let test_metrics_json_file () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.Su and sampler = Sampler.all in
+  let trace = sample_trace ~seed:11 ~length:600 in
+  let socket = Filename.concat dir "serve.sock" in
+  let path = Filename.concat dir "metrics.json" in
+  let pid = start_server ~engine ~shards:2 ~sampler ~metrics_json:path socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect socket in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  List.iter
+    (fun (base, sub) -> ignore (get_ok "send" (Serve.send_batch fd ~base sub)))
+    (slices trace ~batch:200);
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid;
+  (* the daemon wrote the STATS JSON document on its way out *)
+  let rec wait_for tries =
+    if Sys.file_exists path then ()
+    else if tries = 0 then Alcotest.failf "%s was not written" path
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      wait_for (tries - 1)
+    end
+  in
+  wait_for 100;
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  match Json.parse text with
+  | Error msg -> Alcotest.failf "--metrics-json output does not parse: %s" msg
+  | Ok doc ->
+    Alcotest.(check int) "events recorded" (Ft_trace.Trace.length trace)
+      (member_int [ "events" ] doc);
+    Alcotest.(check bool) "merged metrics present" true
+      (Json.member "metrics" doc <> None)
+
 let () =
   Alcotest.run "serve"
     [
@@ -314,6 +510,19 @@ let () =
             test_roundtrip_out_of_order;
           Alcotest.test_case "two clients, stride 2" `Quick test_two_clients_interleaved;
           Alcotest.test_case "protocol edges" `Quick test_protocol_edges;
+        ] );
+      ( "client robustness",
+        [
+          Alcotest.test_case "slow server: EAGAIN mid-blob" `Quick
+            test_slow_server_partial_reads;
+          Alcotest.test_case "stalled server: deadline expires" `Quick
+            test_slow_server_deadline_expires;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "STATS during two-client ingestion" `Quick
+            test_stats_during_ingestion;
+          Alcotest.test_case "--metrics-json on shutdown" `Quick test_metrics_json_file;
         ] );
       ( "crash/resume",
         [
