@@ -23,6 +23,7 @@ module Sharded = Ft_shard.Sharded
 module Serve = Ft_shard.Serve
 module Clock = Ft_support.Clock
 module Json = Ft_obs.Json
+module Fault = Ft_fault.Fault
 
 open Cmdliner
 
@@ -62,6 +63,38 @@ let socket_arg =
     required
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED[:SPEC]"
+        ~doc:
+          "Arm the deterministic fault-injection layer with this seed. SPEC is \
+           comma-separated options: p=FLOAT (per-hit fire probability, default \
+           0.01), points=a+b (restrict to named injection points), \
+           kinds=exn+delay+crash_domain+partial_io+torn_write, max=N (stop after \
+           N faults), delay=FLOAT (base Delay duration). Faults are a pure \
+           function of the seed, so any chaos run replays exactly; the final \
+           report stays byte-identical to a fault-free run — that invariant is \
+           what the chaos suite checks.")
+
+(* Arm --chaos around an action; the summary goes to stderr so stdout stays
+   byte-identical to a fault-free run (the chaos oracle diffs it). *)
+let with_chaos chaos k =
+  match chaos with
+  | None -> k ()
+  | Some spec -> (
+    match Fault.parse spec with
+    | Error msg ->
+      prerr_endline ("racedet: " ^ msg);
+      1
+    | Ok c ->
+      Fault.arm c;
+      let code = k () in
+      Printf.eprintf "racedet: chaos summary: %d faults fired over %d checks\n%!"
+        (Fault.fired ()) (Fault.checks ());
+      code)
 
 (* binary (.ftb) or textual, by extension *)
 let load_trace file =
@@ -197,12 +230,13 @@ let analyze_cmd =
     if Detector.racy_locations result = [] then 0 else 2
   in
   let run file engine rate seed clock_size shards show_races checkpoint checkpoint_every resume
-      metrics_json =
+      metrics_json chaos =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
       1
     | Some id ->
+      with_chaos chaos @@ fun () ->
       let sampler = if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed in
       let t0 = Clock.now_ns () in
       let finish ~events ~result =
@@ -226,10 +260,15 @@ let analyze_cmd =
           1
         | Ok trace ->
           let config = Detector.config_of_trace ~sampler ?clock_size trace in
-          let sh = Sharded.create ~engine:id ~shards config in
+          (* chaos armed ⇒ supervise: injected shard faults heal instead of
+             failing the run, and the report stays byte-identical *)
+          let sh = Sharded.create ~engine:id ~shards ~supervise:(Fault.armed ()) config in
           Trace.iteri (fun i e -> Sharded.handle sh i e) trace;
           let result = Sharded.result sh in
           Sharded.stop sh;
+          let restarts = Sharded.restarts_total sh in
+          if restarts > 0 then
+            Printf.eprintf "racedet: supervisor restarted shards %d times\n%!" restarts;
           finish ~events:(Trace.length trace) ~result
       end
       else if checkpoint <> None || resume <> None then begin
@@ -271,7 +310,7 @@ let analyze_cmd =
   let term =
     Term.(
       const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ shards_arg
-      $ show_races $ checkpoint $ checkpoint_every $ resume $ metrics_json)
+      $ show_races $ checkpoint $ checkpoint_every $ resume $ metrics_json $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -305,7 +344,14 @@ let serve_cmd =
            ~doc:"On shutdown, write the final telemetry and merged work counters \
                  (the $(b,STATS JSON) payload) to FILE.")
   in
-  let run socket engine shards rate seed clock_size checkpoint resume heartbeat metrics_json =
+  let max_restarts =
+    Arg.(value & opt int Serve.default_max_restarts & info [ "max-restarts" ] ~docv:"N"
+           ~doc:"Per-shard supervisor restart budget; past it the daemon fails \
+                 fast with a non-zero exit, leaving the last good checkpoint set \
+                 on disk.")
+  in
+  let run socket engine shards rate seed clock_size checkpoint resume heartbeat metrics_json
+      max_restarts chaos =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
@@ -316,44 +362,58 @@ let serve_cmd =
         1
       end
       else begin
-        let sampler =
-          if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
+        let chaos_cfg =
+          match chaos with
+          | None -> Ok None
+          | Some spec -> Result.map Option.some (Fault.parse spec)
         in
-        (try
-           Serve.run
-             {
-               Serve.socket;
-               engine = id;
-               shards;
-               sampler;
-               clock_size;
-               checkpoint_dir = checkpoint;
-               resume_dir = resume;
-               max_parked = Serve.default_max_parked;
-               heartbeat_s = (if heartbeat > 0.0 then Some heartbeat else None);
-               metrics_json;
-             };
-           0
-         with
-        | Unix.Unix_error (err, fn, arg) ->
-          Printf.eprintf "racedet: serve: %s(%s): %s\n" fn arg (Unix.error_message err);
+        match chaos_cfg with
+        | Error msg ->
+          prerr_endline ("racedet: " ^ msg);
           1
-        | Failure msg ->
-          prerr_endline ("racedet: serve: " ^ msg);
-          1)
+        | Ok chaos ->
+          let sampler =
+            if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
+          in
+          (try
+             Serve.run
+               {
+                 Serve.socket;
+                 engine = id;
+                 shards;
+                 sampler;
+                 clock_size;
+                 checkpoint_dir = checkpoint;
+                 resume_dir = resume;
+                 max_parked = Serve.default_max_parked;
+                 heartbeat_s = (if heartbeat > 0.0 then Some heartbeat else None);
+                 metrics_json;
+                 max_restarts;
+                 chaos;
+               };
+             0
+           with
+          | Unix.Unix_error (err, fn, arg) ->
+            Printf.eprintf "racedet: serve: %s(%s): %s\n" fn arg (Unix.error_message err);
+            1
+          | Failure msg ->
+            prerr_endline ("racedet: serve: " ^ msg);
+            1)
       end
   in
   let term =
     Term.(
       const run $ socket_arg $ engine $ shards_arg $ rate_arg $ seed_arg
-      $ clock_size_arg $ checkpoint $ resume $ heartbeat $ metrics_json)
+      $ clock_size_arg $ checkpoint $ resume $ heartbeat $ metrics_json
+      $ max_restarts $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Ingestion daemon: accept .ftb event batches over a Unix-domain socket, \
           feed a (sharded) online detector, answer REPORT queries. Runs until a \
-          client sends SHUTDOWN.")
+          client sends SHUTDOWN, SIGTERM or SIGINT (all three drain, write a \
+          final checkpoint and dump --metrics-json before exiting).")
     term
 
 (* --- emit ------------------------------------------------------------------ *)
@@ -396,7 +456,7 @@ let emit_cmd =
     Arg.(value & flag & info [ "stats-json" ]
            ~doc:"Fetch and print the server's telemetry as a JSON document.")
   in
-  let run connect file batch stride offset report stats stats_json shutdown_flag =
+  let run connect file batch stride offset report stats stats_json shutdown_flag seed chaos =
     if batch < 1 then begin
       prerr_endline "racedet: --batch must be positive";
       1
@@ -407,12 +467,15 @@ let emit_cmd =
     end
     else begin
       let exception Fail of string in
-      match Serve.connect connect with
+      with_chaos chaos @@ fun () ->
+      match Serve.connect_stats ~seed connect with
       | exception Unix.Unix_error (err, fn, _) ->
         Printf.eprintf "racedet: cannot connect to %s: %s: %s\n" connect fn
           (Unix.error_message err);
         1
-      | fd ->
+      | fd, attempts ->
+        if attempts > 1 then
+          Printf.eprintf "racedet: connected to %s after %d attempts\n%!" connect attempts;
         let code = ref 0 in
         (try
            (match file with
@@ -443,7 +506,11 @@ let emit_cmd =
            if stats then begin
              match Serve.fetch_stats fd ~format:`Prometheus with
              | Error msg -> raise (Fail ("stats: " ^ msg))
-             | Ok text -> print_string text
+             | Ok text ->
+               (* client-side backoff telemetry rides along as a Prometheus
+                  comment: the server cannot know how hard we had to try *)
+               Printf.printf "# emit_connect_attempts %d\n" attempts;
+               print_string text
            end;
            if stats_json then begin
              match Serve.fetch_stats fd ~format:`Json with
@@ -484,7 +551,7 @@ let emit_cmd =
   let term =
     Term.(
       const run $ connect $ file $ batch $ stride $ offset $ report $ stats_flag
-      $ stats_json_flag $ shutdown_flag)
+      $ stats_json_flag $ shutdown_flag $ seed_arg $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "emit"

@@ -10,6 +10,8 @@ module Clock = Ft_support.Clock
 module Json = Ft_obs.Json
 module Registry = Ft_obs.Registry
 module Histogram = Ft_obs.Histogram
+module Fault = Ft_fault.Fault
+module Prng = Ft_support.Prng
 
 type config = {
   socket : string;
@@ -22,10 +24,13 @@ type config = {
   max_parked : int;
   heartbeat_s : float option;
   metrics_json : string option;
+  max_restarts : int;  (* per-shard supervisor restart budget *)
+  chaos : Fault.config option;  (* armed at startup when present *)
 }
 
 let default_max_parked = 1024
 let default_deadline_s = 30.0
+let default_max_restarts = 8
 
 (* --- the report, shared with [racedet analyze] -------------------------- *)
 
@@ -131,6 +136,9 @@ type telemetry = {
   uptime : Registry.gauge;
   stats_total : Registry.counter;
   checkpoints_total : Registry.counter;
+  faults_injected : Registry.counter;
+  shard_restarts : Registry.counter;
+  checkpoint_failures : Registry.counter;
   ingest_ns : Histogram.t;
   started_ns : int64;
   mutable ring_gauges : Registry.gauge array;    (* one per shard *)
@@ -167,6 +175,15 @@ let make_telemetry () =
       Registry.counter reg "serve_stats_queries_total" ~help:"STATS commands answered";
     checkpoints_total =
       Registry.counter reg "serve_checkpoints_total" ~help:"Checkpoint sets written";
+    faults_injected =
+      Registry.counter reg "racedet_faults_injected"
+        ~help:"Faults fired by the armed chaos schedule (0 when disarmed)";
+    shard_restarts =
+      Registry.counter reg "racedet_shard_restarts"
+        ~help:"Shard workers restarted by the supervisor";
+    checkpoint_failures =
+      Registry.counter reg "serve_checkpoint_failures_total"
+        ~help:"Checkpoint sets abandoned because a write faulted";
     ingest_ns =
       Registry.histogram reg "serve_batch_ingest_ns"
         ~help:"Per-batch ingest latency (feed + drain + checkpoint), nanoseconds";
@@ -217,6 +234,8 @@ type state = {
   mutable expected : int;  (* next global event index *)
   parked : (int, Trace.t) Hashtbl.t;
   mutable quit : bool;
+  mutable stop_reason : string;  (* what ended the serve loop, for the log *)
+  mutable failed : string option;  (* fail-fast diagnostic: exit non-zero *)
 }
 
 let shard_file dir k = Filename.concat dir (Printf.sprintf "shard-%d.ftc" k)
@@ -224,7 +243,7 @@ let router_file dir = Filename.concat dir "router.ftc"
 
 let write_checkpoint st =
   match (st.cfg.checkpoint_dir, st.det, st.universe) with
-  | Some dir, Some det, Some (nthreads, nlocks, nlocs) ->
+  | Some dir, Some det, Some (nthreads, nlocks, nlocs) -> (
     let meta =
       {
         Checkpoint.engine = st.cfg.engine;
@@ -237,13 +256,23 @@ let write_checkpoint st =
         byte_offset = -1;
       }
     in
-    Array.iteri
-      (fun k snap ->
-        Checkpoint.save (shard_file dir k) { Checkpoint.meta; detector = snap })
-      (Sharded.shard_snapshots det);
-    Checkpoint.save (router_file dir)
-      { Checkpoint.meta; detector = Sharded.router_snapshot det };
-    Registry.incr st.tel.checkpoints_total
+    (* A faulted write leaves a mixed checkpoint set on disk, but each file
+       is individually atomic (write-fsync-rename) and [try_resume] rejects
+       any metadata disagreement between them, degrading to a fresh start —
+       so an abandoned set can never produce a wrong resume, only a slower
+       one.  Log it, count it, keep serving. *)
+    try
+      Array.iteri
+        (fun k snap ->
+          Checkpoint.save (shard_file dir k) { Checkpoint.meta; detector = snap })
+        (Sharded.shard_snapshots det);
+      Checkpoint.save (router_file dir)
+        { Checkpoint.meta; detector = Sharded.router_snapshot det };
+      Registry.incr st.tel.checkpoints_total
+    with Fault.Injected _ as e ->
+      Registry.incr st.tel.checkpoint_failures;
+      Printf.eprintf "racedet serve: checkpoint write faulted (%s); continuing\n%!"
+        (Printexc.to_string e))
   | _ -> ()
 
 (* Resume from a checkpoint directory.  Any inconsistency (missing file,
@@ -286,7 +315,8 @@ let try_resume (cfg : config) =
         }
       in
       match
-        Sharded.restore ~engine:cfg.engine ~shards:cfg.shards config
+        Sharded.restore ~engine:cfg.engine ~shards:cfg.shards ~supervise:true
+          ~max_restarts:cfg.max_restarts config
           ~router:router_cp.Checkpoint.detector
           (Array.of_list (List.map (fun cp -> cp.Checkpoint.detector) shard_cps))
       with
@@ -312,7 +342,10 @@ let ensure_detector st (nthreads, nlocks, nlocs) =
       | Some s -> Stdlib.max s nthreads
     in
     let config = { Detector.nthreads; nlocks; nlocs; clock_size; sampler = st.cfg.sampler } in
-    let det = Sharded.create ~engine:st.cfg.engine ~shards:st.cfg.shards config in
+    let det =
+      Sharded.create ~engine:st.cfg.engine ~shards:st.cfg.shards ~supervise:true
+        ~max_restarts:st.cfg.max_restarts config
+    in
     st.det <- Some det;
     st.universe <- Some (nthreads, nlocks, nlocs);
     st.clock_size <- clock_size;
@@ -345,6 +378,15 @@ let rec drain_parked st det =
     drain_parked st det
 
 let reply conn s = try write_all conn.fd s with Unix.Unix_error _ -> conn.closed <- true
+
+(* A shard past its restart budget is unrecoverable within this process:
+   reply with the diagnostic, then fail fast — clients hold the full stream
+   and can replay into a fresh server. *)
+let fail_fast st conn msg =
+  st.failed <- Some msg;
+  st.stop_reason <- "shard failure";
+  st.quit <- true;
+  reply conn (Printf.sprintf "ERR %s\n" msg)
 
 let handle_batch st conn base payload =
   if base < 0 then reply conn "ERR negative base index\n"
@@ -383,7 +425,9 @@ let handle_batch st conn base payload =
               (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
             reply conn (Printf.sprintf "OK %d\n" st.expected)
           end
-        with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+        with
+        | Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+        | Sharded.Shard_failed msg -> fail_fast st conn msg))
 
 (* --- STATS ----------------------------------------------------------------- *)
 
@@ -393,9 +437,11 @@ let refresh_cheap st =
   let tel = st.tel in
   Registry.set tel.parked_now (Hashtbl.length st.parked);
   Registry.set tel.uptime (int_of_float (Clock.elapsed_s ~since:tel.started_ns));
+  Registry.set_counter tel.faults_injected (Fault.fired ());
   match st.det with
   | None -> ()
   | Some det ->
+    Registry.set_counter tel.shard_restarts (Sharded.restarts_total det);
     Array.iteri
       (fun k occ -> if k < Array.length tel.ring_gauges then Registry.set tel.ring_gauges.(k) occ)
       (Sharded.ring_occupancy det);
@@ -489,20 +535,27 @@ let handle_line st conn line =
       try
         let text = report_text ~events:(Sharded.events det) (Sharded.result det) in
         reply conn (Printf.sprintf "REPORT %d\n%s" (String.length text) text)
-      with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+      with
+      | Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | Sharded.Shard_failed msg -> fail_fast st conn msg))
   | [ "STATS" ] | [ "STATS"; "PROM" ] -> (
     try
       let text = stats_payload st `Prometheus in
       reply conn (Printf.sprintf "STATS %d\n%s" (String.length text) text)
-    with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg))
+    with
+    | Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+    | Sharded.Shard_failed msg -> fail_fast st conn msg)
   | [ "STATS"; "JSON" ] -> (
     try
       let text = stats_payload st `Json in
       reply conn (Printf.sprintf "STATS %d\n%s" (String.length text) text)
-    with Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg))
+    with
+    | Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+    | Sharded.Shard_failed msg -> fail_fast st conn msg)
   | [ "SHUTDOWN" ] ->
     write_checkpoint st;
     reply conn "BYE\n";
+    st.stop_reason <- "SHUTDOWN command";
     st.quit <- true
   | [ "" ] -> ()
   | _ -> reply conn "ERR unknown command\n"
@@ -540,6 +593,11 @@ let write_metrics_json_file st =
 let run cfg =
   if cfg.shards < 1 then invalid_arg "Serve.run: shards must be positive";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match cfg.chaos with
+  | None -> ()
+  | Some c ->
+    Fault.arm c;
+    Printf.eprintf "racedet serve: chaos armed (%s)\n%!" (Fault.spec_of_config c));
   (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
@@ -554,8 +612,22 @@ let run cfg =
       expected = 0;
       parked = Hashtbl.create 16;
       quit = false;
+      stop_reason = "";
+      failed = None;
     }
   in
+  (* Graceful shutdown on SIGTERM/SIGINT: finish the current select round,
+     then run the same drain → final checkpoint → metrics dump path as a
+     SHUTDOWN command.  (An abrupt SIGKILL stays covered by the crash/resume
+     tests — that is what the per-batch checkpoints are for.) *)
+  let on_signal name =
+    Sys.Signal_handle
+      (fun _ ->
+        st.stop_reason <- name;
+        st.quit <- true)
+  in
+  Sys.set_signal Sys.sigterm (on_signal "SIGTERM");
+  Sys.set_signal Sys.sigint (on_signal "SIGINT");
   (match try_resume cfg with
   | None -> ()
   | Some (det, meta) ->
@@ -583,7 +655,14 @@ let run cfg =
     List.iter
       (fun c ->
         if (not c.closed) && List.memq c.fd readable then
-          match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+          (* Both faults act BEFORE the read so no received byte is ever
+             dropped: an Exn is a transient hiccup (retried next select
+             round, the data still queued in the socket), a Partial_io just
+             shortens the requested length. *)
+          match
+            Fault.point ~supports:[ Fault.Exn; Fault.Delay ] "serve.recv";
+            Unix.read c.fd chunk 0 (Fault.io_len "serve.recv" (Bytes.length chunk))
+          with
           | 0 -> c.closed <- true
           | n ->
             c.data <- c.data ^ Bytes.sub_string chunk 0 n;
@@ -591,6 +670,7 @@ let run cfg =
           (* a signal or a spurious wakeup is not a dead client *)
           | exception
               Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | exception Fault.Injected _ -> ()
           | exception Unix.Unix_error _ -> c.closed <- true)
       !conns;
     conns :=
@@ -606,27 +686,76 @@ let run cfg =
       Printf.eprintf "%s\n%!" (heartbeat_line st)
     | _ -> ())
   done;
-  write_metrics_json_file st;
-  (match st.det with Some det -> Sharded.stop det | None -> ());
+  if st.stop_reason <> "" then
+    Printf.eprintf "racedet serve: shutting down (%s)\n%!" st.stop_reason;
+  (match st.failed with
+  | Some _ -> ()  (* fail-fast: the on-disk checkpoint of the last good batch stands *)
+  | None ->
+    write_checkpoint st;
+    (try write_metrics_json_file st
+     with Sharded.Shard_failed msg -> st.failed <- Some msg));
+  (match st.det with
+  | Some det -> ( try Sharded.stop det with Sharded.Shard_failed _ -> ())
+  | None -> ());
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
   Unix.close listen_fd;
-  try Unix.unlink cfg.socket with Unix.Unix_error _ -> ()
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  (match cfg.chaos with
+  | None -> ()
+  | Some _ ->
+    Printf.eprintf "racedet serve: chaos summary: %d faults fired over %d checks, %d shard restarts\n%!"
+      (Fault.fired ()) (Fault.checks ())
+      (match st.det with Some det -> Sharded.restarts_total det | None -> 0));
+  match st.failed with
+  | Some msg -> failwith ("racedet serve: " ^ msg)
+  | None -> ()
 
 (* --- client side ---------------------------------------------------------- *)
 
-let connect ?(retries = 100) ?(recv_timeout_s = 0.25) path =
-  let rec go n =
+(* Connect with capped exponential backoff: 10ms doubling to 0.8s, plus a
+   deterministic jitter drawn from {!Ft_support.Prng} seeded by [?seed] (so
+   two emitters racing to the same socket desynchronize, yet a given seed
+   replays the exact attempt schedule).  Bounded by [?deadline_s] wall time
+   rather than an attempt count — a server that takes 3s to come up costs a
+   handful of attempts either way, but a dead one fails at a predictable
+   time.  The [emit.connect] injection point makes each attempt chaos-able:
+   an injected Exn counts as a failed attempt and backs off like one. *)
+let backoff_base_s = 0.01
+let backoff_cap_s = 0.8
+
+let connect_stats ?(recv_timeout_s = 0.25) ?deadline_s ?(seed = 0) path =
+  let deadline =
+    Clock.now_s () +. Option.value deadline_s ~default:default_deadline_s
+  in
+  let prng = Prng.create ~seed:(seed lxor 0x5eeed) in
+  let rec go ~attempt ~backoff =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    match
+      Fault.point ~supports:[ Fault.Exn; Fault.Delay ] "emit.connect";
+      Unix.connect fd (Unix.ADDR_UNIX path)
+    with
     | () ->
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout_s;
-      fd
-    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when n > 0 ->
+      (fd, attempt)
+    | exception
+        (( Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+         | Fault.Injected _ ) as e) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Unix.sleepf 0.05;
-      go (n - 1)
+      if Clock.now_s () +. backoff > deadline then
+        match e with
+        | Fault.Injected _ ->
+          raise
+            (Unix.Unix_error (Unix.ECONNREFUSED, "connect (chaos)", path))
+        | e -> raise e
+      else begin
+        Unix.sleepf (backoff +. Prng.float prng (backoff /. 2.0));
+        go ~attempt:(attempt + 1) ~backoff:(Stdlib.min backoff_cap_s (2.0 *. backoff))
+      end
   in
-  go retries
+  go ~attempt:1 ~backoff:backoff_base_s
+
+let connect ?recv_timeout_s ?deadline_s ?seed path =
+  fst (connect_stats ?recv_timeout_s ?deadline_s ?seed path)
 
 let deadline_at deadline_s =
   Clock.now_s () +. Option.value deadline_s ~default:default_deadline_s

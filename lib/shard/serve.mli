@@ -39,7 +39,23 @@
     checksummed and written atomically.  A restarted server pointed at the
     directory resumes exactly; if the set is missing or inconsistent it
     logs the reason and starts fresh, which is still correct because
-    clients resend idempotently. *)
+    clients resend idempotently.
+
+    {2 Robustness}
+
+    The daemon's sharded detector runs {e supervised}
+    ({!Sharded.create}[ ~supervise:true]): a shard worker that dies is
+    rebuilt from its last published snapshot and its backlog replayed, so
+    verdicts are unaffected; a shard past its restart budget
+    ([max_restarts]) fails the daemon fast with a non-zero exit, leaving
+    the last good checkpoint set on disk for a replacement server to
+    resume from.  [SIGTERM] and [SIGINT] trigger the same graceful path as
+    a [SHUTDOWN] command: drain the rings, write a final checkpoint set,
+    dump [metrics_json].  A [chaos] config arms the deterministic
+    fault-injection layer ({!Ft_fault.Fault}) over the daemon's injection
+    points ([serve.recv], [shard.step], [spsc.push], [checkpoint.write])
+    and reports fired faults through the [racedet_faults_injected] /
+    [racedet_shard_restarts] counters and a shutdown summary line. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path *)
@@ -57,18 +73,27 @@ type config = {
   metrics_json : string option;
       (** write the full telemetry + merged-metrics JSON document (the
           [STATS JSON] payload) to this file on shutdown *)
+  max_restarts : int;
+      (** per-shard supervisor restart budget before the daemon fails fast
+          ({!default_max_restarts}) *)
+  chaos : Ft_fault.Fault.config option;
+      (** arm this fault-injection schedule at startup ([--chaos]) *)
 }
 
 val default_max_parked : int
+val default_max_restarts : int
 
 val default_deadline_s : float
 (** Overall per-operation client deadline (30 s) used when [?deadline_s]
     is omitted. *)
 
 val run : config -> unit
-(** Serve until a client sends [SHUTDOWN].  Creates the socket (replacing a
-    stale file), removes it on exit.  Blocking; spawns the shard domains —
-    call it from a dedicated (child) process. *)
+(** Serve until a client sends [SHUTDOWN] or the process receives
+    [SIGTERM]/[SIGINT] (both shut down gracefully: final checkpoint +
+    metrics dump).  Creates the socket (replacing a stale file), removes it
+    on exit.  Blocking; spawns the shard domains — call it from a dedicated
+    (child) process.  Raises [Failure] after cleanup if a shard exhausted
+    its restart budget (the CLI turns that into a non-zero exit). *)
 
 val report_text : events:int -> Ft_core.Detector.result -> string
 (** The analysis report, byte-identical to [racedet analyze]'s output —
@@ -89,11 +114,27 @@ val metrics_json_value : Ft_core.Metrics.t -> Ft_obs.Json.t
     {!default_deadline_s}).  The per-descriptor timeout set by {!connect}
     is just the poll granularity of that deadline check. *)
 
-val connect : ?retries:int -> ?recv_timeout_s:float -> string -> Unix.file_descr
-(** Connect, retrying (50 ms apart, default 100 attempts) while the socket
-    does not exist yet or refuses — covers the race with server startup.
-    [recv_timeout_s] (default 0.25) is the per-[read] wakeup used to check
-    operation deadlines; it is {e not} the failure timeout. *)
+val connect :
+  ?recv_timeout_s:float -> ?deadline_s:float -> ?seed:int -> string -> Unix.file_descr
+(** Connect, retrying with capped exponential backoff (10 ms doubling to
+    0.8 s, plus deterministic jitter from {!Ft_support.Prng} seeded by
+    [?seed]) while the socket does not exist yet or refuses — covers the
+    race with server startup without hammering a slow one.  Gives up once
+    the next attempt would land past [?deadline_s]
+    (default {!default_deadline_s}) of wall time, re-raising the last
+    connect error.  [recv_timeout_s] (default 0.25) is the per-[read]
+    wakeup used to check operation deadlines; it is {e not} the failure
+    timeout. *)
+
+val connect_stats :
+  ?recv_timeout_s:float ->
+  ?deadline_s:float ->
+  ?seed:int ->
+  string ->
+  Unix.file_descr * int
+(** Like {!connect}, additionally returning how many attempts the backoff
+    loop made (1 = connected first try) — surfaced by
+    [racedet emit --stats]. *)
 
 val send_batch :
   ?deadline_s:float -> Unix.file_descr -> base:int -> Ft_trace.Trace.t -> (int, string) result

@@ -21,22 +21,61 @@
     event index, are byte-identical to the unsharded engine's declarations —
     for every engine, every sampler, and every K (property-tested).  Metrics
     are merged exactly via {!Ft_core.Metrics.merge_shards}, using an inline
-    sync-only baseline instance that measures the duplicated sync work. *)
+    sync-only baseline instance that measures the duplicated sync work.
+
+    {2 Supervision}
+
+    With [~supervise:true] the router doubles as a {e supervisor}: every
+    message routed to a shard is also appended to a router-side backlog, and
+    each worker periodically publishes a [(count, snapshot)] pair through an
+    atomic slot.  When a worker dies — its handler raised, or an injected
+    {!Ft_fault.Fault.Crash_domain} killed the domain mid-message — the router
+    joins the corpse, rebuilds the shard's engine from the latest published
+    snapshot, replays the backlog suffix through a fresh domain, and carries
+    on.  Because replay is exact (same messages, same order), the healed
+    shard reaches precisely the state an unfaulted run would have: race
+    verdicts and metrics are unaffected, which the chaos suite checks
+    byte-for-byte against fault-free runs.  Restarts are bounded per shard
+    ([?max_restarts], default 8); past the budget the shard is marked dead
+    and every subsequent operation raises {!Shard_failed} — fail fast rather
+    than loop forever on a deterministic fault.
+
+    Without supervision (the default) behavior is exactly the pre-supervisor
+    one — no backlog, no snapshot publishing, worker failures surface as
+    [Failure] from {!flush}/{!result}/{!stop} — so existing callers pay
+    nothing. *)
 
 type t
+
+exception Shard_failed of string
+(** A supervised shard exhausted its restart budget.  The detector is no
+    longer usable for routing; {!stop} still joins what is left. *)
 
 val owner_of : shards:int -> Ft_trace.Event.loc -> int
 (** The shard that owns a location — a pure hash, independent of trace
     content, so tests can place locations on chosen shards. *)
 
-val create : engine:Ft_core.Engine.id -> shards:int -> Ft_core.Detector.config -> t
+val create :
+  engine:Ft_core.Engine.id ->
+  shards:int ->
+  ?supervise:bool ->
+  ?max_restarts:int ->
+  ?snapshot_every:int ->
+  Ft_core.Detector.config ->
+  t
 (** Spawn [shards] worker domains (K ≥ 1).  Every sharded detector must be
-    {!stop}ped, or its domains leak. *)
+    {!stop}ped, or its domains leak.  [?supervise] (default [false]) enables
+    self-healing as described above; [?max_restarts] (default 8) is the
+    per-shard restart budget; [?snapshot_every] (default 2048) is how many
+    messages a supervised worker processes between published recovery
+    snapshots — smaller means cheaper replays and more snapshot overhead. *)
 
 val handle : t -> int -> Ft_trace.Event.t -> unit
 (** Route event [i].  Indices must be fed in increasing order, as with
     {!Ft_core.Detector.S.handle}.  Blocks (backpressure) when a shard's ring
-    is full.  Raises [Failure] if called after {!stop}. *)
+    is full.  Raises [Failure] if called after {!stop}; a supervised call may
+    heal a failed shard in-line (replaying its backlog) before returning, and
+    raises {!Shard_failed} once a shard is past its restart budget. *)
 
 val events : t -> int
 (** Events routed so far. *)
@@ -51,9 +90,18 @@ val ring_occupancy : t -> int array
     from any domain.  A telemetry snapshot: concurrent workers may have
     drained (or the router filled) slots by the time the array returns. *)
 
+val restart_counts : t -> int array
+(** Supervisor restarts performed per shard so far (all zeros when
+    unsupervised or fault-free) — the [racedet_shard_restarts] series. *)
+
+val restarts_total : t -> int
+
 val flush : t -> unit
 (** Wait until every shard has fully processed everything routed so far.
-    Re-raises (as [Failure]) the first exception any shard worker hit. *)
+    Unsupervised: re-raises (as [Failure]) the first exception any shard
+    worker hit.  Supervised: heals failed shards (restoring and replaying)
+    until every ring is drained cleanly, raising {!Shard_failed} only past
+    the restart budget. *)
 
 val result : t -> Ft_core.Detector.result
 (** {!flush}, then merge: races from all shards sorted by declaration index
@@ -64,7 +112,10 @@ val result : t -> Ft_core.Detector.result
 
 val stop : t -> unit
 (** Drain and join the worker domains.  Idempotent.  {!result},
-    {!shard_snapshots} and {!router_snapshot} remain valid afterwards. *)
+    {!shard_snapshots} and {!router_snapshot} remain valid afterwards.
+    Supervised: heals pending failures first, so the joined state is the
+    exact prefix state; every domain is joined before a {!Shard_failed} from
+    an exhausted budget propagates (no leaks on the fail-fast path). *)
 
 (** {1 Snapshots}
 
@@ -82,6 +133,9 @@ val router_snapshot : t -> Ft_core.Snap.t
 val restore :
   engine:Ft_core.Engine.id ->
   shards:int ->
+  ?supervise:bool ->
+  ?max_restarts:int ->
+  ?snapshot_every:int ->
   Ft_core.Detector.config ->
   router:Ft_core.Snap.t ->
   Ft_core.Snap.t array ->

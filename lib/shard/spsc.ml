@@ -23,6 +23,15 @@ let push q v =
   (* publishes the slot write above to the consumer *)
   Atomic.set q.tail (t + 1)
 
+let try_push q v =
+  let t = Atomic.get q.tail in
+  if t - Atomic.get q.head >= q.capacity then false
+  else begin
+    q.buf.(t mod q.capacity) <- v;
+    Atomic.set q.tail (t + 1);
+    true
+  end
+
 let peek q =
   let h = Atomic.get q.head in
   if h = Atomic.get q.tail then None else Some q.buf.(h mod q.capacity)

@@ -24,6 +24,12 @@ val push : 'a t -> 'a -> unit
 (** Producer only.  Spins (with [Domain.cpu_relax]) while the ring is
     full. *)
 
+val try_push : 'a t -> 'a -> bool
+(** Producer only.  Push without blocking; [false] when the ring is full.
+    The supervisor's push loop uses this so a producer facing a {e dead}
+    consumer (a crashed shard domain no longer draining) can notice the
+    failure instead of spinning in {!push} forever. *)
+
 val peek : 'a t -> 'a option
 (** Consumer only.  The oldest unconsumed element, without removing it;
     [None] when the ring is empty. *)

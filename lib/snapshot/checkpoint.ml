@@ -103,15 +103,60 @@ let of_string s =
     end
   end
 
+module Fault = Ft_fault.Fault
+
+let write_all fd s off len =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      let n =
+        try Unix.write fd b off len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let fsync_dir path =
+  (* Durability of the rename itself: without fsyncing the containing
+     directory, a power cut can forget the new name and resurrect the old
+     file contents.  Directory fsync is not universally supported, so
+     failures are ignored — the data fsync above already bounds the loss. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let save path t =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try output_string oc (to_string t)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  let s = to_string t in
+  let len = String.length s in
+  (* torn-write injection point: [Some (keep, e)] means "a crash cut this
+     write after [keep] bytes" — write exactly that prefix, skip the fsync
+     and the rename, and raise, leaving [path] (the previous checkpoint)
+     untouched.  The chaos suite asserts exactly that. *)
+  let torn = Fault.torn_len "checkpoint.write" len in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  match torn with
+  | Some (keep, e) ->
+    write_all fd s 0 keep;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+  | None ->
+    (try
+       write_all fd s 0 len;
+       (* the rename must not be allowed to publish a name whose bytes are
+          still only in the page cache: fsync before rename is what makes
+          "every .ftc on disk is complete" a crash-safe invariant *)
+       Unix.fsync fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    Unix.close fd;
+    Sys.rename tmp path;
+    fsync_dir path
 
 let load path =
   match open_in_bin path with

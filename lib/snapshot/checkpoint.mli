@@ -38,8 +38,14 @@ val of_string : string -> (t, string) result
 (** Never raises; any corruption yields [Error]. *)
 
 val save : string -> t -> unit
-(** Write atomically (temp file + rename), so an interrupted checkpoint
-    never clobbers the previous good one.  Raises [Sys_error] on I/O
-    failure. *)
+(** Write atomically {e and durably}: temp file, [fsync], rename, then
+    [fsync] of the containing directory — so an interrupted checkpoint
+    never clobbers the previous good one, and a completed one survives a
+    power cut (a rename published without syncing the data first could
+    leave a complete-looking name over page-cache-only bytes).  Carries the
+    [checkpoint.write] injection point: a scheduled {!Ft_fault.Fault.Torn_write}
+    writes a prefix of the temp file, skips the rename and raises
+    {!Ft_fault.Fault.Injected}, leaving [path] untouched.  Raises
+    [Sys_error]/[Unix.Unix_error] on real I/O failure. *)
 
 val load : string -> (t, string) result

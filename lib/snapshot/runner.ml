@@ -115,23 +115,30 @@ let analyze_file ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
           let write_checkpoint () =
             match checkpoint with
             | None -> ()
-            | Some cp_path ->
-              Checkpoint.save cp_path
-                {
-                  Checkpoint.meta =
-                    {
-                      Checkpoint.engine;
-                      sampler = Sampler.name sampler;
-                      nthreads;
-                      nlocks;
-                      nlocs;
-                      clock_size;
-                      next_index = Tb.events_read reader;
-                      byte_offset = Tb.byte_pos reader;
-                    };
-                  detector = D.snapshot state;
-                };
-              incr written
+            | Some cp_path -> (
+              (* a faulted checkpoint write never fails the analysis:
+                 [Checkpoint.save] left the previous good file in place, so
+                 the only cost is a longer replay after a crash *)
+              try
+                Checkpoint.save cp_path
+                  {
+                    Checkpoint.meta =
+                      {
+                        Checkpoint.engine;
+                        sampler = Sampler.name sampler;
+                        nthreads;
+                        nlocks;
+                        nlocs;
+                        clock_size;
+                        next_index = Tb.events_read reader;
+                        byte_offset = Tb.byte_pos reader;
+                      };
+                    detector = D.snapshot state;
+                  };
+                incr written
+              with Ft_fault.Fault.Injected _ as e ->
+                Printf.eprintf "racedet: checkpoint write faulted (%s); continuing\n%!"
+                  (Printexc.to_string e))
           in
           let rec loop () =
             match Tb.next reader with
@@ -202,23 +209,27 @@ let analyze_trace ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
       D.handle state i (Trace.get trace i);
       match checkpoint with
       | Some cp_path when checkpoint_every > 0 && (i + 1) mod checkpoint_every = 0
-                          && i + 1 < nevents ->
-        Checkpoint.save cp_path
-          {
-            Checkpoint.meta =
-              {
-                Checkpoint.engine;
-                sampler = Sampler.name sampler;
-                nthreads;
-                nlocks;
-                nlocs;
-                clock_size;
-                next_index = i + 1;
-                byte_offset = -1;
-              };
-            detector = D.snapshot state;
-          };
-        incr written
+                          && i + 1 < nevents -> (
+        try
+          Checkpoint.save cp_path
+            {
+              Checkpoint.meta =
+                {
+                  Checkpoint.engine;
+                  sampler = Sampler.name sampler;
+                  nthreads;
+                  nlocks;
+                  nlocs;
+                  clock_size;
+                  next_index = i + 1;
+                  byte_offset = -1;
+                };
+              detector = D.snapshot state;
+            };
+          incr written
+        with Ft_fault.Fault.Injected _ as e ->
+          Printf.eprintf "racedet: checkpoint write faulted (%s); continuing\n%!"
+            (Printexc.to_string e))
       | Some _ | None -> ()
     done;
     Ok

@@ -42,7 +42,8 @@ let with_temp_dir f =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
-let start_server ?checkpoint_dir ?resume_dir ?metrics_json ~engine ~shards ~sampler socket =
+let start_server ?checkpoint_dir ?resume_dir ?metrics_json ?chaos ~engine ~shards ~sampler
+    socket =
   match Unix.fork () with
   | 0 ->
     (try
@@ -58,6 +59,8 @@ let start_server ?checkpoint_dir ?resume_dir ?metrics_json ~engine ~shards ~samp
            max_parked = Serve.default_max_parked;
            heartbeat_s = None;
            metrics_json;
+           max_restarts = Serve.default_max_restarts;
+           chaos;
          }
      with exn ->
        Printf.eprintf "server died: %s\n%!" (Printexc.to_string exn);
