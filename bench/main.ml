@@ -36,10 +36,12 @@ type options = {
   mutable events : int option;
   mutable runs : int option;
   mutable jobs : int;
+  mutable phase : string;
 }
 
 let options =
-  { figure = "all"; full = false; bechamel = true; events = None; runs = None; jobs = 1 }
+  { figure = "all"; full = false; bechamel = true; events = None; runs = None; jobs = 1;
+    phase = "current" }
 
 let parse_args () =
   let spec =
@@ -56,6 +58,9 @@ let parse_args () =
         "N  domains for experiment cells (default 1; 0 < N; tables stay \
          byte-identical, wall-clock timings contend)" );
       ("--jobs", Arg.Int (fun n -> options.jobs <- Stdlib.max 1 n), "N  same as -j");
+      ( "--phase",
+        Arg.String (fun s -> options.phase <- s),
+        "NAME  label stamped on fig7 throughput rows (e.g. seed/flat)" );
     ]
   in
   Arg.parse spec (fun _ -> ()) "bench/main.exe [options]"
@@ -335,6 +340,79 @@ let run_shard_grid ~target_events ~jobs:_ =
         [ 1; 2; 4; 8 ])
     workloads
 
+(* --- fig7 grid throughput --------------------------------------------------- *)
+
+(* Events/sec over the Fig 7 grid (classic benchmarks × engine × sampling
+   rate).  One JSON row per cell, stamped with [options.phase] so before/after
+   rows of an optimization land in the same BENCH_fig7.json; [rel_nt]
+   normalizes by the NT replay speed of the same trace on the same machine,
+   which is what the CI regression gate compares — raw events/sec are not
+   portable across runners. *)
+let run_fig7_throughput ~target_events ~clock_size ~repeats =
+  print_newline ();
+  print_endline "Fig 7 grid: analysis throughput (events/sec)";
+  print_endline "============================================";
+  let benchmarks = [ "producerconsumer"; "cryptorsa"; "readerswriters" ] in
+  let cells =
+    [
+      (Engine.Fasttrack, 1.0);
+      (Engine.Djit, 1.0);
+      (Engine.St, 0.03);
+      (Engine.St, 1.0);
+      (Engine.Su, 0.03);
+      (Engine.Su, 1.0);
+      (Engine.So, 0.03);
+      (Engine.So, 1.0);
+    ]
+  in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Clock.now_ns () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Clock.elapsed_s ~since:t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  List.iter
+    (fun bname ->
+      let b = Option.get (Classic.find bname) in
+      (* the classic generators are event-count-agnostic; double the scale
+         until the trace is big enough for stable wall-clock timing *)
+      let rec pick scale =
+        let trace = b.Classic.generate ~seed:11 ~scale in
+        if Trace.length trace >= target_events || scale >= 4096 then (scale, trace)
+        else pick (scale * 2)
+      in
+      let scale, trace = pick 6 in
+      let events = Trace.length trace in
+      let nt_wall = time (fun () -> Detector.replay_only trace) in
+      let nt_eps = float_of_int events /. Float.max nt_wall 1e-9 in
+      List.iter
+        (fun (id, rate) ->
+          let sampler =
+            if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed:11
+          in
+          let wall_s = time (fun () -> Engine.run id ~sampler ~clock_size trace) in
+          let eps = float_of_int events /. Float.max wall_s 1e-9 in
+          add_row "fig7"
+            [ ("phase", Json.Str options.phase);
+              ("benchmark", Json.Str bname);
+              ("engine", Json.Str (Engine.name id));
+              ("rate", jf rate);
+              ("scale", Json.Int scale);
+              ("clock_size", Json.Int clock_size);
+              ("events", Json.Int events);
+              ("wall_s", jf wall_s);
+              ("events_per_s", jf eps);
+              ("nt_events_per_s", jf nt_eps);
+              ("rel_nt", jf (eps /. Float.max nt_eps 1e-9)) ];
+          Printf.printf "  %-18s %-10s rate %4.0f%%  %9.0f ev/s  (%.3f of NT)\n%!" bname
+            (Engine.name id) (rate *. 100.0) eps (eps /. Float.max nt_eps 1e-9))
+        cells)
+    benchmarks
+
 (* --- figures ---------------------------------------------------------------- *)
 
 let show title body =
@@ -410,6 +488,10 @@ let () =
   end;
   if wants "shards" then
     run_shard_grid ~target_events:(target_events / 2) ~jobs:options.jobs;
+  if wants "fig7" then
+    run_fig7_throughput
+      ~target_events:(if options.full then 1_000_000 else 200_000)
+      ~clock_size ~repeats:5;
   (* Bechamel last: its GC stabilization (per-sample compactions) perturbs
      the wall-clock comparisons above if run first. *)
   if options.bechamel then begin

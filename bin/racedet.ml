@@ -178,6 +178,12 @@ let analyze_cmd =
   let show_races =
     Arg.(value & flag & info [ "races" ] ~doc:"Print every race declaration.")
   in
+  let racy_fastpath =
+    Arg.(value & flag & info [ "racy-fastpath" ]
+           ~doc:"Stop checking a location after its first reported race. Faster on racy \
+                 workloads, but later races on the same location go unreported — the \
+                 verdict set changes, so this is opt-in.")
+  in
   let checkpoint =
     Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
            ~doc:"Write a resumable .ftc checkpoint to FILE every \
@@ -229,8 +235,8 @@ let analyze_cmd =
       List.iter (fun race -> Format.printf "%a@." Race.pp race) result.Detector.races;
     if Detector.racy_locations result = [] then 0 else 2
   in
-  let run file engine rate seed clock_size shards show_races checkpoint checkpoint_every resume
-      metrics_json chaos =
+  let run file engine rate seed clock_size shards show_races racy_fastpath checkpoint
+      checkpoint_every resume metrics_json chaos =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
@@ -253,37 +259,117 @@ let analyze_cmd =
            'racedet serve' for resumable sharded ingestion)";
         1
       end
+      else if shards > 1 && racy_fastpath then begin
+        prerr_endline "racedet: --racy-fastpath is a single-stream mode (drop --shards)";
+        1
+      end
       else if shards > 1 then begin
-        match load_trace file with
-        | Error msg ->
-          prerr_endline msg;
-          1
-        | Ok trace ->
-          let config = Detector.config_of_trace ~sampler ?clock_size trace in
-          (* chaos armed ⇒ supervise: injected shard faults heal instead of
-             failing the run, and the report stays byte-identical *)
+        (* chaos armed ⇒ supervise: injected shard faults heal instead of
+           failing the run, and the report stays byte-identical *)
+        let run_sharded config feed =
           let sh = Sharded.create ~engine:id ~shards ~supervise:(Fault.armed ()) config in
-          Trace.iteri (fun i e -> Sharded.handle sh i e) trace;
+          let events = feed sh in
           let result = Sharded.result sh in
           Sharded.stop sh;
           let restarts = Sharded.restarts_total sh in
           if restarts > 0 then
             Printf.eprintf "racedet: supervisor restarted shards %d times\n%!" restarts;
-          finish ~events:(Trace.length trace) ~result
+          finish ~events ~result
+        in
+        if Filename.check_suffix file ".ftb" then begin
+          (* stream .ftb straight into the router, batch by batch: the
+             trace is never materialized, so sharded runs scale past RAM *)
+          match (try Ok (open_in_bin file) with Sys_error msg -> Error msg) with
+          | Error msg ->
+            prerr_endline ("racedet: " ^ msg);
+            1
+          | Ok ic ->
+            Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+            (match Ft_trace.Trace_binary.open_channel ic with
+            | Error msg ->
+              prerr_endline ("racedet: " ^ msg);
+              1
+            | Ok reader ->
+              let module Tb = Ft_trace.Trace_binary in
+              let h = Tb.header reader in
+              let nthreads = h.Tb.nthreads in
+              let clock_size =
+                match clock_size with
+                | None -> nthreads
+                | Some s -> s
+              in
+              if clock_size < nthreads then begin
+                prerr_endline "racedet: clock size below thread count";
+                1
+              end
+              else begin
+                let config =
+                  {
+                    Detector.nthreads;
+                    nlocks = h.Tb.nlocks;
+                    nlocs = h.Tb.nlocs;
+                    clock_size;
+                    sampler;
+                  }
+                in
+                let batch = Tb.create_batch () in
+                let feed sh =
+                  let rec loop () =
+                    match Tb.read_batch reader batch with
+                    | Error msg -> Error msg
+                    | Ok 0 -> Ok (Tb.events_read reader)
+                    | Ok n ->
+                      let start = Tb.events_read reader - n in
+                      for j = 0 to n - 1 do
+                        Sharded.handle sh (start + j) (Tb.batch_event batch j)
+                      done;
+                      loop ()
+                  in
+                  loop ()
+                in
+                let sh =
+                  Sharded.create ~engine:id ~shards ~supervise:(Fault.armed ()) config
+                in
+                match feed sh with
+                | Error msg ->
+                  Sharded.stop sh;
+                  prerr_endline ("racedet: " ^ msg);
+                  1
+                | Ok events ->
+                  let result = Sharded.result sh in
+                  Sharded.stop sh;
+                  let restarts = Sharded.restarts_total sh in
+                  if restarts > 0 then
+                    Printf.eprintf "racedet: supervisor restarted shards %d times\n%!"
+                      restarts;
+                  finish ~events ~result
+              end)
+        end
+        else begin
+          match load_trace file with
+          | Error msg ->
+            prerr_endline msg;
+            1
+          | Ok trace ->
+            let config = Detector.config_of_trace ~sampler ?clock_size trace in
+            run_sharded config (fun sh ->
+                Trace.iteri (fun i e -> Sharded.handle sh i e) trace;
+                Trace.length trace)
+        end
       end
       else if checkpoint <> None || resume <> None then begin
         (* resumable path: .ftb traces stream (and record byte offsets for
            seeking); textual traces are replayed in memory *)
         let outcome =
           if Filename.check_suffix file ".ftb" then
-            Ft_snapshot.Runner.analyze_file ~engine:id ~sampler ?clock_size ?checkpoint
-              ~checkpoint_every ?resume file
+            Ft_snapshot.Runner.analyze_file ~engine:id ~racy_fastpath ~sampler ?clock_size
+              ?checkpoint ~checkpoint_every ?resume file
           else
             match load_trace file with
             | Error msg -> Error msg
             | Ok trace ->
-              Ft_snapshot.Runner.analyze_trace ~engine:id ~sampler ?clock_size ?checkpoint
-                ~checkpoint_every ?resume trace
+              Ft_snapshot.Runner.analyze_trace ~engine:id ~racy_fastpath ~sampler
+                ?clock_size ?checkpoint ~checkpoint_every ?resume trace
         in
         match outcome with
         | Error msg ->
@@ -303,14 +389,15 @@ let analyze_cmd =
           prerr_endline msg;
           1
         | Ok trace ->
-          let result = Engine.run id ~sampler ?clock_size trace in
+          let result = Engine.run id ~racy_fastpath ~sampler ?clock_size trace in
           finish ~events:(Trace.length trace) ~result
       end
   in
   let term =
     Term.(
       const run $ file $ engine $ rate_arg $ seed_arg $ clock_size_arg $ shards_arg
-      $ show_races $ checkpoint $ checkpoint_every $ resume $ metrics_json $ chaos_arg)
+      $ show_races $ racy_fastpath $ checkpoint $ checkpoint_every $ resume $ metrics_json
+      $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "analyze"

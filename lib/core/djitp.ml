@@ -54,40 +54,57 @@ let handle d index (e : E.t) =
   | E.Read x ->
     m.Metrics.reads <- m.Metrics.reads + 1;
     m.Metrics.race_checks <- m.Metrics.race_checks + 1;
-    let pw = History.stale_write d.history x ct ~tid:t ~epoch:(Vc.get ct t) in
-    if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
-    History.record_read d.history x ~tid:t ~epoch:(Vc.get ct t) ~index
+    let epoch = Vc.get ct t in
+    (* fast path: the same (thread, epoch) just read this location cleanly
+       and nothing relevant moved — only the recorded index changes *)
+    if History.read_hit d.history x ~tid:t ~epoch ~index then
+      m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+    else begin
+      let pw = History.stale_write_plain d.history x ct in
+      if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
+      History.record_read d.history x ~tid:t ~epoch ~index ~clean:(pw < 0)
+    end
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
     m.Metrics.race_checks <- m.Metrics.race_checks + 2;
-    let pr = History.stale_read d.history x ct ~tid:t ~epoch:(Vc.get ct t) in
-    let pw = History.stale_write d.history x ct ~tid:t ~epoch:(Vc.get ct t) in
-    if pr >= 0 || pw >= 0 then
-      declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
-        ~prior:(if pw >= 0 then pw else pr);
-    History.record_write_vc d.history x ct ~tid:t ~epoch:(Vc.get ct t) ~index
+    let epoch = Vc.get ct t in
+    if History.write_hit d.history x ~tid:t ~epoch ~index then
+      m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+    else begin
+      let pr, pw = History.stale_both_plain d.history x ct in
+      if pr >= 0 || pw >= 0 then
+        declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
+          ~prior:(if pw >= 0 then pw else pr);
+      History.record_write_vc d.history x ct ~tid:t ~epoch ~index
+        ~clean:(pr < 0 && pw < 0)
+    end
   | E.Acquire l | E.Acquire_load l ->
     m.Metrics.acquires <- m.Metrics.acquires + 1;
     (match d.lock_clocks.(l) with
     | None -> ()
     | Some cl ->
       m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+      History.bump d.history t;
       Vc.join ~into:ct cl)
   | E.Release l | E.Release_store l ->
     m.Metrics.releases <- m.Metrics.releases + 1;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
     m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
+    History.bump d.history t;
     Vc.copy_into ~into:(lock_clock d l) ct;
     Vc.inc ct t
   | E.Fork u ->
     m.Metrics.releases <- m.Metrics.releases + 1;
     m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+    History.bump d.history t;
+    History.bump d.history u;
     Vc.join ~into:d.clocks.(u) ct;
     Vc.inc ct t
   | E.Join u ->
     m.Metrics.acquires <- m.Metrics.acquires + 1;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+    History.bump d.history t;
     Vc.join ~into:ct d.clocks.(u)
 
 let result d =

@@ -25,7 +25,7 @@ let of_name = function
   | "eraser" | "lockset" -> Some Eraser
   | _ -> None
 
-let detector : id -> Detector.packed = function
+let plain : id -> Detector.packed = function
   | Djit -> (module Djitp)
   | Fasttrack -> (module Fasttrack)
   | Fasttrack_tc -> (module Fasttrack_tc)
@@ -36,10 +36,14 @@ let detector : id -> Detector.packed = function
   | Sn -> (module Sampling_uclock_noskip)
   | Eraser -> (module Lockset)
 
+let detector ?(racy_fastpath = false) id =
+  let p = plain id in
+  if racy_fastpath then Racy_gate.wrap p else p
+
 let sampling_engines = [ St; Su; So ]
 
-let run id ?sampler ?clock_size ?limit trace =
-  Detector.run (detector id) ?sampler ?clock_size ?limit trace
+let run id ?racy_fastpath ?sampler ?clock_size ?limit trace =
+  Detector.run (detector ?racy_fastpath id) ?sampler ?clock_size ?limit trace
 
 let run_instrumented id ?sampler ?clock_size trace =
   Detector.run_instrumented (detector id) ?sampler ?clock_size trace

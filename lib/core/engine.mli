@@ -19,13 +19,18 @@ val all : id list
 
 val name : id -> string
 val of_name : string -> id option
-val detector : id -> Detector.packed
+
+val detector : ?racy_fastpath:bool -> id -> Detector.packed
+(** [racy_fastpath] (default [false]) wraps the engine in {!Racy_gate}:
+    once a location races, later accesses to it are skipped.  Changes the
+    verdict set — keep it off anywhere byte-identity matters. *)
 
 val sampling_engines : id list
 (** [St; Su; So] — the engines that honour the sampler. *)
 
 val run :
   id ->
+  ?racy_fastpath:bool ->
   ?sampler:Sampler.t ->
   ?clock_size:int ->
   ?limit:int ->

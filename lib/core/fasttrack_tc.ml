@@ -80,7 +80,8 @@ let handle d index (e : E.t) =
       | None -> Epoch.equal r.repoch own
       | Some rv -> Vc.get rv t = Tc.get ct t
     in
-    if not same_epoch then begin
+    if same_epoch then m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+    else begin
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       if not (epoch_leq_tc d.writes.(x) ct) then
         declare d index t x ~with_write:true ~with_read:false ~prior:d.w_index.(x);
@@ -107,7 +108,9 @@ let handle d index (e : E.t) =
   | E.Write x ->
     m.Metrics.writes <- m.Metrics.writes + 1;
     let own = Epoch.make ~time:(Tc.get ct t) ~tid:t in
-    if not (Epoch.equal d.writes.(x) own) then begin
+    if Epoch.equal d.writes.(x) own then
+      m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+    else begin
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let pw = if epoch_leq_tc d.writes.(x) ct then -1 else d.w_index.(x) in
       let pr =

@@ -1,0 +1,101 @@
+(* Open addressing with linear probing over a power-of-two array.
+   keys.(i) = -1 marks an empty slot, -2 a tombstone left by [remove];
+   probes stop at empty, walk through tombstones.  The table rebuilds
+   once live + dead entries pass half the capacity, which also sweeps
+   tombstones out. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable live : int;  (* bindings *)
+  mutable used : int;  (* bindings + tombstones *)
+}
+
+let empty_key = -1
+let dead_key = -2
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let create ?(capacity = 16) () =
+  let cap = pow2 (Stdlib.max 16 capacity * 2) 16 in
+  { keys = Array.make cap empty_key; vals = Array.make cap 0; live = 0; used = 0 }
+
+let length t = t.live
+
+(* Fibonacci hashing: spread dense keys across the high bits, then mask. *)
+let[@inline] slot_of t k =
+  let mask = Array.length t.keys - 1 in
+  (k * 0x2545F4914F6CDD1D) lsr 7 land mask
+
+let find t k =
+  let keys = t.keys in
+  let mask = Array.length keys - 1 in
+  let rec probe i =
+    let k' = Array.unsafe_get keys i in
+    if k' = k then Array.unsafe_get t.vals i
+    else if k' = empty_key then -1
+    else probe ((i + 1) land mask)
+  in
+  probe (slot_of t k)
+
+(* The probe may not stop at the first tombstone: the key could live past
+   it (it was inserted before that slot died), and writing early would
+   duplicate it — [find] and [remove] would then resolve the two copies
+   inconsistently.  So: walk to the key or a genuine empty, remembering the
+   first tombstone to recycle for a fresh insert. *)
+let rec insert t k v =
+  let keys = t.keys in
+  let mask = Array.length keys - 1 in
+  let rec probe i free =
+    let k' = Array.unsafe_get keys i in
+    if k' = k then t.vals.(i) <- v
+    else if k' = empty_key then begin
+      let dst = if free >= 0 then free else i in
+      if dst = i then t.used <- t.used + 1;  (* fresh slot, not a recycled tombstone *)
+      keys.(dst) <- k;
+      t.vals.(dst) <- v;
+      t.live <- t.live + 1;
+      if t.used * 2 > Array.length keys then grow t
+    end
+    else if k' = dead_key then
+      probe ((i + 1) land mask) (if free >= 0 then free else i)
+    else probe ((i + 1) land mask) free
+  in
+  probe (slot_of t k) (-1)
+
+and grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  (* double only when genuinely full of live entries; a tombstone-heavy
+     table rebuilds at the same size *)
+  let cap =
+    if t.live * 4 > Array.length old_keys then Array.length old_keys * 2
+    else Array.length old_keys
+  in
+  t.keys <- Array.make cap empty_key;
+  t.vals <- Array.make cap 0;
+  t.live <- 0;
+  t.used <- 0;
+  Array.iteri
+    (fun i k -> if k >= 0 then insert t k old_vals.(i))
+    old_keys
+
+let set t k v =
+  if k < 0 then invalid_arg "Flat_table.set: negative key";
+  insert t k v
+
+let remove t k =
+  let keys = t.keys in
+  let mask = Array.length keys - 1 in
+  let rec probe i =
+    let k' = Array.unsafe_get keys i in
+    if k' = k then begin
+      keys.(i) <- dead_key;
+      t.live <- t.live - 1
+    end
+    else if k' = empty_key then ()
+    else probe ((i + 1) land mask)
+  in
+  probe (slot_of t k)
+
+let iter t f =
+  Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys

@@ -1,0 +1,31 @@
+(** Open-addressed hash table from non-negative int keys to int values.
+
+    Replaces [Hashtbl]/option-boxed per-location records on detector hot
+    paths: probing walks a flat int array (no bucket chains, no boxing),
+    and a lookup that misses costs a handful of reads on a table kept at
+    most half full.  Values are plain ints — callers index side arrays
+    with them when they need richer payloads.
+
+    Not resistant to adversarial keys; detector locations are small dense
+    ints and the multiplicative hash spreads them fine. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is a hint for the number of entries; the table grows
+    geometrically regardless. *)
+
+val find : t -> int -> int
+(** [find t k] is the value bound to [k], or [-1] when absent.  O(1)
+    expected. *)
+
+val set : t -> int -> int -> unit
+(** Bind [k] (>= 0) to [v] (>= 0), replacing any previous binding. *)
+
+val remove : t -> int -> unit
+(** Drop [k]'s binding; no-op when absent. *)
+
+val length : t -> int
+
+val iter : t -> (int -> int -> unit) -> unit
+(** Unordered; do not mutate the table during iteration. *)

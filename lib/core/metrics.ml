@@ -14,6 +14,7 @@ type t = {
   mutable entries_saved : int;
   mutable race_checks : int;
   mutable races : int;
+  mutable same_epoch_hits : int;
 }
 
 let create () =
@@ -33,6 +34,7 @@ let create () =
     entries_saved = 0;
     race_checks = 0;
     races = 0;
+    same_epoch_hits = 0;
   }
 
 let copy m = { m with events = m.events }
@@ -58,6 +60,7 @@ let to_array m =
     m.entries_saved;
     m.race_checks;
     m.races;
+    m.same_epoch_hits;
   |]
 
 let field_count = Array.length (to_array (create ()))
@@ -82,6 +85,7 @@ let field_names =
     "entries_saved";
     "race_checks";
     "races";
+    "same_epoch_hits";
   |]
 
 let () = assert (Array.length field_names = field_count)
@@ -118,6 +122,7 @@ let of_array a =
         entries_saved = a.(12);
         race_checks = a.(13);
         races = a.(14);
+        same_epoch_hits = a.(15);
       }
 
 let encode enc m = Snap.Enc.int_array enc (to_array m)
@@ -142,7 +147,8 @@ let add ~into m =
   into.entries_traversed <- into.entries_traversed + m.entries_traversed;
   into.entries_saved <- into.entries_saved + m.entries_saved;
   into.race_checks <- into.race_checks + m.race_checks;
-  into.races <- into.races + m.races
+  into.races <- into.races + m.races;
+  into.same_epoch_hits <- into.same_epoch_hits + m.same_epoch_hits
 
 (* Sharded runs replicate every sync event to all K shards, so sync-side
    counters are counted K times while access-side counters (owner shard
@@ -199,7 +205,8 @@ let mean_entries_per_acquire m = ratio m.entries_traversed m.acquires
 let pp fmt m =
   Format.fprintf fmt
     "@[<v>events=%d reads=%d writes=%d sampled=%d@ acquires=%d (skipped %d) releases=%d \
-     (processed %d)@ deep=%d shallow=%d vc_full=%d traversed=%d saved=%d@ checks=%d races=%d@]"
+     (processed %d)@ deep=%d shallow=%d vc_full=%d traversed=%d saved=%d@ checks=%d races=%d \
+     epoch_hits=%d@]"
     m.events m.reads m.writes m.sampled_accesses m.acquires m.acquires_skipped m.releases
     m.releases_processed m.deep_copies m.shallow_copies m.vc_full_ops m.entries_traversed
-    m.entries_saved m.race_checks m.races
+    m.entries_saved m.race_checks m.races m.same_epoch_hits

@@ -25,6 +25,12 @@ type t = {
       (** SO: T − traversed, summed over non-skipped acquires (Fig 9) *)
   mutable race_checks : int;       (** access-history comparisons *)
   mutable races : int;             (** race declarations *)
+  mutable same_epoch_hits : int;
+      (** accesses answered by the same-epoch fast path: the location's last
+          recorded check by this thread carries the same epoch and no sync
+          has touched the thread's clock since, so the full history
+          comparison is provably redundant and skipped.  Purely additive —
+          every other counter is bumped exactly as if the slow path ran. *)
 }
 
 val create : unit -> t

@@ -1,0 +1,19 @@
+(** Opt-in once-racy-stop-checking mode (the [--racy-fastpath] flag).
+
+    Production detectors (EmbedSanitizer's [Racy] state, TSan's flushed
+    shadow) stop analyzing a location after its first reported race: later
+    reports on the same location are almost always duplicates, and skipping
+    them removes the check entirely from the hot path.  This changes the
+    verdict set — subsequent races on a racy location are {e not} reported,
+    and work counters stop accumulating for skipped accesses — so the mode
+    is a wrapper selected only behind the explicit flag, and is oracled
+    separately from the byte-identity grid.
+
+    Guarantees of [wrap (module D)]:
+    - the first race declared per location is identical to [D]'s;
+    - every access to a location with no declared race so far is handled by
+      [D] exactly as without the wrapper;
+    - snapshots are byte-compatible with [D]'s (the racy set is rebuilt from
+      the decoded race reports on restore). *)
+
+val wrap : Detector.packed -> Detector.packed

@@ -82,13 +82,55 @@ let stateless name f =
   let inst = stateless_instance f in
   { name; make = (fun () -> inst); shared = Some inst }
 
-(* Stateless hash of (seed, index): one splitmix64 round. *)
+(* Stateless hash of (seed, index): one splitmix64 round.
+
+   Computed over two 32-bit limbs held in native ints rather than Int64:
+   every Int64 intermediate boxes, and [bernoulli]/[adaptive] call this once
+   per access, which made the hash the dominant allocation of low-rate runs.
+   Bit-exact with the Int64 formulation — test_conformance compares the two
+   over a large (seed, index) grid, so sampling decisions (and therefore
+   verdicts) cannot drift. *)
+let mask32 = 0xFFFFFFFF
+
+(* (a * b) mod 2^32 for 32-bit a, b, without overflowing the 63-bit int *)
+let[@inline] mul32 a b =
+  ((a * (b land 0xFFFF)) + (((a * (b lsr 16)) land 0xFFFF) lsl 16)) land mask32
+
+(* low and high 32-bit limbs of the full 64-bit product (ah:al) * (bh:bl) *)
+let[@inline] mul64_lo al bl =
+  let t0 = (al land 0xFFFF) * bl in
+  ((t0 land mask32) + ((((al lsr 16) * bl) land 0xFFFF) lsl 16)) land mask32
+
+let[@inline] mul64_hi ah al bh bl =
+  let t0 = (al land 0xFFFF) * bl in
+  let t1 = (al lsr 16) * bl in
+  let u = (t0 land mask32) + ((t1 land 0xFFFF) lsl 16) in
+  ((t0 lsr 32) + (t1 lsr 16) + (u lsr 32) + mul32 al bh + mul32 ah bl) land mask32
+
 let hash01 seed index =
-  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L) in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
-  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+  let c1h = 0x9E3779B9 and c1l = 0x7F4A7C15 in
+  let c2h = 0xBF58476D and c2l = 0x1CE4E5B9 in
+  let c3h = 0x94D049BB and c3l = 0x133111EB in
+  let i1 = index + 1 in
+  let il = i1 land mask32 and ih = (i1 asr 32) land mask32 in
+  (* z = seed + (index + 1) * c1 *)
+  let ml = mul64_lo il c1l and mh = mul64_hi ih il c1h c1l in
+  let s = (seed land mask32) + ml in
+  let zl = s land mask32 in
+  let zh = (((seed asr 32) land mask32) + mh + (s lsr 32)) land mask32 in
+  (* z = (z lxor (z lsr 30)) * c2 *)
+  let xl = zl lxor (((zl lsr 30) lor (zh lsl 2)) land mask32) in
+  let xh = zh lxor (zh lsr 30) in
+  let zl = mul64_lo xl c2l and zh = mul64_hi xh xl c2h c2l in
+  (* z = (z lxor (z lsr 27)) * c3 *)
+  let xl = zl lxor (((zl lsr 27) lor (zh lsl 5)) land mask32) in
+  let xh = zh lxor (zh lsr 27) in
+  let zl = mul64_lo xl c3l and zh = mul64_hi xh xl c3h c3l in
+  (* z = z lxor (z lsr 31); top 53 bits to a float in [0,1) *)
+  let xl = zl lxor (((zl lsr 31) lor (zh lsl 1)) land mask32) in
+  let xh = zh lxor (zh lsr 31) in
+  let v = ((xh lsr 11) * 0x100000000) + (((xl lsr 11) lor ((xh land 0x7FF) lsl 21)) land mask32) in
+  float_of_int v /. 9007199254740992.0
 
 let bernoulli ~rate ~seed =
   stateless

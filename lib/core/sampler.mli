@@ -54,6 +54,12 @@ val bernoulli : rate:float -> seed:int -> t
 (** Each access sampled independently with probability [rate]; decisions are
     a pure hash of [(seed, index)]. *)
 
+val hash01 : int -> int -> float
+(** [hash01 seed index]: the stateless splitmix64-round hash in [0,1) behind
+    {!bernoulli} and {!adaptive}, exposed so the conformance suite can pin
+    its exact values (sampling decisions — and therefore verdicts — depend
+    on every bit). Allocation-free. *)
+
 val all : t
 (** Sample everything — the 100%-rate engines of the appendix. *)
 

@@ -81,9 +81,13 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
-      let pw = History.stale_write d.history x d.clocks.(t) ~tid:t ~epoch in
-      if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
-      History.record_read d.history x ~tid:t ~epoch ~index;
+      if History.read_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let pw = History.stale_write d.history x d.clocks.(t) ~tid:t ~epoch in
+        if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
+        History.record_read d.history x ~tid:t ~epoch ~index ~clean:(pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Write x ->
@@ -92,14 +96,18 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
-      let ct = d.clocks.(t) in
-      let pr = History.stale_read d.history x ct ~tid:t ~epoch in
-      let pw = History.stale_write d.history x ct ~tid:t ~epoch in
-      if pr >= 0 || pw >= 0 then
-        declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
-          ~prior:(if pw >= 0 then pw else pr);
-      (* the externalized own component is authoritative, not the array *)
-      History.record_write_vc d.history x ct ~tid:t ~epoch ~index;
+      if History.write_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let ct = d.clocks.(t) in
+        let pr, pw = History.stale_both d.history x ct ~tid:t ~epoch in
+        if pr >= 0 || pw >= 0 then
+          declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
+            ~prior:(if pw >= 0 then pw else pr);
+        (* the externalized own component is authoritative, not the array *)
+        History.record_write_vc d.history x ct ~tid:t ~epoch ~index
+          ~clean:(pr < 0 && pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Acquire l | E.Acquire_load l -> (
@@ -111,6 +119,7 @@ let handle d index (e : E.t) =
       if d.lock_u.(l) <= Vc.get ut lr then
         m.Metrics.acquires_skipped <- m.Metrics.acquires_skipped + 1
       else begin
+        History.bump d.history t;
         Vc.set ut lr d.lock_u.(l);
         if lr <> t then absorb_entry d t lr d.lock_own.(l);
         (* no recency structure: traverse the whole vector *)
@@ -134,6 +143,7 @@ let handle d index (e : E.t) =
     m.Metrics.releases <- m.Metrics.releases + 1;
     flush_pending d t;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    History.bump d.history u;
     let changed = ref 0 in
     let ct = d.clocks.(t) in
     for t' = 0 to d.csize - 1 do
@@ -152,6 +162,7 @@ let handle d index (e : E.t) =
     m.Metrics.acquires <- m.Metrics.acquires + 1;
     flush_pending d u;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    History.bump d.history t;
     Vc.join ~into:d.uclocks.(t) d.uclocks.(u);
     let cu = d.clocks.(u) in
     for t' = 0 to d.csize - 1 do

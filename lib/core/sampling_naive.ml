@@ -62,9 +62,13 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
-      let pw = History.stale_write d.history x ct ~tid:t ~epoch in
-      if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
-      History.record_read d.history x ~tid:t ~epoch ~index;
+      if History.read_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let pw = History.stale_write d.history x ct ~tid:t ~epoch in
+        if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
+        History.record_read d.history x ~tid:t ~epoch ~index ~clean:(pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Write x ->
@@ -73,12 +77,16 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
-      let pr = History.stale_read d.history x ct ~tid:t ~epoch in
-      let pw = History.stale_write d.history x ct ~tid:t ~epoch in
-      if pr >= 0 || pw >= 0 then
-        declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
-          ~prior:(if pw >= 0 then pw else pr);
-      History.record_write_vc d.history x ct ~tid:t ~epoch ~index;
+      if History.write_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let pr, pw = History.stale_both d.history x ct ~tid:t ~epoch in
+        if pr >= 0 || pw >= 0 then
+          declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
+            ~prior:(if pw >= 0 then pw else pr);
+        History.record_write_vc d.history x ct ~tid:t ~epoch ~index
+          ~clean:(pr < 0 && pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Acquire l | E.Acquire_load l ->
@@ -87,6 +95,7 @@ let handle d index (e : E.t) =
     | None -> ()
     | Some cl ->
       m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+      History.bump d.history t;
       Vc.join ~into:ct cl)
   | E.Release l | E.Release_store l ->
     m.Metrics.releases <- m.Metrics.releases + 1;
@@ -98,6 +107,7 @@ let handle d index (e : E.t) =
     m.Metrics.releases <- m.Metrics.releases + 1;
     flush_pending d t;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+    History.bump d.history u;
     Vc.join ~into:d.clocks.(u) ct
   | E.Join u ->
     m.Metrics.acquires <- m.Metrics.acquires + 1;
@@ -105,6 +115,7 @@ let handle d index (e : E.t) =
     (* the child's end-of-thread acts as its final release: flush its pending
        sampled epoch so the parent inherits the child's latest accesses *)
     flush_pending d u;
+    History.bump d.history t;
     Vc.join ~into:ct d.clocks.(u)
 
 let result d =

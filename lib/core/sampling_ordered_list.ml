@@ -89,9 +89,13 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
-      let pw = History.ol_stale_write d.history x d.olists.(t) ~tid:t ~epoch in
-      if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
-      History.record_read d.history x ~tid:t ~epoch ~index;
+      if History.read_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let pw = History.ol_stale_write d.history x d.olists.(t) ~tid:t ~epoch in
+        if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
+        History.record_read d.history x ~tid:t ~epoch ~index ~clean:(pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Write x ->
@@ -100,13 +104,17 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
-      let ol = d.olists.(t) in
-      let pr = History.ol_stale_read d.history x ol ~tid:t ~epoch in
-      let pw = History.ol_stale_write d.history x ol ~tid:t ~epoch in
-      if pr >= 0 || pw >= 0 then
-        declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
-          ~prior:(if pw >= 0 then pw else pr);
-      History.record_write_ol d.history x ol ~tid:t ~epoch ~index;
+      if History.write_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let ol = d.olists.(t) in
+        let pr, pw = History.ol_stale_both d.history x ol ~tid:t ~epoch in
+        if pr >= 0 || pw >= 0 then
+          declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
+            ~prior:(if pw >= 0 then pw else pr);
+        History.record_write_ol d.history x ol ~tid:t ~epoch ~index
+          ~clean:(pr < 0 && pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Acquire l | E.Acquire_load l -> (
@@ -118,6 +126,7 @@ let handle d index (e : E.t) =
       if d.lock_u.(l) <= Vc.get ut lr then
         m.Metrics.acquires_skipped <- m.Metrics.acquires_skipped + 1
       else begin
+        History.bump d.history t;
         let delta = d.lock_u.(l) - Vc.get ut lr in
         Vc.set ut lr d.lock_u.(l);
         (* the releaser's own component travels as a scalar *)
@@ -145,6 +154,7 @@ let handle d index (e : E.t) =
     m.Metrics.releases <- m.Metrics.releases + 1;
     flush_pending d t;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    History.bump d.history u;
     (* the child inherits the parent's full state; count every inherited
        entry into the child's own freshness counter *)
     let changed = ref 0 in
@@ -164,6 +174,7 @@ let handle d index (e : E.t) =
     (* the child's end-of-thread acts as its final release *)
     flush_pending d u;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    History.bump d.history t;
     Vc.join ~into:d.uclocks.(t) d.uclocks.(u);
     Ol.iter d.olists.(u) (fun t' v -> if t' <> t && t' <> u then absorb_entry d t t' v);
     if u <> t then absorb_entry d t u d.own.(u)

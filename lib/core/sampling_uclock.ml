@@ -101,9 +101,13 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 1;
       let epoch = d.epochs.(t) in
-      let pw = History.stale_write d.history x ct ~tid:t ~epoch in
-      if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
-      History.record_read d.history x ~tid:t ~epoch ~index;
+      if History.read_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let pw = History.stale_write d.history x ct ~tid:t ~epoch in
+        if pw >= 0 then declare d index t x ~with_write:true ~with_read:false ~prior:pw;
+        History.record_read d.history x ~tid:t ~epoch ~index ~clean:(pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Write x ->
@@ -112,12 +116,16 @@ let handle d index (e : E.t) =
       m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
       m.Metrics.race_checks <- m.Metrics.race_checks + 2;
       let epoch = d.epochs.(t) in
-      let pr = History.stale_read d.history x ct ~tid:t ~epoch in
-      let pw = History.stale_write d.history x ct ~tid:t ~epoch in
-      if pr >= 0 || pw >= 0 then
-        declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
-          ~prior:(if pw >= 0 then pw else pr);
-      History.record_write_vc d.history x ct ~tid:t ~epoch ~index;
+      if History.write_hit d.history x ~tid:t ~epoch ~index then
+        m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+      else begin
+        let pr, pw = History.stale_both d.history x ct ~tid:t ~epoch in
+        if pr >= 0 || pw >= 0 then
+          declare d index t x ~with_write:(pw >= 0) ~with_read:(pr >= 0)
+            ~prior:(if pw >= 0 then pw else pr);
+        History.record_write_vc d.history x ct ~tid:t ~epoch ~index
+          ~clean:(pr < 0 && pw < 0)
+      end;
       d.pending.(t) <- true
     end
   | E.Acquire l | E.Acquire_load l -> (
@@ -128,7 +136,10 @@ let handle d index (e : E.t) =
       let ul = Option.get d.lock_uclocks.(l) in
       if Vc.get ul lr <= Vc.get d.uclocks.(t) lr then
         m.Metrics.acquires_skipped <- m.Metrics.acquires_skipped + 1
-      else absorb d t ~src_c:(Option.get d.lock_clocks.(l)) ~src_u:ul)
+      else begin
+        History.bump d.history t;
+        absorb d t ~src_c:(Option.get d.lock_clocks.(l)) ~src_u:ul
+      end)
   | E.Release l ->
     m.Metrics.releases <- m.Metrics.releases + 1;
     d.lock_lr.(l) <- t;
@@ -149,6 +160,7 @@ let handle d index (e : E.t) =
     m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
     flush_pending d t;
     m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    History.bump d.history u;
     Vc.join ~into:d.uclocks.(u) d.uclocks.(t);
     let changed = Vc.join_count ~into:d.clocks.(u) ct in
     if changed > 0 then Vc.set d.uclocks.(u) u (Vc.get d.uclocks.(u) u + changed)
@@ -157,6 +169,7 @@ let handle d index (e : E.t) =
     (* the child's end-of-thread acts as its final release: flush its pending
        sampled epoch so the parent inherits the child's latest accesses *)
     flush_pending d u;
+    History.bump d.history t;
     absorb d t ~src_c:d.clocks.(u) ~src_u:d.uclocks.(u)
 
 let result d =

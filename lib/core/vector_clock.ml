@@ -26,6 +26,7 @@ let join_count ~into src =
   !changed
 
 let copy_into ~into src = Array.blit src 0 into 0 (Array.length src)
+let blit_into (c : t) dst = Array.blit c 0 dst 0 (Array.length c)
 let copy = Array.copy
 
 let leq c1 c2 =

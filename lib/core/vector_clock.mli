@@ -27,6 +27,11 @@ val join_count : into:t -> t -> int
 val copy_into : into:t -> t -> unit
 (** [copy_into ~into src] overwrites [into] with [src]. O(T). *)
 
+val blit_into : t -> int array -> unit
+(** [blit_into c dst] copies every entry of [c] into the prefix of [dst]
+    (a single memmove — the history record hot path). [dst] must be at
+    least [size c] long. *)
+
 val copy : t -> t
 
 val leq : t -> t -> bool

@@ -1,0 +1,71 @@
+type t = {
+  mutable buf : bytes;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable stop : int;  (* one past the last valid byte *)
+  mutable copied : int;  (* total bytes ever moved by blits *)
+}
+
+let create ?(capacity = 64 * 1024) () =
+  { buf = Bytes.create (Stdlib.max 16 capacity); start = 0; stop = 0; copied = 0 }
+
+let length b = b.stop - b.start
+let copied b = b.copied
+
+(* Make room for [extra] more bytes.  Compaction is only allowed once at
+   least half the array is dead prefix — each compacted byte is then paid
+   for by a consumed one, which is what keeps the total bytes moved linear
+   in the bytes that pass through (the O(n²) accumulate-by-concatenation
+   this module replaces had no such bound).  Otherwise the array doubles,
+   which both compacts and keeps occupancy ≥ 25%. *)
+let reserve b extra =
+  let live = length b in
+  let cap = Bytes.length b.buf in
+  if b.stop + extra > cap then
+    if live + extra <= cap && b.start >= cap / 2 then begin
+      Bytes.blit b.buf b.start b.buf 0 live;
+      b.copied <- b.copied + live;
+      b.start <- 0;
+      b.stop <- live
+    end
+    else begin
+      let cap' = ref (Stdlib.max 16 (2 * cap)) in
+      while live + extra > !cap' do
+        cap' := 2 * !cap'
+      done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit b.buf b.start buf' 0 live;
+      b.copied <- b.copied + live;
+      b.buf <- buf';
+      b.start <- 0;
+      b.stop <- live
+    end
+
+let append b src ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Netbuf.append: slice out of range";
+  reserve b len;
+  Bytes.blit src off b.buf b.stop len;
+  b.copied <- b.copied + len;
+  b.stop <- b.stop + len
+
+let index_newline b =
+  match Bytes.index_from_opt b.buf b.start '\n' with
+  | Some i when i < b.stop -> Some (i - b.start)
+  | Some _ | None -> None
+
+let consume b n =
+  b.start <- b.start + n;
+  if b.start = b.stop then begin
+    b.start <- 0;
+    b.stop <- 0
+  end
+
+let take b n =
+  if n < 0 || n > length b then invalid_arg "Netbuf.take: beyond buffered data";
+  let s = Bytes.sub_string b.buf b.start n in
+  consume b n;
+  s
+
+let drop b n =
+  if n < 0 || n > length b then invalid_arg "Netbuf.drop: beyond buffered data";
+  consume b n

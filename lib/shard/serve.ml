@@ -220,7 +220,7 @@ let attach_shard_series tel ~shards =
 
 type conn = {
   fd : Unix.file_descr;
-  mutable data : string;  (* unconsumed input *)
+  data : Netbuf.t;  (* unconsumed input, appended in amortized O(1) *)
   mutable blob : (int * int) option;  (* BATCH header seen: base, bytes awaited *)
   mutable closed : bool;
 }
@@ -391,7 +391,9 @@ let fail_fast st conn msg =
 let handle_batch st conn base payload =
   if base < 0 then reply conn "ERR negative base index\n"
   else
-    match Trace_binary.of_bytes (Bytes.of_string payload) with
+    (* [unsafe_of_string]: [payload] is a fresh private string from
+       [Netbuf.take] and the decoder never writes through the reader *)
+    match Trace_binary.of_bytes (Bytes.unsafe_of_string payload) with
     | Error msg -> reply conn (Printf.sprintf "ERR bad batch: %s\n" msg)
     | Ok trace -> (
       let u = (trace.Trace.nthreads, trace.Trace.nlocks, trace.Trace.nlocs) in
@@ -564,19 +566,18 @@ let rec process st conn =
   if not conn.closed then
     match conn.blob with
     | Some (base, nbytes) ->
-      if String.length conn.data >= nbytes then begin
-        let payload = String.sub conn.data 0 nbytes in
-        conn.data <- String.sub conn.data nbytes (String.length conn.data - nbytes);
+      if Netbuf.length conn.data >= nbytes then begin
+        let payload = Netbuf.take conn.data nbytes in
         conn.blob <- None;
         handle_batch st conn base payload;
         process st conn
       end
     | None -> (
-      match String.index_opt conn.data '\n' with
+      match Netbuf.index_newline conn.data with
       | None -> ()
       | Some nl ->
-        let line = String.sub conn.data 0 nl in
-        conn.data <- String.sub conn.data (nl + 1) (String.length conn.data - nl - 1);
+        let line = Netbuf.take conn.data nl in
+        Netbuf.drop conn.data 1;
         handle_line st conn line;
         process st conn)
 
@@ -649,7 +650,7 @@ let run cfg =
     in
     if List.memq listen_fd readable then begin
       let fd, _ = Unix.accept listen_fd in
-      conns := { fd; data = ""; blob = None; closed = false } :: !conns;
+      conns := { fd; data = Netbuf.create (); blob = None; closed = false } :: !conns;
       Registry.incr st.tel.conns_total
     end;
     List.iter
@@ -665,7 +666,7 @@ let run cfg =
           with
           | 0 -> c.closed <- true
           | n ->
-            c.data <- c.data ^ Bytes.sub_string chunk 0 n;
+            Netbuf.append c.data chunk ~off:0 ~len:n;
             process st c
           (* a signal or a spurious wakeup is not a dead client *)
           | exception

@@ -37,8 +37,8 @@ let warn_fallback cp_path msg =
   Printf.eprintf "warning: cannot resume from %s: %s; replaying from the start\n%!" cp_path
     msg
 
-let analyze_file ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
-    ?(checkpoint_every = 0) ?resume path =
+let analyze_file ~engine ?(racy_fastpath = false) ?(sampler = Sampler.all) ?clock_size
+    ?checkpoint ?(checkpoint_every = 0) ?resume path =
   match (try Ok (open_in_bin path) with Sys_error msg -> Error msg) with
   | Error msg -> Error msg
   | Ok ic ->
@@ -55,7 +55,7 @@ let analyze_file ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
       if clock_size < nthreads then Error "clock size below thread count"
       else begin
         let config = { Detector.nthreads; nlocks; nlocs; clock_size; sampler } in
-        let (module D : Detector.S) = Engine.detector engine in
+        let (module D : Detector.S) = Engine.detector ~racy_fastpath engine in
         let data_start = Tb.byte_pos reader in
         let try_resume cp_path =
           match Checkpoint.load cp_path with
@@ -112,7 +112,7 @@ let analyze_file ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
         | Error msg -> Error msg
         | Ok (state, resumed_at, resume_error) -> (
           let written = ref 0 in
-          let write_checkpoint () =
+          let write_checkpoint ~next_index ~byte_offset =
             match checkpoint with
             | None -> ()
             | Some cp_path -> (
@@ -130,8 +130,8 @@ let analyze_file ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
                         nlocks;
                         nlocs;
                         clock_size;
-                        next_index = Tb.events_read reader;
-                        byte_offset = Tb.byte_pos reader;
+                        next_index;
+                        byte_offset;
                       };
                     detector = D.snapshot state;
                   };
@@ -140,18 +140,24 @@ let analyze_file ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
                 Printf.eprintf "racedet: checkpoint write faulted (%s); continuing\n%!"
                   (Printexc.to_string e))
           in
+          (* batch-decoded hot loop: no per-event boxing between the wire
+             and [D.handle].  [Tb.batch_end] gives the byte offset after
+             each event, so checkpoint cadence is independent of where
+             batch boundaries fall. *)
+          let batch = Tb.create_batch () in
           let rec loop () =
-            match Tb.next reader with
+            match Tb.read_batch reader batch with
             | Error msg -> Error msg
-            | Ok None -> Ok ()
-            | Ok (Some e) ->
-              D.handle state (Tb.events_read reader - 1) e;
-              (* no checkpoint at the very end: it could not shorten anything *)
-              if
-                checkpoint_every > 0
-                && Tb.events_read reader mod checkpoint_every = 0
-                && Tb.events_read reader < nevents
-              then write_checkpoint ();
+            | Ok 0 -> Ok ()
+            | Ok n ->
+              let start = Tb.events_read reader - n in
+              for j = 0 to n - 1 do
+                D.handle state (start + j) (Tb.batch_event batch j);
+                let idx = start + j + 1 in
+                (* no checkpoint at the very end: it could not shorten anything *)
+                if checkpoint_every > 0 && idx mod checkpoint_every = 0 && idx < nevents
+                then write_checkpoint ~next_index:idx ~byte_offset:(Tb.batch_end batch j)
+              done;
               loop ()
           in
           match loop () with
@@ -166,8 +172,8 @@ let analyze_file ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
               })
       end)
 
-let analyze_trace ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
-    ?(checkpoint_every = 0) ?resume trace =
+let analyze_trace ~engine ?(racy_fastpath = false) ?(sampler = Sampler.all) ?clock_size
+    ?checkpoint ?(checkpoint_every = 0) ?resume trace =
   let nthreads = trace.Trace.nthreads
   and nlocks = trace.Trace.nlocks
   and nlocs = trace.Trace.nlocs in
@@ -176,7 +182,7 @@ let analyze_trace ~engine ?(sampler = Sampler.all) ?clock_size ?checkpoint
   if clock_size < nthreads then Error "clock size below thread count"
   else begin
     let config = { Detector.nthreads; nlocks; nlocs; clock_size; sampler } in
-    let (module D : Detector.S) = Engine.detector engine in
+    let (module D : Detector.S) = Engine.detector ~racy_fastpath engine in
     let try_resume cp_path =
       match Checkpoint.load cp_path with
       | Error _ as e -> e

@@ -161,39 +161,21 @@ let read_header_cursor c =
     end
   end
 
-let of_bytes data =
-  let c = { data; pos = 0 } in
-  try
-    match read_header_cursor c with
-    | Error _ as err -> err
-    | Ok h -> (
-      match check_header data c.pos h with
-      | Error _ as err -> err
-      | Ok () ->
-        let exception Bad of string in
-        (try
-           let events =
-             Array.init h.nevents (fun _ ->
-                 let head = get_varint c in
-                 let payload = get_varint c in
-                 match decode_event h head payload with
-                 | Error msg -> raise (Bad msg)
-                 | Ok e -> e)
-           in
-           Ok (Trace.make ~nthreads:h.nthreads ~nlocks:h.nlocks ~nlocs:h.nlocs events)
-         with Bad msg -> Error msg))
-  with
-  | Truncated | Invalid_argument _ -> Error "truncated input"
+(* [of_bytes] lives below: it is the batch decoder applied to an in-memory
+   reader, not a third decode path. *)
 
 (* --- streaming reader -------------------------------------------------------- *)
 
 (* Chunked reads from a channel: memory stays O(chunk), never O(file), so
-   multi-GiB .ftb traces can be scanned event by event. *)
+   multi-GiB .ftb traces can be scanned event by event.  The same source
+   also fronts a fully in-memory payload ([ic = None], the whole buffer
+   valid up front) so network batches decode through the identical
+   hardened path. *)
 
 let default_chunk = 64 * 1024
 
 type source = {
-  ic : in_channel;
+  ic : in_channel option;  (* [None]: in-memory, [buf] holds everything *)
   buf : bytes;
   mutable base : int;  (* channel offset of [buf.(0)] *)
   mutable pos : int;  (* next unread byte in [buf] *)
@@ -203,11 +185,14 @@ type source = {
 (* only called with the buffer exhausted ([pos >= len]), so the new base is
    exactly the old one advanced past everything consumed *)
 let refill s =
-  s.base <- s.base + s.len;
-  let n = input s.ic s.buf 0 (Bytes.length s.buf) in
-  s.pos <- 0;
-  s.len <- n;
-  n > 0
+  match s.ic with
+  | None -> false
+  | Some ic ->
+    s.base <- s.base + s.len;
+    let n = input ic s.buf 0 (Bytes.length s.buf) in
+    s.pos <- 0;
+    s.len <- n;
+    n > 0
 
 let src_byte s =
   if s.pos >= s.len && not (refill s) then raise Truncated
@@ -236,7 +221,9 @@ type reader = {
 
 let open_channel ?(chunk_size = default_chunk) ic =
   let base = try pos_in ic with Sys_error _ -> 0 in
-  let src = { ic; buf = Bytes.create (Stdlib.max 16 chunk_size); base; pos = 0; len = 0 } in
+  let src =
+    { ic = Some ic; buf = Bytes.create (Stdlib.max 16 chunk_size); base; pos = 0; len = 0 }
+  in
   try
     let mbuf = Bytes.create (String.length magic) in
     for i = 0 to Bytes.length mbuf - 1 do
@@ -291,14 +278,23 @@ let seek r ~byte_offset ~next_index =
   else if next_index < 0 || next_index > r.rheader.nevents then
     Error "seek: event index out of range"
   else
-    match seek_in r.src.ic byte_offset with
-    | () ->
-      r.src.base <- byte_offset;
-      r.src.pos <- 0;
-      r.src.len <- 0;
-      r.next_index <- next_index;
-      Ok ()
-    | exception Sys_error msg -> Error ("seek: " ^ msg)
+    match r.src.ic with
+    | None ->
+      if byte_offset > r.src.len then Error "seek: byte offset beyond the payload"
+      else begin
+        r.src.pos <- byte_offset;
+        r.next_index <- next_index;
+        Ok ()
+      end
+    | Some ic -> (
+      match seek_in ic byte_offset with
+      | () ->
+        r.src.base <- byte_offset;
+        r.src.pos <- 0;
+        r.src.len <- 0;
+        r.next_index <- next_index;
+        Ok ()
+      | exception Sys_error msg -> Error ("seek: " ^ msg))
 
 let next r =
   if r.next_index >= r.rheader.nevents then Ok None
@@ -313,6 +309,137 @@ let next r =
         Ok (Some e)
     with Truncated -> Error "truncated input"
   end
+
+let open_bytes data =
+  let c = { data; pos = 0 } in
+  try
+    match read_header_cursor c with
+    | Error _ as err -> err
+    | Ok h -> (
+      match check_header data c.pos h with
+      | Error _ as err -> err
+      | Ok () ->
+        Ok
+          {
+            src = { ic = None; buf = data; base = 0; pos = c.pos; len = Bytes.length data };
+            rheader = h;
+            next_index = 0;
+          })
+  with Truncated -> Error "truncated input"
+
+let open_string s = open_bytes (Bytes.unsafe_of_string s)
+
+(* --- structure-of-arrays batch decoding -------------------------------------- *)
+
+(* The per-event [next] pays two heap words per event ([Some e] under [Ok])
+   before the consumer even sees it.  [read_batch] decodes a run of events
+   into parallel int arrays instead: the decode loop allocates nothing, and
+   the arrays are reused across calls.  [ends.(j)] records the stream offset
+   just past event [j], which is exactly the [byte_pos] a checkpoint taken
+   after that event must store — the resumable runner cuts batches anywhere
+   without offset drift. *)
+
+type batch = {
+  mutable n : int;       (* events decoded by the last [read_batch] *)
+  threads : int array;
+  tags : int array;      (* 0=read … 7=join, as in the wire format *)
+  payloads : int array;
+  ends : int array;      (* byte offset just past event [j] *)
+}
+
+let default_batch_capacity = 8192
+
+let create_batch ?(capacity = default_batch_capacity) () =
+  let capacity = Stdlib.max 1 capacity in
+  {
+    n = 0;
+    threads = Array.make capacity 0;
+    tags = Array.make capacity 0;
+    payloads = Array.make capacity 0;
+    ends = Array.make capacity 0;
+  }
+
+let batch_capacity b = Array.length b.threads
+let batch_length b = b.n
+
+(* All 8 three-bit tags are valid operations, so tag range needs no check;
+   operands are validated against the header exactly as [decode_event]. *)
+let read_batch r b =
+  b.n <- 0;
+  let h = r.rheader in
+  let goal = Stdlib.min (Array.length b.threads) (h.nevents - r.next_index) in
+  try
+    let rec loop j =
+      if j >= goal then Ok j
+      else begin
+        let head = src_varint r.src in
+        let payload = src_varint r.src in
+        let tag = head land 7 and thread = head lsr 3 in
+        if thread >= h.nthreads then Error "thread id out of range"
+        else if tag <= 1 && payload >= h.nlocs then Error "location id out of range"
+        else if tag >= 2 && tag <= 5 && payload >= h.nlocks then Error "lock id out of range"
+        else if tag >= 6 && payload >= h.nthreads then Error "thread operand out of range"
+        else begin
+          Array.unsafe_set b.threads j thread;
+          Array.unsafe_set b.tags j tag;
+          Array.unsafe_set b.payloads j payload;
+          Array.unsafe_set b.ends j (r.src.base + r.src.pos);
+          r.next_index <- r.next_index + 1;
+          loop (j + 1)
+        end
+      end
+    in
+    match loop 0 with
+    | Ok n ->
+      b.n <- n;
+      Ok n
+    | Error _ as err -> err
+  with Truncated -> Error "truncated input"
+
+let op_of_tag_exn tag payload : Event.op =
+  match tag with
+  | 0 -> Event.Read payload
+  | 1 -> Event.Write payload
+  | 2 -> Event.Acquire payload
+  | 3 -> Event.Release payload
+  | 4 -> Event.Release_store payload
+  | 5 -> Event.Acquire_load payload
+  | 6 -> Event.Fork payload
+  | 7 -> Event.Join payload
+  | _ -> assert false
+
+let batch_event b j =
+  if j < 0 || j >= b.n then invalid_arg "Trace_binary.batch_event: index out of range";
+  Event.mk b.threads.(j) (op_of_tag_exn b.tags.(j) b.payloads.(j))
+
+let batch_end b j =
+  if j < 0 || j >= b.n then invalid_arg "Trace_binary.batch_end: index out of range";
+  b.ends.(j)
+
+let dummy_event = Event.mk 0 (Event.Read 0)
+
+let of_bytes data =
+  match open_bytes data with
+  | Error _ as err -> err
+  | Ok r ->
+    let h = r.rheader in
+    (* [check_header] already vetted [nevents] against the byte budget, so
+       sizing the array to it up front is safe even for hostile input *)
+    let events = Array.make h.nevents dummy_event in
+    let b = create_batch () in
+    let rec loop () =
+      match read_batch r b with
+      | Error _ as err -> err
+      | Ok 0 ->
+        Ok (Trace.make ~nthreads:h.nthreads ~nlocks:h.nlocks ~nlocs:h.nlocs events)
+      | Ok n ->
+        let start = r.next_index - n in
+        for j = 0 to n - 1 do
+          events.(start + j) <- batch_event b j
+        done;
+        loop ()
+    in
+    loop ()
 
 let fold_channel ?chunk_size ic ~init ~f =
   match open_channel ?chunk_size ic with
@@ -394,7 +521,7 @@ let write_channel oc trace =
   Trace.iteri (fun _ e -> write_event w e) trace;
   close_writer w
 
-(* Builds the event array through the streaming reader: peak extra memory is
+(* Builds the event array through the batch reader: peak extra memory is
    one chunk plus the growing array itself — never a whole-file copy. *)
 let read_channel ic =
   match open_channel ic with
@@ -402,26 +529,31 @@ let read_channel ic =
   | Ok r ->
     let h = header r in
     (* grow geometrically instead of trusting nevents for the first
-       allocation; a validated header makes the hint safe to use as a cap *)
-    let events = ref (Array.make (Stdlib.min (Stdlib.max 16 h.nevents) 65536) None) in
+       allocation; a validated header makes the hint safe to use as a cap
+       (on a pipe the count is unverified, so events drive the growth) *)
+    let events = ref (Array.make (Stdlib.min (Stdlib.max 16 h.nevents) 65536) dummy_event) in
     let n = ref 0 in
-    let push e =
-      if !n = Array.length !events then begin
-        let bigger = Array.make (Stdlib.min h.nevents (2 * !n)) None in
-        Array.blit !events 0 bigger 0 !n;
-        events := bigger
-      end;
-      !events.(!n) <- Some e;
-      incr n
-    in
+    let b = create_batch () in
     let rec loop () =
-      match next r with
+      match read_batch r b with
       | Error _ as err -> err
-      | Ok None ->
-        let arr = Array.init !n (fun i -> Option.get !events.(i)) in
+      | Ok 0 ->
+        let arr = Array.sub !events 0 !n in
         Ok (Trace.make ~nthreads:h.nthreads ~nlocks:h.nlocks ~nlocs:h.nlocs arr)
-      | Ok (Some e) ->
-        push e;
+      | Ok k ->
+        if !n + k > Array.length !events then begin
+          let cap = ref (Array.length !events) in
+          while !n + k > !cap do
+            cap := Stdlib.min h.nevents (2 * !cap)
+          done;
+          let bigger = Array.make !cap dummy_event in
+          Array.blit !events 0 bigger 0 !n;
+          events := bigger
+        end;
+        for j = 0 to k - 1 do
+          !events.(!n + j) <- batch_event b j
+        done;
+        n := !n + k;
         loop ()
     in
     (try loop () with Invalid_argument _ -> Error "truncated input")

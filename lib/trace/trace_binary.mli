@@ -81,6 +81,48 @@ val next : reader -> (Event.t option, string) result
     operand).  Events are validated against the header's universe as they
     are decoded. *)
 
+val open_bytes : bytes -> (reader, string) result
+(** A reader over an in-memory payload (e.g. a network batch), sharing the
+    validation and decode machinery of {!open_channel}.  {!seek} works by
+    direct offset; {!byte_pos} counts from the start of the buffer.  The
+    buffer is not copied — do not mutate it while the reader is live. *)
+
+val open_string : string -> (reader, string) result
+
+(** {1 Batch decoding}
+
+    {!next} boxes every event twice ([Some] under [Ok]) before the consumer
+    sees it.  The batch decoder instead fills reusable parallel int arrays —
+    the decode loop allocates nothing per event — and consumers reconstruct
+    only what they dispatch on.  Hot loops (the resumable runner, the shard
+    router, the network daemon) stream .ftb input through this path. *)
+
+type batch
+
+val create_batch : ?capacity:int -> unit -> batch
+(** A reusable decode buffer ([capacity] events per {!read_batch} call,
+    default 8192). *)
+
+val read_batch : reader -> batch -> (int, string) result
+(** Decode up to one batch worth of events, validated against the header
+    exactly as {!next}.  Returns how many were decoded; [Ok 0] means the
+    trace is exhausted.  On [Error] the reader is mid-event and unusable
+    without a {!seek}. *)
+
+val batch_length : batch -> int
+(** Events decoded by the last {!read_batch} (same as its [Ok] payload). *)
+
+val batch_capacity : batch -> int
+
+val batch_event : batch -> int -> Event.t
+(** Reconstruct event [j] of the last batch ([0 <= j < batch_length]).
+    Raises [Invalid_argument] out of range. *)
+
+val batch_end : batch -> int -> int
+(** Byte offset just past event [j] — exactly the {!byte_pos} a checkpoint
+    taken after that event must record, letting the runner checkpoint at
+    any point {e inside} a batch without offset drift. *)
+
 val fold_channel :
   ?chunk_size:int ->
   in_channel ->

@@ -1,0 +1,574 @@
+(* The hot-path overhaul's safety net:
+
+   - Flat_table: model-checked against Hashtbl under random workloads, plus
+     the tombstone/growth edges;
+   - Netbuf: semantics under chunked feeds, and the amortization contract —
+     total bytes blitted stays linear in bytes fed, whatever the chunk size
+     (the O(n²) concat bug this replaced fails the same assertion by orders
+     of magnitude);
+   - Metrics arity: same_epoch_hits (and any future counter) must appear in
+     field_names, survive the Snap codec, and be merged by merge_shards —
+     each checked with distinct per-field values so a missed field cannot
+     cancel out;
+   - the SoA batch decoder: equality with the per-event reader, exact
+     per-event byte offsets (the --resume seek contract), hostile input;
+   - the byte-identity grid: the rebuilt engines vs the seed engines
+     vendored in Ref_engines, across engines × samplers × shard counts —
+     races, reports, and every counter except the purely additive
+     same_epoch_hits must match exactly;
+   - the --racy-fastpath gate: pinned verdict divergence, the
+     first-race-per-location oracle, and snapshot/restore of the gate. *)
+
+module Trace = Ft_trace.Trace
+module Event = Ft_trace.Event
+module Tb = Ft_trace.Trace_binary
+module Trace_gen = Ft_trace.Trace_gen
+module Prng = Ft_support.Prng
+module Engine = Ft_core.Engine
+module Detector = Ft_core.Detector
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Race = Ft_core.Race
+module Snap = Ft_core.Snap
+module Flat_table = Ft_core.Flat_table
+module Netbuf = Ft_shard.Netbuf
+module Sharded = Ft_shard.Sharded
+module Serve = Ft_shard.Serve
+
+(* --- Flat_table ----------------------------------------------------------- *)
+
+let test_flat_table_basic () =
+  let t = Flat_table.create () in
+  Alcotest.(check int) "empty find" (-1) (Flat_table.find t 42);
+  Flat_table.set t 42 7;
+  Flat_table.set t 0 0;
+  Alcotest.(check int) "find" 7 (Flat_table.find t 42);
+  Alcotest.(check int) "find 0->0" 0 (Flat_table.find t 0);
+  Alcotest.(check int) "length" 2 (Flat_table.length t);
+  Flat_table.set t 42 9;
+  Alcotest.(check int) "overwrite" 9 (Flat_table.find t 42);
+  Alcotest.(check int) "overwrite keeps length" 2 (Flat_table.length t);
+  Flat_table.remove t 42;
+  Alcotest.(check int) "removed" (-1) (Flat_table.find t 42);
+  Flat_table.remove t 42;
+  Alcotest.(check int) "double remove is a no-op" 1 (Flat_table.length t);
+  match Flat_table.set t (-1) 0 with
+  | () -> Alcotest.fail "negative key accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_flat_table_model () =
+  let rng = Random.State.make [| 2026; 8; 9 |] in
+  let t = Flat_table.create ~capacity:4 () in
+  let model = Hashtbl.create 16 in
+  for _ = 1 to 20_000 do
+    let k = Random.State.int rng 300 in
+    match Random.State.int rng 3 with
+    | 0 ->
+      let v = Random.State.int rng 1_000_000 in
+      Flat_table.set t k v;
+      Hashtbl.replace model k v
+    | 1 ->
+      Flat_table.remove t k;
+      Hashtbl.remove model k
+    | _ ->
+      let expected = match Hashtbl.find_opt model k with Some v -> v | None -> -1 in
+      Alcotest.(check int) "model lookup" expected (Flat_table.find t k)
+  done;
+  Alcotest.(check int) "final length" (Hashtbl.length model) (Flat_table.length t);
+  (* iter yields exactly the model's bindings *)
+  let seen = Hashtbl.create 16 in
+  Flat_table.iter t (fun k v ->
+      Alcotest.(check bool) "iter: no duplicate key" false (Hashtbl.mem seen k);
+      Hashtbl.add seen k ();
+      Alcotest.(check int) "iter: model value" (Hashtbl.find model k) v);
+  Alcotest.(check int) "iter covers everything" (Hashtbl.length model) (Hashtbl.length seen)
+
+(* churn at constant size: tombstones must be swept, not accumulated into
+   an ever-growing probe distance or table *)
+let test_flat_table_tombstone_churn () =
+  let t = Flat_table.create ~capacity:8 () in
+  for round = 0 to 5_000 do
+    let k = 7 * round in
+    Flat_table.set t k round;
+    if round >= 8 then Flat_table.remove t (7 * (round - 8))
+  done;
+  Alcotest.(check int) "steady-state length" 8 (Flat_table.length t)
+
+(* --- Netbuf ---------------------------------------------------------------- *)
+
+let test_netbuf_semantics () =
+  let b = Netbuf.create ~capacity:16 () in
+  Alcotest.(check int) "empty" 0 (Netbuf.length b);
+  Alcotest.(check bool) "no newline" true (Netbuf.index_newline b = None);
+  let put s = Netbuf.append b (Bytes.of_string s) ~off:0 ~len:(String.length s) in
+  put "BATCH 0 5\nhel";
+  Alcotest.(check bool) "newline found" true (Netbuf.index_newline b = Some 9);
+  Alcotest.(check string) "take line" "BATCH 0 5" (Netbuf.take b 9);
+  Netbuf.drop b 1;
+  put "lo";
+  Alcotest.(check string) "blob across appends" "hello" (Netbuf.take b 5);
+  Alcotest.(check int) "drained" 0 (Netbuf.length b);
+  (match Netbuf.take b 1 with
+  | _ -> Alcotest.fail "take beyond buffered data accepted"
+  | exception Invalid_argument _ -> ());
+  (* growth far past the initial capacity preserves content *)
+  let big = String.init 100_000 (fun i -> Char.chr (i land 0xff)) in
+  String.iter (fun c -> put (String.make 1 c)) big;
+  Alcotest.(check string) "byte-at-a-time feed reassembles" big
+    (Netbuf.take b (String.length big))
+
+(* the quadratic-recv regression test: total bytes moved is linear in bytes
+   fed regardless of chunk size.  The seed's [data <- data ^ chunk] moved
+   ~N²/(2·chunk) ≈ 190 GB here; the bound allows ~6N = 12 MB. *)
+let test_netbuf_amortized_linear () =
+  let n = 2 * 1024 * 1024 and chunk = 11 in
+  (* blob pattern: accumulate everything, then one take *)
+  let b = Netbuf.create ~capacity:1024 () in
+  let piece = Bytes.make chunk 'x' in
+  let fed = ref 0 in
+  while !fed < n do
+    let len = Stdlib.min chunk (n - !fed) in
+    Netbuf.append b piece ~off:0 ~len;
+    fed := !fed + len
+  done;
+  ignore (Netbuf.take b n);
+  Alcotest.(check bool)
+    (Printf.sprintf "accumulate-then-take is linear (moved %d for %d fed)"
+       (Netbuf.copied b) n)
+    true
+    (Netbuf.copied b <= (4 * n) + 65536);
+  (* interleaved pattern: lines consumed while more data streams in *)
+  let b = Netbuf.create ~capacity:64 () in
+  let fed = ref 0 and consumed = ref 0 in
+  while !fed < n do
+    let len = Stdlib.min chunk (n - !fed) in
+    Netbuf.append b piece ~off:0 ~len;
+    fed := !fed + len;
+    if !fed - !consumed > 96 then begin
+      Netbuf.drop b 64;
+      consumed := !consumed + 64
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "interleaved consume stays linear (moved %d for %d fed)"
+       (Netbuf.copied b) n)
+    true
+    (Netbuf.copied b <= (8 * n) + 65536)
+
+(* --- Metrics arity: same_epoch_hits through every surface ------------------ *)
+
+let distinct_metrics offset =
+  let m = Metrics.create () in
+  let r = Obj.repr m in
+  for i = 0 to Metrics.field_count - 1 do
+    Obj.set_field r i (Obj.repr (offset + i))
+  done;
+  m
+
+let test_metrics_field_names () =
+  Alcotest.(check int) "field_names covers every field" Metrics.field_count
+    (Array.length Metrics.field_names);
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "field name %s unique" n) false
+        (Hashtbl.mem tbl n);
+      Hashtbl.add tbl n ())
+    Metrics.field_names;
+  Alcotest.(check bool) "same_epoch_hits is exported" true
+    (Hashtbl.mem tbl "same_epoch_hits")
+
+let test_metrics_snap_roundtrip () =
+  let m = distinct_metrics 101 in
+  let enc = Snap.Enc.create () in
+  Metrics.encode enc m;
+  let dec = Snap.Dec.of_snap (Snap.Enc.to_snap enc) in
+  let m' = Metrics.decode dec in
+  Snap.Dec.finish dec;
+  (* distinct values per field: a codec that drops or reorders any single
+     field — same_epoch_hits included — cannot pass *)
+  Alcotest.(check (array int)) "snap codec preserves every field" (Metrics.to_array m)
+    (Metrics.to_array m')
+
+let test_metrics_merge_shards_covers_all_fields () =
+  let shards = [| distinct_metrics 100; distinct_metrics 1000; distinct_metrics 10000 |] in
+  let baseline = distinct_metrics 3 in
+  let merged = Metrics.merge_shards ~sync_baseline:baseline shards in
+  let expected =
+    Array.init Metrics.field_count (fun i ->
+        (100 + i) + (1000 + i) + (10000 + i) - (2 * (3 + i)))
+  in
+  Alcotest.(check (array int)) "Σ shards − (K−1)·baseline, every field" expected
+    (Metrics.to_array merged)
+
+(* --- SoA batch decoder ------------------------------------------------------ *)
+
+let gen_trace ~seed ~length =
+  let prng = Prng.create ~seed in
+  Trace_gen.random prng
+    {
+      Trace_gen.nthreads = 4;
+      nlocks = 3;
+      nlocs = 12;
+      length;
+      atomics = true;
+      forkjoin = true;
+    }
+
+let decode_all_batched ?(capacity = 7) data =
+  match Tb.open_bytes data with
+  | Error msg -> Alcotest.failf "open_bytes: %s" msg
+  | Ok r ->
+    let b = Tb.create_batch ~capacity () in
+    let events = ref [] and ends = ref [] in
+    let rec loop () =
+      match Tb.read_batch r b with
+      | Error msg -> Alcotest.failf "read_batch: %s" msg
+      | Ok 0 -> ()
+      | Ok n ->
+        Alcotest.(check int) "batch_length agrees" n (Tb.batch_length b);
+        for j = 0 to n - 1 do
+          events := Tb.batch_event b j :: !events;
+          ends := Tb.batch_end b j :: !ends
+        done;
+        loop ()
+    in
+    loop ();
+    (List.rev !events, List.rev !ends)
+
+let test_batch_equals_next () =
+  let trace = gen_trace ~seed:5 ~length:2_000 in
+  let data = Tb.to_bytes trace in
+  let batched, ends = decode_all_batched data in
+  (* against the per-event reader *)
+  let r = Option.get (Result.to_option (Tb.open_bytes data)) in
+  let rec pull acc =
+    match Tb.next r with
+    | Error msg -> Alcotest.failf "next: %s" msg
+    | Ok None -> List.rev acc
+    | Ok (Some e) -> pull (e :: acc)
+  in
+  let streamed = pull [] in
+  Alcotest.(check int) "event count" (Trace.length trace) (List.length batched);
+  List.iteri
+    (fun i (a, b) ->
+      if not (Event.equal a b) then Alcotest.failf "event %d: batch ≠ next" i)
+    (List.combine batched streamed);
+  (* and against the source trace *)
+  List.iteri
+    (fun i e ->
+      if not (Event.equal e (Trace.get trace i)) then
+        Alcotest.failf "event %d: batch ≠ trace" i)
+    batched;
+  (* offsets: strictly increasing, ending exactly at the payload's end *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "ends strictly increase" true (a < b);
+      mono rest
+    | _ -> ()
+  in
+  mono ends;
+  Alcotest.(check int) "last end is the payload end" (Bytes.length data)
+    (List.nth ends (List.length ends - 1))
+
+let test_batch_seek_resume () =
+  let trace = gen_trace ~seed:6 ~length:1_500 in
+  let data = Tb.to_bytes trace in
+  let _, ends = decode_all_batched data in
+  let ends = Array.of_list ends in
+  (* resume from every 97th event boundary: the checkpoint seek contract *)
+  let k = ref 97 in
+  while !k < Trace.length trace do
+    let r = Option.get (Result.to_option (Tb.open_bytes data)) in
+    (match Tb.seek r ~byte_offset:ends.(!k - 1) ~next_index:!k with
+    | Error msg -> Alcotest.failf "seek to %d: %s" !k msg
+    | Ok () -> ());
+    let b = Tb.create_batch () in
+    let i = ref !k in
+    let rec loop () =
+      match Tb.read_batch r b with
+      | Error msg -> Alcotest.failf "post-seek read_batch: %s" msg
+      | Ok 0 -> ()
+      | Ok n ->
+        for j = 0 to n - 1 do
+          if not (Event.equal (Tb.batch_event b j) (Trace.get trace !i)) then
+            Alcotest.failf "post-seek event %d differs (resumed at %d)" !i !k;
+          incr i
+        done;
+        loop ()
+    in
+    loop ();
+    Alcotest.(check int) "suffix complete" (Trace.length trace) !i;
+    k := !k + 97
+  done
+
+let test_batch_channel_refill () =
+  let trace = gen_trace ~seed:7 ~length:3_000 in
+  let path = Filename.temp_file "fastpath" ".ftb" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Tb.to_file path trace;
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  (* a tiny chunk forces refills inside varints and across batch cuts *)
+  match Tb.open_channel ~chunk_size:64 ic with
+  | Error msg -> Alcotest.failf "open_channel: %s" msg
+  | Ok r ->
+    let b = Tb.create_batch ~capacity:33 () in
+    let i = ref 0 in
+    let rec loop () =
+      match Tb.read_batch r b with
+      | Error msg -> Alcotest.failf "read_batch: %s" msg
+      | Ok 0 -> ()
+      | Ok n ->
+        for j = 0 to n - 1 do
+          if not (Event.equal (Tb.batch_event b j) (Trace.get trace !i)) then
+            Alcotest.failf "channel event %d differs" !i;
+          incr i
+        done;
+        loop ()
+    in
+    loop ();
+    Alcotest.(check int) "all events" (Trace.length trace) !i
+
+(* hand-rolled payloads (LEB128 varints, two bytes max needed here) *)
+let craft ~nthreads ~nlocks ~nlocs events =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "FTRB";
+  List.iter
+    (fun v ->
+      if v < 128 then Buffer.add_char b (Char.chr v)
+      else begin
+        Buffer.add_char b (Char.chr (128 lor (v land 0x7f)));
+        Buffer.add_char b (Char.chr (v lsr 7))
+      end)
+    ([ 1; nthreads; nlocks; nlocs; List.length events ]
+    @ List.concat_map (fun (head, payload) -> [ head; payload ]) events);
+  Buffer.to_bytes b
+
+let expect_error what expected data =
+  match Tb.of_bytes data with
+  | Ok _ -> Alcotest.failf "%s: hostile input accepted" what
+  | Error msg -> Alcotest.(check string) what expected msg
+
+let test_batch_hostile_input () =
+  (* tag 0 = read; head = tag lor thread lsl 3 *)
+  expect_error "thread out of range" "thread id out of range"
+    (craft ~nthreads:2 ~nlocks:1 ~nlocs:1 [ (0 lor (5 lsl 3), 0) ]);
+  expect_error "location out of range" "location id out of range"
+    (craft ~nthreads:2 ~nlocks:1 ~nlocs:1 [ (0, 3) ]);
+  expect_error "lock out of range" "lock id out of range"
+    (craft ~nthreads:2 ~nlocks:1 ~nlocs:1 [ (2, 7) ]);
+  expect_error "thread operand out of range" "thread operand out of range"
+    (craft ~nthreads:2 ~nlocks:1 ~nlocs:1 [ (6, 3) ]);
+  (* two-byte payload (loc 200): cutting the last byte passes the header's
+     2-bytes-per-event budget but truncates the decode *)
+  let data = craft ~nthreads:2 ~nlocks:1 ~nlocs:256 [ (0, 200) ] in
+  expect_error "truncated event" "truncated input"
+    (Bytes.sub data 0 (Bytes.length data - 1))
+
+(* --- byte-identity grid: flat engines vs vendored seed engines ------------- *)
+
+let zero_same_epoch arr =
+  let arr = Array.copy arr in
+  Array.iteri
+    (fun i n -> if n = "same_epoch_hits" then arr.(i) <- 0)
+    Metrics.field_names;
+  arr
+
+let same_verdict ~events ~what (flat : Detector.result) (reference : Detector.result) =
+  if flat.Detector.races <> reference.Detector.races then
+    Alcotest.failf "%s: race lists diverge" what;
+  let fa = zero_same_epoch (Metrics.to_array flat.Detector.metrics)
+  and ra = zero_same_epoch (Metrics.to_array reference.Detector.metrics) in
+  Alcotest.(check (array int)) (what ^ ": all counters modulo same_epoch_hits") ra fa;
+  Alcotest.(check string)
+    (what ^ ": rendered report")
+    (Serve.report_text ~events reference)
+    (Serve.report_text ~events flat)
+
+let grid_engines = Engine.[ Djit; Fasttrack; St; Su; So; Sl; Sn ]
+
+let grid_samplers () =
+  [
+    ("all", Sampler.all);
+    ("bernoulli", Sampler.bernoulli ~rate:0.3 ~seed:11);
+    ("adaptive", Sampler.adaptive ~base_rate:4);
+  ]
+
+let run_sharded id ~shards config trace =
+  let sh = Sharded.create ~engine:id ~shards config in
+  Fun.protect ~finally:(fun () -> Sharded.stop sh) @@ fun () ->
+  Trace.iteri (fun i e -> Sharded.handle sh i e) trace;
+  Sharded.result sh
+
+let test_byte_identity_grid () =
+  let hits = ref 0 in
+  List.iter
+    (fun seed ->
+      (* the same chaos workload seed test_fault anchors on, plus a second *)
+      let trace = gen_trace ~seed ~length:800 in
+      let events = Trace.length trace in
+      List.iter
+        (fun id ->
+          List.iter
+            (fun (sname, sampler) ->
+              let reference = Ref_engines.run id ~sampler trace in
+              let what k =
+                Printf.sprintf "%s × %s × K=%d (seed %d)" (Engine.name id) sname k seed
+              in
+              let flat = Engine.run id ~sampler trace in
+              same_verdict ~events ~what:(what 1) flat reference;
+              hits := !hits + flat.Detector.metrics.Metrics.same_epoch_hits;
+              let config =
+                {
+                  Detector.nthreads = trace.Trace.nthreads;
+                  nlocks = trace.Trace.nlocks;
+                  nlocs = trace.Trace.nlocs;
+                  clock_size = trace.Trace.nthreads;
+                  sampler;
+                }
+              in
+              List.iter
+                (fun k ->
+                  same_verdict ~events ~what:(what k)
+                    (run_sharded id ~shards:k config trace)
+                    reference)
+                [ 2; 4 ])
+            (grid_samplers ()))
+        grid_engines)
+    [ 77; 1234 ];
+  Alcotest.(check bool) "the fast path actually fired across the grid" true (!hits > 0)
+
+(* --- --racy-fastpath -------------------------------------------------------- *)
+
+let first_race_per_loc races =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r.Race.loc then false
+      else begin
+        Hashtbl.add seen r.Race.loc ();
+        true
+      end)
+    races
+
+(* pinned litmus: location x0 races twice under the seed semantics, x1 once *)
+let litmus_trace =
+  let e t op = Event.mk t op in
+  Trace.make ~nthreads:2 ~nlocks:1 ~nlocs:2
+    [|
+      e 0 (Event.Write 0);
+      e 1 (Event.Write 0);  (* race 1 at x0 *)
+      e 0 (Event.Write 0);  (* race 2 at x0 — gated run must skip this *)
+      e 1 (Event.Write 1);
+      e 0 (Event.Write 1);  (* race at x1 — gated run must still find it *)
+    |]
+
+let test_racy_fastpath_litmus () =
+  let plain = Engine.run Engine.Fasttrack litmus_trace in
+  let gated = Engine.run Engine.Fasttrack ~racy_fastpath:true litmus_trace in
+  Alcotest.(check int) "plain declares three races" 3 (List.length plain.Detector.races);
+  Alcotest.(check int) "gated declares two" 2 (List.length gated.Detector.races);
+  Alcotest.(check (list int)) "gated keeps one per location" [ 0; 1 ]
+    (List.sort compare (Race.locations gated.Detector.races));
+  Alcotest.(check bool) "verdicts pinned divergent" true
+    (plain.Detector.races <> gated.Detector.races);
+  Alcotest.(check bool) "gate does fewer race checks" true
+    (gated.Detector.metrics.Metrics.race_checks
+    < plain.Detector.metrics.Metrics.race_checks)
+
+(* FastTrack's access handlers touch only the accessed location, so gating
+   has a closed-form oracle: the gated race list is exactly the first race
+   per location of the ungated run. *)
+let test_racy_fastpath_oracle () =
+  List.iter
+    (fun seed ->
+      let trace = gen_trace ~seed ~length:1_200 in
+      let plain = Engine.run Engine.Fasttrack trace in
+      let gated = Engine.run Engine.Fasttrack ~racy_fastpath:true trace in
+      Alcotest.(check bool)
+        (Printf.sprintf "first race per location (seed %d)" seed)
+        true
+        (gated.Detector.races = first_race_per_loc plain.Detector.races))
+    [ 3; 4; 5; 6 ]
+
+let test_racy_fastpath_snapshot_roundtrip () =
+  let trace = gen_trace ~seed:9 ~length:1_000 in
+  let config =
+    {
+      Detector.nthreads = trace.Trace.nthreads;
+      nlocks = trace.Trace.nlocks;
+      nlocs = trace.Trace.nlocs;
+      clock_size = trace.Trace.nthreads;
+      sampler = Sampler.all;
+    }
+  in
+  let (module D : Detector.S) = Engine.detector ~racy_fastpath:true Engine.Fasttrack in
+  let straight = D.create config in
+  Trace.iteri (fun i e -> D.handle straight i e) trace;
+  let cut = Trace.length trace / 2 in
+  let d = D.create config in
+  for i = 0 to cut - 1 do
+    D.handle d i (Trace.get trace i)
+  done;
+  let d' = D.restore config (D.snapshot d) in
+  for i = cut to Trace.length trace - 1 do
+    D.handle d' i (Trace.get trace i)
+  done;
+  Alcotest.(check bool) "snapshot/restore mid-run changes nothing" true
+    ((D.result d').Detector.races = (D.result straight).Detector.races
+    && Metrics.to_array (D.result d').Detector.metrics
+       = Metrics.to_array (D.result straight).Detector.metrics)
+
+let () =
+  Alcotest.run "fastpath"
+    [
+      ( "flat_table",
+        [
+          Alcotest.test_case "basic operations" `Quick test_flat_table_basic;
+          Alcotest.test_case "random ops match Hashtbl model" `Quick test_flat_table_model;
+          Alcotest.test_case "tombstone churn at constant size" `Quick
+            test_flat_table_tombstone_churn;
+        ] );
+      ( "netbuf",
+        [
+          Alcotest.test_case "chunked feed semantics" `Quick test_netbuf_semantics;
+          Alcotest.test_case "bytes moved stay linear (quadratic-recv regression)" `Quick
+            test_netbuf_amortized_linear;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "field_names complete, unique, exports same_epoch_hits"
+            `Quick test_metrics_field_names;
+          Alcotest.test_case "snap codec roundtrips distinct values" `Quick
+            test_metrics_snap_roundtrip;
+          Alcotest.test_case "merge_shards covers every field" `Quick
+            test_metrics_merge_shards_covers_all_fields;
+        ] );
+      ( "batch_decode",
+        [
+          Alcotest.test_case "batch ≡ next ≡ source trace, exact offsets" `Quick
+            test_batch_equals_next;
+          Alcotest.test_case "seek to any event boundary resumes exactly" `Quick
+            test_batch_seek_resume;
+          Alcotest.test_case "tiny channel chunks refill correctly" `Quick
+            test_batch_channel_refill;
+          Alcotest.test_case "hostile input rejected with exact errors" `Quick
+            test_batch_hostile_input;
+        ] );
+      ( "byte_identity",
+        [
+          Alcotest.test_case "flat vs seed engines × samplers × K" `Slow
+            test_byte_identity_grid;
+        ] );
+      ( "racy_fastpath",
+        [
+          Alcotest.test_case "litmus pins the verdict divergence" `Quick
+            test_racy_fastpath_litmus;
+          Alcotest.test_case "first-race-per-location oracle" `Quick
+            test_racy_fastpath_oracle;
+          Alcotest.test_case "gate survives snapshot/restore" `Quick
+            test_racy_fastpath_snapshot_roundtrip;
+        ] );
+    ]

@@ -504,6 +504,33 @@ let test_metrics_json_file () =
     Alcotest.(check bool) "merged metrics present" true
       (Json.member "metrics" doc <> None)
 
+(* One large BATCH whose payload spans many 64 KiB recv rounds: the daemon
+   must accumulate it in amortized O(1) per byte (Netbuf) and answer with
+   the exact report.  The algorithmic bound itself is pinned by the Netbuf
+   copied-bytes test in test_fastpath; this exercises the integration —
+   blob reassembly across reads, then a correct verdict — under a
+   generous wall-clock ceiling that the old quadratic accumulate would
+   start to threaten as payloads grow. *)
+let test_large_single_batch () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.St and sampler = Sampler.all in
+  let trace = sample_trace ~seed:21 ~length:400_000 in
+  let expected = expected_report ~engine ~sampler trace in
+  let socket = Filename.concat dir "serve.sock" in
+  let pid = start_server ~engine ~shards:4 ~sampler socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect socket in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let total =
+    get_ok "large batch" (Serve.send_batch ~deadline_s:60.0 fd ~base:0 trace)
+  in
+  Alcotest.(check int) "all events ingested in one batch" (Trace.length trace) total;
+  let report = get_ok "report" (Serve.fetch_report ~deadline_s:60.0 fd) in
+  Alcotest.(check string) "single large batch ≡ analyze" expected report;
+  Alcotest.(check bool) "ingestion throughput sane" true
+    (Unix.gettimeofday () -. t0 < 30.0)
+
 let () =
   Alcotest.run "serve"
     [
@@ -513,6 +540,8 @@ let () =
             test_roundtrip_out_of_order;
           Alcotest.test_case "two clients, stride 2" `Quick test_two_clients_interleaved;
           Alcotest.test_case "protocol edges" `Quick test_protocol_edges;
+          Alcotest.test_case "large single batch streams through" `Quick
+            test_large_single_batch;
         ] );
       ( "client robustness",
         [
