@@ -363,6 +363,10 @@ let run_fig7_throughput ~target_events ~clock_size ~repeats =
       (Engine.Su, 1.0);
       (Engine.So, 0.03);
       (Engine.So, 1.0);
+      (Engine.O1, 0.03);
+      (Engine.O1, 1.0);
+      (Engine.O1u, 0.03);
+      (Engine.O1u, 1.0);
     ]
   in
   let time f =

@@ -38,6 +38,11 @@ let rate_arg =
     & opt float 0.03
     & info [ "rate" ] ~docv:"RATE" ~doc:"Sampling rate in [0,1]; 1 samples every access.")
 
+(* Generated from the registry so the help text can never drift from
+   what [Engine.of_name] actually accepts. *)
+let engine_doc =
+  "Engine: " ^ String.concat ", " (List.map Engine.name Engine.all) ^ "."
+
 let clock_size_arg =
   Arg.(
     value
@@ -172,8 +177,7 @@ let analyze_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file to analyse.")
   in
   let engine =
-    Arg.(value & opt string "so" & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Engine: djit, fasttrack, fasttrack-tc, st, su, so or sl.")
+    Arg.(value & opt string "so" & info [ "engine" ] ~docv:"ENGINE" ~doc:engine_doc)
   in
   let show_races =
     Arg.(value & flag & info [ "races" ] ~doc:"Print every race declaration.")
@@ -408,8 +412,7 @@ let analyze_cmd =
 
 let serve_cmd =
   let engine =
-    Arg.(value & opt string "so" & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Engine: djit, fasttrack, fasttrack-tc, st, su, so or sl.")
+    Arg.(value & opt string "so" & info [ "engine" ] ~docv:"ENGINE" ~doc:engine_doc)
   in
   let checkpoint =
     Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR"

@@ -1,6 +1,6 @@
-type id = Djit | Fasttrack | Fasttrack_tc | St | Su | So | Sl | Sn | Eraser
+type id = Djit | Fasttrack | Fasttrack_tc | St | Su | So | Sl | Sn | O1 | O1u | Eraser
 
-let all = [ Djit; Fasttrack; Fasttrack_tc; St; Su; So; Sl; Sn ]
+let all = [ Djit; Fasttrack; Fasttrack_tc; St; Su; So; Sl; Sn; O1; O1u ]
 
 let name = function
   | Djit -> "djit"
@@ -11,6 +11,8 @@ let name = function
   | So -> "so"
   | Sl -> "sl"
   | Sn -> "su-noskip"
+  | O1 -> "o1"
+  | O1u -> "o1-u"
   | Eraser -> "eraser"
 
 let of_name = function
@@ -22,6 +24,8 @@ let of_name = function
   | "so" -> Some So
   | "sl" | "so-nomtf" -> Some Sl
   | "su-noskip" | "sn" -> Some Sn
+  | "o1" | "o1-samples" -> Some O1
+  | "o1-u" | "o1u" -> Some O1u
   | "eraser" | "lockset" -> Some Eraser
   | _ -> None
 
@@ -34,13 +38,15 @@ let plain : id -> Detector.packed = function
   | So -> (module Sampling_ordered_list)
   | Sl -> (module Sampling_lazy)
   | Sn -> (module Sampling_uclock_noskip)
+  | O1 -> (module Sampling_o1)
+  | O1u -> (module Sampling_o1_uclock)
   | Eraser -> (module Lockset)
 
 let detector ?(racy_fastpath = false) id =
   let p = plain id in
   if racy_fastpath then Racy_gate.wrap p else p
 
-let sampling_engines = [ St; Su; So ]
+let sampling_engines = [ St; Su; So; O1; O1u ]
 
 let run id ?racy_fastpath ?sampler ?clock_size ?limit trace =
   Detector.run (detector ?racy_fastpath id) ?sampler ?clock_size ?limit trace

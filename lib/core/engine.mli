@@ -8,11 +8,14 @@
     - ["so"]        — Algorithm 4, ordered lists + lazy copy;
     - ["sl"]        — ablation: Algorithm 4 without the ordered list;
     - ["su-noskip"] — ablation: Algorithm 3 without the release-side skip;
+    - ["o1"]        — the follow-up paper: O(1) state retained per sampled
+      location ({!Sampling_o1});
+    - ["o1-u"]      — O1 carrying Algorithm 3's freshness clocks;
     - ["eraser"]    — the unsound lockset baseline ({!Lockset}); resolvable
       by name but deliberately {e not} in {!all}, whose members share exact
       HB semantics. *)
 
-type id = Djit | Fasttrack | Fasttrack_tc | St | Su | So | Sl | Sn | Eraser
+type id = Djit | Fasttrack | Fasttrack_tc | St | Su | So | Sl | Sn | O1 | O1u | Eraser
 
 val all : id list
 (** The HB-exact engines (everything except [Eraser]). *)
@@ -26,7 +29,7 @@ val detector : ?racy_fastpath:bool -> id -> Detector.packed
     verdict set — keep it off anywhere byte-identity matters. *)
 
 val sampling_engines : id list
-(** [St; Su; So] — the engines that honour the sampler. *)
+(** [St; Su; So; O1; O1u] — the engines that honour the sampler. *)
 
 val run :
   id ->

@@ -1,0 +1,4 @@
+include Sampling_o1.Make (struct
+  let name = "o1-u"
+  let uclock = true
+end)

@@ -23,7 +23,7 @@ let tpcc () = Option.get (Db_sim.profile "tpcc")
 
 let all_engines =
   [ Engine.Djit; Engine.Fasttrack; Engine.Fasttrack_tc; Engine.St; Engine.Su; Engine.Sn;
-    Engine.Sl; Engine.So ]
+    Engine.Sl; Engine.So; Engine.O1; Engine.O1u ]
 
 (* Each table fans its independent cells out over [jobs] domains (default 1
    = inline sequential).  Rows are assembled from results keyed by task

@@ -1495,9 +1495,400 @@ module Sampling_uclock_noskip = struct
   end)
 end
 
+(* Straight-line transcription of the O(1)-samples algorithm: FastTrack's
+   adaptive location state (last-write epoch, exclusive-read epoch, a full
+   read clock only while genuinely read-shared) recording only sampled
+   accesses, ordered by the Alg 2 sampling clocks — ⊥-initialized [C_t]
+   with the local epoch [e_t] externalized and flushed at the first release
+   after a sample.  Location state is option-boxed records as in the
+   vendored Fasttrack above — no flat arrays, no slot pools, no probe
+   tables — so the production engine's data-structure tricks are exactly
+   what this module omits.  The same-epoch skips are kept: in this
+   algorithm they are semantics (a skipped access neither re-checks nor
+   re-records), not a cache. *)
+module Sampling_o1 = struct
+  module E = Ft_trace.Event
+  module Vc = Vector_clock
+
+  (* The uclock policy grafts Alg 3's freshness skips onto the same
+     handlers; clock contents are untouched by the skips, so both variants
+     must report byte-identical races. *)
+  module Make (Policy : sig
+    val name : string
+    val uclock : bool
+  end) =
+  struct
+  type read_state = {
+    mutable repoch : Epoch.t;
+    mutable rindex : int;
+    mutable rvc : Vc.t option;  (* [Some] = shared mode *)
+    mutable rvc_index : int array;
+  }
+
+  type t = {
+    nthreads : int;
+    sample : Sampler.instance;
+    clocks : Vc.t array;           (* C_t, ⊥-initialized *)
+    uclocks : Vc.t array;          (* U_t, uclock policy only *)
+    epochs : int array;            (* e_t *)
+    pending : bool array;
+    lock_clocks : Vc.t option array;
+    lock_uclocks : Vc.t option array;
+    lock_lr : int array;
+    writes : Epoch.t array;        (* W_x: last sampled write *)
+    w_index : int array;
+    reads : read_state option array;
+    metrics : Metrics.t;
+    mutable races : Race.t list;
+  }
+
+  let name = Policy.name
+
+  let create (cfg : Detector.config) =
+    let n = cfg.Detector.clock_size in
+    let nlocks = Stdlib.max 1 cfg.Detector.nlocks in
+    let nlocs = Stdlib.max 1 cfg.Detector.nlocs in
+    {
+      nthreads = n;
+      sample = Sampler.fresh cfg.Detector.sampler;
+      clocks = Array.init n (fun _ -> Vc.create n);
+      uclocks =
+        (if Policy.uclock then Array.init n (fun _ -> Vc.create n) else [||]);
+      epochs = Array.make n 1;
+      pending = Array.make n false;
+      lock_clocks = Array.make nlocks None;
+      lock_uclocks = Array.make nlocks None;
+      lock_lr = Array.make nlocks (-1);
+      writes = Array.make nlocs Epoch.none;
+      w_index = Array.make nlocs (-1);
+      reads = Array.make nlocs None;
+      metrics = Metrics.create ();
+      races = [];
+    }
+
+  let declare d index tid x ~with_write ~with_read ~prior =
+    d.metrics.Metrics.races <- d.metrics.Metrics.races + 1;
+    let prior = if prior < 0 then None else Some prior in
+    d.races <- Race.make ~index ~thread:tid ~loc:x ~with_write ~with_read ?prior () :: d.races
+
+  let read_state d x =
+    match d.reads.(x) with
+    | Some r -> r
+    | None ->
+      let r = { repoch = Epoch.none; rindex = -1; rvc = None; rvc_index = [||] } in
+      d.reads.(x) <- Some r;
+      r
+
+  let lock_clock d l =
+    match d.lock_clocks.(l) with
+    | Some c -> c
+    | None ->
+      let c = Vc.create d.nthreads in
+      d.lock_clocks.(l) <- Some c;
+      c
+
+  (* [c@u ⊑ C_t[t ↦ e_t]]: the clock's own component holds only the last
+     flushed epoch, so same-thread ordering consults [e_t]. *)
+  let leq_sub e ct ~t ~epoch =
+    if Epoch.tid e = t then Epoch.time e <= epoch else Epoch.leq_vc e ct
+
+  let flush_pending d t =
+    if d.pending.(t) then begin
+      Vc.set d.clocks.(t) t d.epochs.(t);
+      if Policy.uclock then Vc.inc d.uclocks.(t) t;
+      d.epochs.(t) <- d.epochs.(t) + 1;
+      d.pending.(t) <- false
+    end
+
+  let publish d t l =
+    let m = d.metrics in
+    m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
+    m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    (match d.lock_clocks.(l) with
+    | Some cl -> Vc.copy_into ~into:cl d.clocks.(t)
+    | None -> d.lock_clocks.(l) <- Some (Vc.copy d.clocks.(t)));
+    match d.lock_uclocks.(l) with
+    | Some ul -> Vc.copy_into ~into:ul d.uclocks.(t)
+    | None -> d.lock_uclocks.(l) <- Some (Vc.copy d.uclocks.(t))
+
+  let absorb d t ~src_c ~src_u =
+    let m = d.metrics in
+    m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+    let ut = d.uclocks.(t) and ct = d.clocks.(t) in
+    let changed = ref 0 in
+    for i = 0 to Vc.size ct - 1 do
+      let u = Vc.get src_u i in
+      if u > Vc.get ut i then Vc.set ut i u;
+      let c = Vc.get src_c i in
+      if c > Vc.get ct i then begin
+        Vc.set ct i c;
+        incr changed
+      end
+    done;
+    if !changed > 0 then Vc.set ut t (Vc.get ut t + !changed)
+
+  let handle d index (e : E.t) =
+    let m = d.metrics in
+    m.Metrics.events <- m.Metrics.events + 1;
+    let t = e.E.thread in
+    let ct = d.clocks.(t) in
+    match e.E.op with
+    | E.Read x ->
+      m.Metrics.reads <- m.Metrics.reads + 1;
+      if d.sample.Sampler.decide index e then begin
+        m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
+        let epoch = d.epochs.(t) in
+        let own = Epoch.make ~time:epoch ~tid:t in
+        let r = read_state d x in
+        let same_epoch =
+          match r.rvc with
+          | None -> Epoch.equal r.repoch own
+          | Some rv -> Vc.get rv t = epoch
+        in
+        if same_epoch then
+          m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+        else begin
+          m.Metrics.race_checks <- m.Metrics.race_checks + 1;
+          if not (leq_sub d.writes.(x) ct ~t ~epoch) then
+            declare d index t x ~with_write:true ~with_read:false ~prior:d.w_index.(x);
+          match r.rvc with
+          | Some rv ->
+            Vc.set rv t epoch;
+            r.rvc_index.(t) <- index
+          | None ->
+            if leq_sub r.repoch ct ~t ~epoch then begin
+              r.repoch <- own;
+              r.rindex <- index
+            end
+            else begin
+              (* inflate to shared mode *)
+              let rv = Vc.create d.nthreads in
+              let ri = Array.make d.nthreads (-1) in
+              Vc.set rv (Epoch.tid r.repoch) (Epoch.time r.repoch);
+              ri.(Epoch.tid r.repoch) <- r.rindex;
+              Vc.set rv t epoch;
+              ri.(t) <- index;
+              r.rvc <- Some rv;
+              r.rvc_index <- ri
+            end
+        end;
+        d.pending.(t) <- true
+      end
+    | E.Write x ->
+      m.Metrics.writes <- m.Metrics.writes + 1;
+      if d.sample.Sampler.decide index e then begin
+        m.Metrics.sampled_accesses <- m.Metrics.sampled_accesses + 1;
+        let epoch = d.epochs.(t) in
+        let own = Epoch.make ~time:epoch ~tid:t in
+        if Epoch.equal d.writes.(x) own then
+          m.Metrics.same_epoch_hits <- m.Metrics.same_epoch_hits + 1
+        else begin
+          m.Metrics.race_checks <- m.Metrics.race_checks + 2;
+          let pw = if leq_sub d.writes.(x) ct ~t ~epoch then -1 else d.w_index.(x) in
+          let pr =
+            match d.reads.(x) with
+            | None -> -1
+            | Some r -> (
+              match r.rvc with
+              | None -> if leq_sub r.repoch ct ~t ~epoch then -1 else r.rindex
+              | Some rv ->
+                m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+                let rec stale i =
+                  if i >= Vc.size rv then -1
+                  else if Vc.get rv i > (if i = t then epoch else Vc.get ct i)
+                  then r.rvc_index.(i)
+                  else stale (i + 1)
+                in
+                stale 0)
+          in
+          let with_write = pw >= 0 and with_read = pr >= 0 in
+          if with_write || with_read then
+            declare d index t x ~with_write ~with_read
+              ~prior:(if with_write then pw else pr);
+          d.writes.(x) <- own;
+          d.w_index.(x) <- index;
+          (* a successful shared-read check lets us fall back to epoch mode *)
+          match d.reads.(x) with
+          | Some r when r.rvc <> None && not with_read ->
+            r.rvc <- None;
+            r.repoch <- Epoch.none
+          | Some _ | None -> ()
+        end;
+        d.pending.(t) <- true
+      end
+    | E.Acquire l | E.Acquire_load l ->
+      m.Metrics.acquires <- m.Metrics.acquires + 1;
+      if Policy.uclock then (
+        match d.lock_lr.(l) with
+        | -1 -> m.Metrics.acquires_skipped <- m.Metrics.acquires_skipped + 1
+        | lr ->
+          let ul = Option.get d.lock_uclocks.(l) in
+          if Vc.get ul lr <= Vc.get d.uclocks.(t) lr then
+            m.Metrics.acquires_skipped <- m.Metrics.acquires_skipped + 1
+          else absorb d t ~src_c:(Option.get d.lock_clocks.(l)) ~src_u:ul)
+      else (
+        match d.lock_clocks.(l) with
+        | None -> ()
+        | Some cl ->
+          m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+          Vc.join ~into:ct cl)
+    | E.Release l ->
+      m.Metrics.releases <- m.Metrics.releases + 1;
+      flush_pending d t;
+      if Policy.uclock then begin
+        d.lock_lr.(l) <- t;
+        match d.lock_uclocks.(l) with
+        | Some ul when Vc.get ul t = Vc.get d.uclocks.(t) t -> ()
+        | Some _ | None -> publish d t l
+      end
+      else begin
+        m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+        m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
+        Vc.copy_into ~into:(lock_clock d l) ct
+      end
+    | E.Release_store l ->
+      (* non-monotonic lock clock: never skip the release side *)
+      m.Metrics.releases <- m.Metrics.releases + 1;
+      flush_pending d t;
+      if Policy.uclock then begin
+        d.lock_lr.(l) <- t;
+        publish d t l
+      end
+      else begin
+        m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+        m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
+        Vc.copy_into ~into:(lock_clock d l) ct
+      end
+    | E.Fork u ->
+      m.Metrics.releases <- m.Metrics.releases + 1;
+      flush_pending d t;
+      if Policy.uclock then begin
+        m.Metrics.releases_processed <- m.Metrics.releases_processed + 1;
+        m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 2;
+        Vc.join ~into:d.uclocks.(u) d.uclocks.(t);
+        let changed = Vc.join_count ~into:d.clocks.(u) ct in
+        if changed > 0 then
+          Vc.set d.uclocks.(u) u (Vc.get d.uclocks.(u) u + changed)
+      end
+      else begin
+        m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+        Vc.join ~into:d.clocks.(u) ct
+      end
+    | E.Join u ->
+      m.Metrics.acquires <- m.Metrics.acquires + 1;
+      (* the child's end acts as its final release *)
+      flush_pending d u;
+      if Policy.uclock then absorb d t ~src_c:d.clocks.(u) ~src_u:d.uclocks.(u)
+      else begin
+        m.Metrics.vc_full_ops <- m.Metrics.vc_full_ops + 1;
+        Vc.join ~into:ct d.clocks.(u)
+      end
+
+  let result d =
+    { Detector.engine = name; races = List.rev d.races; metrics = d.metrics }
+
+  let races_rev d = d.races
+
+  let note_sampled d t = d.pending.(t) <- true
+
+  let encode_read_state enc (r : read_state) =
+    Epoch.encode enc r.repoch;
+    Snap.Enc.int enc r.rindex;
+    Snap.Enc.option enc
+      (fun rv ->
+        Vc.encode enc rv;
+        Snap.Enc.int_array enc r.rvc_index)
+      r.rvc
+
+  let decode_read_state dec ~size =
+    let repoch = Epoch.decode dec in
+    let rindex = Snap.Dec.int dec in
+    match
+      Snap.Dec.option dec (fun () ->
+          let rv = Vc.decode dec ~size in
+          let ri = Snap.Dec.int_array_n dec size in
+          (rv, ri))
+    with
+    | None -> { repoch; rindex; rvc = None; rvc_index = [||] }
+    | Some (rv, ri) -> { repoch; rindex; rvc = Some rv; rvc_index = ri }
+
+  let snapshot d =
+    let enc = Snap.Enc.create () in
+    d.sample.Sampler.save enc;
+    Array.iter (Vc.encode enc) d.clocks;
+    if Policy.uclock then Array.iter (Vc.encode enc) d.uclocks;
+    Snap.Enc.int_array enc d.epochs;
+    Snap.Enc.bool_array enc d.pending;
+    Array.iter (fun c -> Snap.Enc.option enc (Vc.encode enc) c) d.lock_clocks;
+    if Policy.uclock then begin
+      Array.iter (fun c -> Snap.Enc.option enc (Vc.encode enc) c) d.lock_uclocks;
+      Snap.Enc.int_array enc d.lock_lr
+    end;
+    Array.iter (Epoch.encode enc) d.writes;
+    Snap.Enc.int_array enc d.w_index;
+    Array.iter (fun r -> Snap.Enc.option enc (encode_read_state enc) r) d.reads;
+    Metrics.encode enc d.metrics;
+    Race.encode_list enc d.races;
+    Snap.Enc.to_snap enc
+
+  let restore (cfg : Detector.config) s =
+    let d = create cfg in
+    let dec = Snap.Dec.of_snap s in
+    let n = d.nthreads in
+    d.sample.Sampler.load dec;
+    for t = 0 to Array.length d.clocks - 1 do
+      d.clocks.(t) <- Vc.decode dec ~size:n
+    done;
+    if Policy.uclock then
+      for t = 0 to Array.length d.uclocks - 1 do
+        d.uclocks.(t) <- Vc.decode dec ~size:n
+      done;
+    let epochs = Snap.Dec.int_array_n dec n in
+    Array.blit epochs 0 d.epochs 0 n;
+    let pending = Snap.Dec.bool_array_n dec n in
+    Array.blit pending 0 d.pending 0 n;
+    for l = 0 to Array.length d.lock_clocks - 1 do
+      d.lock_clocks.(l) <- Snap.Dec.option dec (fun () -> Vc.decode dec ~size:n)
+    done;
+    if Policy.uclock then begin
+      for l = 0 to Array.length d.lock_uclocks - 1 do
+        d.lock_uclocks.(l) <- Snap.Dec.option dec (fun () -> Vc.decode dec ~size:n)
+      done;
+      let lock_lr = Snap.Dec.int_array_n dec (Array.length d.lock_lr) in
+      Array.blit lock_lr 0 d.lock_lr 0 (Array.length lock_lr)
+    end;
+    for x = 0 to Array.length d.writes - 1 do
+      d.writes.(x) <- Epoch.decode dec
+    done;
+    let w_index = Snap.Dec.int_array_n dec (Array.length d.w_index) in
+    Array.blit w_index 0 d.w_index 0 (Array.length w_index);
+    for x = 0 to Array.length d.reads - 1 do
+      d.reads.(x) <- Snap.Dec.option dec (fun () -> decode_read_state dec ~size:n)
+    done;
+    let metrics = Metrics.decode dec in
+    d.races <- Race.decode_list dec;
+    Snap.Dec.finish dec;
+    { d with metrics }
+
+  end
+
+  include Make (struct
+    let name = "o1"
+    let uclock = false
+  end)
+end
+
+module Sampling_o1_uclock = struct
+  include Sampling_o1.Make (struct
+    let name = "o1-u"
+    let uclock = true
+  end)
+end
+
 (* The seed grid: every engine the flat rebuild must stay byte-identical
    to.  Fasttrack_tc and Eraser are untouched by the overhaul, so the grid
-   anchors on these seven. *)
+   anchors on these seven — plus the two O(1)-samples references above,
+   which the production engines must match report-for-report. *)
 let detector : Ft_core.Engine.id -> Detector.packed option = function
   | Ft_core.Engine.Djit -> Some (module Djitp)
   | Ft_core.Engine.Fasttrack -> Some (module Fasttrack)
@@ -1506,6 +1897,8 @@ let detector : Ft_core.Engine.id -> Detector.packed option = function
   | Ft_core.Engine.So -> Some (module Sampling_ordered_list)
   | Ft_core.Engine.Sl -> Some (module Sampling_lazy)
   | Ft_core.Engine.Sn -> Some (module Sampling_uclock_noskip)
+  | Ft_core.Engine.O1 -> Some (module Sampling_o1)
+  | Ft_core.Engine.O1u -> Some (module Sampling_o1_uclock)
   | Ft_core.Engine.Fasttrack_tc | Ft_core.Engine.Eraser -> None
 
 let run id ?sampler ?clock_size trace =

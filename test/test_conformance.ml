@@ -225,7 +225,7 @@ let scenarios =
 
 let full_engines =
   [ Engine.Djit; Engine.Fasttrack; Engine.Fasttrack_tc; Engine.St; Engine.Su; Engine.So;
-    Engine.Sl ]
+    Engine.Sl; Engine.O1; Engine.O1u ]
 
 let trace_of s = Trace.validate (Trace.of_events (Array.of_list s.events))
 
@@ -261,7 +261,7 @@ let test_sampling_sides () =
         (run [| false; false; true; false |] engine);
       Alcotest.(check (list int)) (name ^ ": neither") []
         (run [| false; false; false; false |] engine))
-    [ Engine.St; Engine.Su; Engine.So; Engine.Sl ]
+    [ Engine.St; Engine.Su; Engine.So; Engine.Sl; Engine.O1; Engine.O1u ]
 
 let () =
   Alcotest.run "conformance"

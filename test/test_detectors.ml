@@ -16,7 +16,7 @@ let run_litmus engine (l : Litmus.t) =
 
 let run_all_mask engine trace = Engine.run engine ~sampler:Sampler.all trace
 
-let sampling_engines = [ Engine.St; Engine.Su; Engine.So ]
+let sampling_engines = [ Engine.St; Engine.Su; Engine.So; Engine.O1; Engine.O1u ]
 let full_engines = [ Engine.Djit; Engine.Fasttrack ]
 
 let check_locations msg expected (r : Detector.result) =
@@ -212,7 +212,7 @@ let test_su_reacquire_own_lock_skips () =
       let m = r.Detector.metrics in
       Alcotest.(check int) (Engine.name engine ^ " second acquire skipped") 2
         m.Metrics.acquires_skipped)
-    [ Engine.Su; Engine.So ]
+    [ Engine.Su; Engine.So; Engine.O1u ]
 
 let test_su_second_release_skipped () =
   (* releasing again with no new information skips the copy in SU *)
@@ -252,14 +252,56 @@ let test_sampler_none_detects_nothing () =
         r.Detector.metrics.Metrics.sampled_accesses)
     sampling_engines
 
+(* Table-driven registry guard: canonical name and every alias per engine.
+   A new [Engine.id] constructor must be added here — and a missed
+   [of_name]/[name] arm shows up as a table mismatch instead of a CLI
+   error in the field. *)
+let registry_table =
+  [
+    (Engine.Djit, "djit", []);
+    (Engine.Fasttrack, "fasttrack", [ "ft" ]);
+    (Engine.Fasttrack_tc, "fasttrack-tc", [ "ft-tc"; "tc" ]);
+    (Engine.St, "st", []);
+    (Engine.Su, "su", []);
+    (Engine.So, "so", []);
+    (Engine.Sl, "sl", [ "so-nomtf" ]);
+    (Engine.Sn, "su-noskip", [ "sn" ]);
+    (Engine.O1, "o1", [ "o1-samples" ]);
+    (Engine.O1u, "o1-u", [ "o1u" ]);
+    (Engine.Eraser, "eraser", [ "lockset" ]);
+  ]
+
 let test_engine_registry () =
-  Alcotest.(check int) "eight engines" 8 (List.length Engine.all);
+  Alcotest.(check int) "ten HB-exact engines" 10 (List.length Engine.all);
+  (* the table covers exactly [all] plus the lockset baseline, in order *)
+  Alcotest.(check (list string))
+    "table matches Engine.all"
+    (List.map Engine.name Engine.all @ [ "eraser" ])
+    (List.map (fun (_, canonical, _) -> canonical) registry_table);
+  List.iter
+    (fun (id, canonical, aliases) ->
+      Alcotest.(check string) "canonical name" canonical (Engine.name id);
+      List.iter
+        (fun n ->
+          match Engine.of_name n with
+          | Some id' ->
+            Alcotest.(check bool) (n ^ " resolves to " ^ canonical) true (id = id')
+          | None -> Alcotest.failf "of_name %S failed" n)
+        (canonical :: aliases))
+    registry_table;
+  (* canonical names are unique *)
+  let names = List.map (fun (_, n, _) -> n) registry_table in
+  Alcotest.(check int) "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
   List.iter
     (fun id ->
-      match Engine.of_name (Engine.name id) with
-      | Some id' -> Alcotest.(check bool) "roundtrip" true (id = id')
-      | None -> Alcotest.fail "of_name failed")
-    Engine.all;
+      Alcotest.(check bool)
+        (Engine.name id ^ " honours the sampler — in sampling_engines")
+        true
+        (List.mem id Engine.sampling_engines))
+    [ Engine.St; Engine.Su; Engine.So; Engine.O1; Engine.O1u ];
+  Alcotest.(check bool) "eraser not in all" false (List.mem Engine.Eraser Engine.all);
   Alcotest.(check bool) "unknown name" true (Engine.of_name "nope" = None)
 
 let test_metrics_arithmetic () =

@@ -230,7 +230,7 @@ let reported_pairs_are_races s =
   let sampling_ok =
     List.for_all
       (fun engine -> check ~check_sampled:true (run_sampling engine trace sampled))
-      [ Engine.St; Engine.Su; Engine.So; Engine.Sl; Engine.Sn ]
+      [ Engine.St; Engine.Su; Engine.So; Engine.Sl; Engine.Sn; Engine.O1; Engine.O1u ]
   in
   full_ok && sampling_ok
 
@@ -241,7 +241,7 @@ let priors_always_present s =
     (fun engine ->
       let result = run_sampling engine trace sampled in
       List.for_all (fun r -> r.Race.prior <> None) result.Detector.races)
-    [ Engine.St; Engine.Su; Engine.So; Engine.Sl ]
+    [ Engine.St; Engine.Su; Engine.So; Engine.Sl; Engine.O1; Engine.O1u ]
 
 (* Sampling can only shrink the set of racy locations. *)
 let sampled_locations_subset_of_full s =
@@ -284,6 +284,68 @@ let su_skips_at_least_so s =
   let so = (run_sampling Engine.So trace sampled).Detector.metrics in
   su.Metrics.acquires_skipped >= so.Metrics.acquires_skipped
 
+(* ---- the O(1)-samples engine (follow-up paper) ------------------------ *)
+
+(* At a 100% sampling rate the adaptive sample state coincides with
+   FastTrack's access by access, so the race report — indices, directions,
+   priors — is byte-identical to FastTrack's.  The freshness-clock variant
+   only skips no-op sync transfers, so it must agree too. *)
+let o1_full_rate_is_fasttrack s =
+  let trace, _ = materialize s in
+  let ft = (Engine.run Engine.Fasttrack trace).Detector.races in
+  (Engine.run Engine.O1 ~sampler:Sampler.all trace).Detector.races = ft
+  && (Engine.run Engine.O1u ~sampler:Sampler.all trace).Detector.races = ft
+
+(* Below 100%: o1 retains at most O(1) of ST's per-location history, so its
+   verdict set can only shrink — every o1 race index is an ST race index. *)
+let o1_races_subset_of_st s =
+  let trace, sampled = materialize s in
+  let ist = Race.indices (run_sampling Engine.St trace sampled).Detector.races in
+  let io1 = Race.indices (run_sampling Engine.O1 trace sampled).Detector.races in
+  List.for_all (fun i -> List.mem i ist) io1
+
+(* …but per racy location it still reports at least one race: FastTrack's
+   per-variable coverage argument, restricted to the sampled subsequence.
+   Equality with the brute-force oracle pins both directions. *)
+let o1_locations_match_oracle s =
+  let trace, sampled = materialize s in
+  let expected = Hb.racy_locations trace ~sampled in
+  Detector.racy_locations (run_sampling Engine.O1 trace sampled) = expected
+  && Detector.racy_locations (run_sampling Engine.O1u trace sampled) = expected
+
+(* Divergence accounting: every ST race event the o1 engine drops is at a
+   location the o1 engine has already covered — the O(1) state loses
+   re-declarations, never first detections. *)
+let o1_divergence_is_covered s =
+  let trace, sampled = materialize s in
+  let r1 = run_sampling Engine.O1 trace sampled in
+  let rst = run_sampling Engine.St trace sampled in
+  let io1 = Race.indices r1.Detector.races in
+  let covered = Detector.racy_locations r1 in
+  List.for_all
+    (fun race ->
+      List.mem race.Race.index io1 || List.mem race.Race.loc covered)
+    rst.Detector.races
+
+(* The uclock skips never change clock contents, so the two family members
+   report byte-identical races on every sampled set. *)
+let o1_family_identical s =
+  let trace, sampled = materialize s in
+  (run_sampling Engine.O1 trace sampled).Detector.races
+  = (run_sampling Engine.O1u trace sampled).Detector.races
+
+(* The per-sample cost bound that names the algorithm: every sample costs
+   O(1) epoch checks (two per write, one per read), and a full-clock
+   traversal only on a sampled write to a genuinely read-shared location —
+   at most one per sample on top of the sync work, which is ST's exactly. *)
+let o1_sample_cost_bound s =
+  let trace, sampled = materialize s in
+  let o1 = (run_sampling Engine.O1 trace sampled).Detector.metrics in
+  let st = (run_sampling Engine.St trace sampled).Detector.metrics in
+  o1.Metrics.sampled_accesses = st.Metrics.sampled_accesses
+  && o1.Metrics.race_checks <= 2 * o1.Metrics.sampled_accesses
+  && o1.Metrics.vc_full_ops <= st.Metrics.vc_full_ops + o1.Metrics.sampled_accesses
+
 let tests =
   [
     mk "Prop 1 (C_FT characterizes HB)" prop1;
@@ -302,6 +364,12 @@ let tests =
     mk "format round-trip preserves races" format_roundtrip_preserves_races;
     mk "reported pairs are genuine races" reported_pairs_are_races;
     mk "priors always present" priors_always_present;
+    mk "O1 at 100%% = FastTrack byte-for-byte" o1_full_rate_is_fasttrack;
+    mk "O1 race events ⊆ ST race events" o1_races_subset_of_st;
+    mk "O1 racy locations = oracle" o1_locations_match_oracle;
+    mk "O1 divergence from ST is covered" o1_divergence_is_covered;
+    mk "O1 ≡ O1-U race reports" o1_family_identical;
+    mk "O1 per-sample cost bound" o1_sample_cost_bound;
   ]
 
 let () =

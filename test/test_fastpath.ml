@@ -387,7 +387,7 @@ let same_verdict ~events ~what (flat : Detector.result) (reference : Detector.re
     (Serve.report_text ~events reference)
     (Serve.report_text ~events flat)
 
-let grid_engines = Engine.[ Djit; Fasttrack; St; Su; So; Sl; Sn ]
+let grid_engines = Engine.[ Djit; Fasttrack; St; Su; So; Sl; Sn; O1; O1u ]
 
 let grid_samplers () =
   [

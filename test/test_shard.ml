@@ -256,6 +256,32 @@ let test_litmus_pending_mark_crosses_shards () =
       ev 0 (Event.Write b);
     ]
 
+(* The O(1)-samples engines keep no per-location clocks: everything a shard
+   knows about a remote thread's sampled activity arrives as a pending-bit
+   mark.  This trace makes the mark the only driver of the epoch flushes —
+   the accesses live on shard 1 (K=4), while the flush decisions they feed
+   (the o1-u release-side skip at e4, the re-publish at e6, the re-acquire
+   skip at e3) are broadcast and must replay identically on every shard and
+   on the sync-only baseline instance, or the merged skip/publish counters
+   and the final read-write race on [a] diverge from the unsharded run. *)
+let test_litmus_note_sampled_replication () =
+  let a = loc_on_shard 1 ~from:0 in
+  let nlocs = a + 1 in
+  litmus_check
+    ~engines:[ Engine.Djit; Engine.O1; Engine.O1u; Engine.Su; Engine.So ]
+    ~nthreads:2 ~nlocks:1 ~nlocs ~expect_racy:[ a ]
+    [
+      ev 0 (Event.Acquire 0);
+      ev 0 (Event.Read a);     (* pending mark crosses to every shard *)
+      ev 0 (Event.Release 0);  (* flush: first publish *)
+      ev 0 (Event.Acquire 0);  (* nothing fresh: acquire-side skip *)
+      ev 0 (Event.Release 0);  (* no sample since flush: release-side skip *)
+      ev 0 (Event.Acquire 0);
+      ev 0 (Event.Read a);     (* second mark, same location *)
+      ev 0 (Event.Release 0);  (* flush again: must re-publish *)
+      ev 1 (Event.Write a);    (* races with both sampled reads *)
+    ]
+
 (* --- sharded snapshot / restore --------------------------------------------- *)
 
 let test_sharded_snapshot_restore () =
@@ -400,6 +426,8 @@ let () =
             test_litmus_fork_join_edge;
           Alcotest.test_case "pending mark crosses shards" `Quick
             test_litmus_pending_mark_crosses_shards;
+          Alcotest.test_case "note_sampled replication drives o1 flushes" `Quick
+            test_litmus_note_sampled_replication;
         ] );
       ( "snapshots",
         [

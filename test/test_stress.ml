@@ -7,6 +7,7 @@ module Engine = Ft_core.Engine
 module Detector = Ft_core.Detector
 module Sampler = Ft_core.Sampler
 module Metrics = Ft_core.Metrics
+module Race = Ft_core.Race
 module Db_sim = Ft_workloads.Db_sim
 module Trace_gen = Ft_trace.Trace_gen
 module Prng = Ft_support.Prng
@@ -31,7 +32,8 @@ let test_engines_complete () =
         (Engine.name engine ^ " processed everything")
         (Trace.length (Lazy.force big_trace))
         result.Detector.metrics.Metrics.events)
-    [ Engine.St; Engine.Su; Engine.So; Engine.Fasttrack; Engine.Fasttrack_tc ]
+    [ Engine.St; Engine.Su; Engine.So; Engine.O1; Engine.O1u; Engine.Fasttrack;
+      Engine.Fasttrack_tc ]
 
 let test_so_bounds_at_scale () =
   let m = (run Engine.So).Detector.metrics in
@@ -88,7 +90,26 @@ let test_sampling_engines_agree_sweep () =
         (label ^ ": SO entries_traversed ≤ SU vc_full_ops · T")
         true
         (so.Detector.metrics.Metrics.entries_traversed
-        <= su.Detector.metrics.Metrics.vc_full_ops * nthreads))
+        <= su.Detector.metrics.Metrics.vc_full_ops * nthreads);
+      (* the O(1)-samples family at scale: a verdict subset of ST with the
+         same racy locations, o1 ≡ o1-u, and ≤ 2 race checks per sample *)
+      let o1 = run Engine.O1 and o1u = run Engine.O1u in
+      Alcotest.(check bool) (label ^ ": o1 ≡ o1-u races") true
+        (o1.Detector.races = o1u.Detector.races);
+      let indices r =
+        List.map (fun (rc : Race.t) -> rc.Race.index) r.Detector.races
+      in
+      let st_idx = indices st in
+      Alcotest.(check bool) (label ^ ": o1 races ⊆ ST races") true
+        (List.for_all (fun i -> List.mem i st_idx) (indices o1));
+      Alcotest.(check (list int))
+        (label ^ ": o1 racy locations = ST's")
+        (Detector.racy_locations st) (Detector.racy_locations o1);
+      Alcotest.(check bool)
+        (label ^ ": o1 race_checks ≤ 2·|S|")
+        true
+        (o1.Detector.metrics.Metrics.race_checks
+        <= 2 * o1.Detector.metrics.Metrics.sampled_accesses))
     sweep_cases
 
 let () =
