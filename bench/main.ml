@@ -26,6 +26,9 @@ module Harness = Ft_tsan.Harness
 module Experiment = Ft_rapid.Experiment
 module Json = Ft_obs.Json
 module Metrics = Ft_core.Metrics
+module Serve = Ft_shard.Serve
+module Router = Ft_cluster.Router
+module Loadgen = Ft_cluster.Loadgen
 
 (* --- options -------------------------------------------------------------- *)
 
@@ -48,7 +51,7 @@ let parse_args () =
     [
       ( "--figure",
         Arg.String (fun s -> options.figure <- s),
-        "FIG  only this figure (5a..9, ablation, shards)" );
+        "FIG  only this figure (5a..9, ablation, shards, cluster)" );
       ("--full", Arg.Unit (fun () -> options.full <- true), "  paper-scale sizes");
       ("--no-bechamel", Arg.Unit (fun () -> options.bechamel <- false), "  skip micro-timings");
       ("--events", Arg.Int (fun n -> options.events <- Some n), "N  events per DB trace");
@@ -340,6 +343,108 @@ let run_shard_grid ~target_events ~jobs:_ =
         [ 1; 2; 4; 8 ])
     workloads
 
+(* --- cluster scaling --------------------------------------------------------- *)
+
+(* Routed-ingest throughput of the K-process cluster: a forked router
+   partitions locations across K worker processes (each a domain-sharded
+   serve daemon); the load generator streams a db_sim trace over two client
+   connections and fetches the final REPORT, which must be byte-identical
+   to the in-process analysis.  Runs before any figure that spawns domains:
+   the router forks, and forking a multi-domain process is not safe. *)
+let run_cluster_grid ~target_events =
+  print_newline ();
+  print_endline "Cluster scaling: SO engine routed across K worker processes";
+  print_endline "===========================================================";
+  let trace =
+    match Loadgen.db_trace ~workload:"tpcc" ~seed:7 ~events:target_events with
+    | Ok t -> t
+    | Error msg -> failwith ("cluster grid: " ^ msg)
+  in
+  let rate = 0.1 in
+  let sampler = Sampler.bernoulli ~rate ~seed:7 in
+  let events = Trace.length trace in
+  let expected = Serve.report_text ~events (Engine.run Engine.So ~sampler trace) in
+  List.iter
+    (fun workers ->
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ftbench-cluster-%d-%d" (Unix.getpid ()) workers)
+      in
+      let socket = Filename.concat dir "route.sock" in
+      Unix.mkdir dir 0o700;
+      let cfg =
+        {
+          Router.listen = Serve.Unix_path socket;
+          workers;
+          worker_shards = 1;
+          engine = Engine.So;
+          sampler;
+          clock_size = None;
+          dir = Filename.concat dir "run";
+          worker_tcp = false;
+          checkpoint = true;
+          max_parked = Serve.default_max_parked;
+          backlog = Serve.default_backlog;
+          ready_file = None;
+          heartbeat_s = None;
+          metrics_json = None;
+          max_respawns = Router.default_max_respawns;
+          chaos = None;
+        }
+      in
+      let pid =
+        match Unix.fork () with
+        | 0 ->
+          (try Router.run cfg with _ -> Unix._exit 1);
+          Unix._exit 0
+        | pid -> pid
+      in
+      let reaped = ref false in
+      let finish () =
+        if not !reaped then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        end;
+        let rec rm path =
+          match (Unix.lstat path).Unix.st_kind with
+          | Unix.S_DIR ->
+            Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+            Unix.rmdir path
+          | _ -> Sys.remove path
+          | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+        in
+        rm dir
+      in
+      Fun.protect ~finally:finish @@ fun () ->
+      match Loadgen.drive ~clients:2 ~addr:(Serve.Unix_path socket) trace with
+      | Error msg -> failwith (Printf.sprintf "cluster grid K=%d: %s" workers msg)
+      | Ok (r, report) ->
+        if report <> expected then
+          failwith
+            (Printf.sprintf "cluster grid: K=%d REPORT diverged from analyze" workers);
+        (* Graceful stop, then wait for the router to finish tearing its
+           workers down before the dir is removed — killing it early
+           orphans worker processes mid-checkpoint. *)
+        (let fd = Serve.connect (Serve.Unix_path socket) in
+         (match Serve.shutdown fd with Ok () | Error _ -> ());
+         Serve.close fd);
+        ignore (Unix.waitpid [] pid);
+        reaped := true;
+        add_row "cluster"
+          [ ("workload", Json.Str "db:tpcc");
+            ("engine", Json.Str (Engine.name Engine.So));
+            ("rate", jf rate);
+            ("workers", Json.Int workers);
+            ("clients", Json.Int r.Loadgen.clients);
+            ("events", Json.Int r.Loadgen.events);
+            ("wall_s", jf r.Loadgen.wall_s);
+            ("events_per_s", jf r.Loadgen.events_per_s);
+            ("send_ms_mean", jf r.Loadgen.send_ms_mean);
+            ("send_ms_p99", jf r.Loadgen.send_ms_p99) ];
+        Printf.printf "  K=%d  %s  (REPORT ≡ analyze)\n%!" workers (Loadgen.summary r))
+    [ 1; 2; 4 ]
+
 (* --- fig7 grid throughput --------------------------------------------------- *)
 
 (* Events/sec over the Fig 7 grid (classic benchmarks × engine × sampling
@@ -438,6 +543,8 @@ let () =
     "freshtrack bench: events/db-trace=%d, offline runs=%d, scale=%d, clock=%d%s\n"
     target_events runs scale clock_size
     (if options.full then " (full)" else " (use --full for paper-scale sizes)");
+  (* Must precede every domain-spawning figure: the cluster grid forks. *)
+  if wants "cluster" then run_cluster_grid ~target_events:(target_events / 2);
   let tsan_figures = List.exists wants [ "5a"; "5b"; "6a"; "6b"; "6c" ] in
   let rapid_figures = List.exists wants [ "7"; "8"; "9" ] in
   if tsan_figures then begin

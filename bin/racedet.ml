@@ -21,6 +21,8 @@ module Db_sim = Ft_workloads.Db_sim
 module Classic = Ft_workloads.Classic
 module Sharded = Ft_shard.Sharded
 module Serve = Ft_shard.Serve
+module Router = Ft_cluster.Router
+module Loadgen = Ft_cluster.Loadgen
 module Clock = Ft_support.Clock
 module Json = Ft_obs.Json
 module Fault = Ft_fault.Fault
@@ -65,9 +67,51 @@ let shards_arg =
 
 let socket_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "TCP address to listen on instead of a Unix-domain socket. Port 0 \
+           binds an ephemeral port; combine with --ready-file to learn it.")
+
+let backlog_arg =
+  Arg.(
+    value
+    & opt int Serve.default_backlog
+    & info [ "backlog" ] ~docv:"N" ~doc:"listen(2) backlog.")
+
+let ready_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ready-file" ] ~docv:"FILE"
+        ~doc:
+          "Atomically publish the actual listen address (unix:PATH or \
+           tcp:HOST:PORT) to FILE once bound — how scripts learn an \
+           ephemeral TCP port.")
+
+(* exactly one of --socket / --tcp names the listen (or connect) address *)
+let resolve_addr ~socket ~tcp =
+  match (socket, tcp) with
+  | Some path, None -> Ok (Serve.Unix_path path)
+  | None, Some hostport -> Serve.tcp_of_string hostport
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | None, None -> Error "one of --socket or --tcp is required"
+
+(* --connect additionally accepts the ready-file syntax (unix:PATH /
+   tcp:HOST:PORT); a bare string stays a unix socket path *)
+let resolve_connect_addr ~connect ~tcp =
+  match (connect, tcp) with
+  | Some s, None -> Serve.addr_of_string s
+  | None, Some hostport -> Serve.tcp_of_string hostport
+  | Some _, Some _ -> Error "--connect and --tcp are mutually exclusive"
+  | None, None -> Error "one of --connect or --tcp is required"
 
 let chaos_arg =
   Arg.(
@@ -440,8 +484,8 @@ let serve_cmd =
                  fast with a non-zero exit, leaving the last good checkpoint set \
                  on disk.")
   in
-  let run socket engine shards rate seed clock_size checkpoint resume heartbeat metrics_json
-      max_restarts chaos =
+  let run socket tcp backlog ready_file engine shards rate seed clock_size checkpoint
+      resume heartbeat metrics_json max_restarts chaos =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
@@ -457,18 +501,18 @@ let serve_cmd =
           | None -> Ok None
           | Some spec -> Result.map Option.some (Fault.parse spec)
         in
-        match chaos_cfg with
-        | Error msg ->
+        match (chaos_cfg, resolve_addr ~socket ~tcp) with
+        | Error msg, _ | _, Error msg ->
           prerr_endline ("racedet: " ^ msg);
           1
-        | Ok chaos ->
+        | Ok chaos, Ok listen ->
           let sampler =
             if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
           in
           (try
              Serve.run
                {
-                 Serve.socket;
+                 Serve.listen;
                  engine = id;
                  shards;
                  sampler;
@@ -476,6 +520,8 @@ let serve_cmd =
                  checkpoint_dir = checkpoint;
                  resume_dir = resume;
                  max_parked = Serve.default_max_parked;
+                 backlog;
+                 ready_file;
                  heartbeat_s = (if heartbeat > 0.0 then Some heartbeat else None);
                  metrics_json;
                  max_restarts;
@@ -493,25 +539,32 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const run $ socket_arg $ engine $ shards_arg $ rate_arg $ seed_arg
-      $ clock_size_arg $ checkpoint $ resume $ heartbeat $ metrics_json
-      $ max_restarts $ chaos_arg)
+      const run $ socket_arg $ tcp_arg $ backlog_arg $ ready_file_arg $ engine
+      $ shards_arg $ rate_arg $ seed_arg $ clock_size_arg $ checkpoint $ resume
+      $ heartbeat $ metrics_json $ max_restarts $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Ingestion daemon: accept .ftb event batches over a Unix-domain socket, \
-          feed a (sharded) online detector, answer REPORT queries. Runs until a \
-          client sends SHUTDOWN, SIGTERM or SIGINT (all three drain, write a \
-          final checkpoint and dump --metrics-json before exiting).")
+         "Ingestion daemon: accept .ftb event batches over a Unix-domain socket \
+          or TCP ($(b,--tcp)), feed a (sharded) online detector, answer REPORT \
+          queries. Runs until a client sends SHUTDOWN, SIGTERM or SIGINT (all \
+          three drain, write a final checkpoint and dump --metrics-json before \
+          exiting).")
     term
 
 (* --- emit ------------------------------------------------------------------ *)
 
 let emit_cmd =
   let connect =
-    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"PATH"
-           ~doc:"Unix-domain socket of a running $(b,racedet serve).")
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of a running $(b,racedet serve) or \
+                 $(b,racedet route).")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP address of a running $(b,racedet serve) or \
+                 $(b,racedet route) (alternative to $(b,--connect)).")
   in
   let file =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE"
@@ -546,7 +599,8 @@ let emit_cmd =
     Arg.(value & flag & info [ "stats-json" ]
            ~doc:"Fetch and print the server's telemetry as a JSON document.")
   in
-  let run connect file batch stride offset report stats stats_json shutdown_flag seed chaos =
+  let run connect tcp file batch stride offset report stats stats_json shutdown_flag seed
+      chaos =
     if batch < 1 then begin
       prerr_endline "racedet: --batch must be positive";
       1
@@ -558,14 +612,20 @@ let emit_cmd =
     else begin
       let exception Fail of string in
       with_chaos chaos @@ fun () ->
-      match Serve.connect_stats ~seed connect with
+      match resolve_connect_addr ~connect ~tcp with
+      | Error msg ->
+        prerr_endline ("racedet: " ^ msg);
+        1
+      | Ok addr -> (
+      let name = Serve.addr_to_string addr in
+      match Serve.connect_stats ~seed addr with
       | exception Unix.Unix_error (err, fn, _) ->
-        Printf.eprintf "racedet: cannot connect to %s: %s: %s\n" connect fn
+        Printf.eprintf "racedet: cannot connect to %s: %s: %s\n" name fn
           (Unix.error_message err);
         1
       | fd, attempts ->
         if attempts > 1 then
-          Printf.eprintf "racedet: connected to %s after %d attempts\n%!" connect attempts;
+          Printf.eprintf "racedet: connected to %s after %d attempts\n%!" name attempts;
         let code = ref 0 in
         (try
            (match file with
@@ -635,19 +695,188 @@ let emit_cmd =
           Printf.eprintf "racedet: %s: %s\n" fn (Unix.error_message err);
           code := 1);
         Serve.close fd;
-        !code
+        !code)
     end
   in
   let term =
     Term.(
-      const run $ connect $ file $ batch $ stride $ offset $ report $ stats_flag
+      const run $ connect $ tcp $ file $ batch $ stride $ offset $ report $ stats_flag
       $ stats_json_flag $ shutdown_flag $ seed_arg $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "emit"
        ~doc:
-         "Stream a trace to a $(b,racedet serve) daemon in indexed batches; \
-          optionally fetch the report and/or shut the server down.")
+         "Stream a trace to a $(b,racedet serve) or $(b,racedet route) daemon in \
+          indexed batches; optionally fetch the report and/or shut the server \
+          down.")
+    term
+
+(* --- route ----------------------------------------------------------------- *)
+
+let route_cmd =
+  let engine =
+    Arg.(value & opt string "so" & info [ "engine" ] ~docv:"ENGINE" ~doc:engine_doc)
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"K"
+           ~doc:"Worker processes to partition locations across (consistent \
+                 hashing). Reports stay byte-identical to a single-process \
+                 analyze for every K.")
+  in
+  let worker_shards =
+    Arg.(value & opt int 1 & info [ "worker-shards" ] ~docv:"J"
+           ~doc:"Detector domains inside each worker process.")
+  in
+  let dir =
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Run directory: worker sockets, ready/pid files and per-worker \
+                 checkpoint directories live here (created if missing).")
+  in
+  let worker_tcp =
+    Arg.(value & flag & info [ "worker-tcp" ]
+           ~doc:"Workers listen on 127.0.0.1 ephemeral TCP ports instead of \
+                 Unix-domain sockets in --dir.")
+  in
+  let no_checkpoint =
+    Arg.(value & flag & info [ "no-checkpoint" ]
+           ~doc:"Disable per-batch worker checkpoints. Crash recovery then \
+                 replays the worker's entire routed log — slower, still exact.")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"On shutdown, write the router's telemetry JSON to FILE.")
+  in
+  let max_respawns =
+    Arg.(value & opt int Router.default_max_respawns & info [ "max-respawns" ] ~docv:"N"
+           ~doc:"Per-worker respawn budget; past it the router fails fast with a \
+                 non-zero exit.")
+  in
+  let run socket tcp backlog ready_file engine workers worker_shards dir worker_tcp
+      no_checkpoint rate seed clock_size metrics_json max_respawns chaos =
+    match Engine.of_name engine with
+    | None ->
+      prerr_endline ("racedet: unknown engine " ^ engine);
+      1
+    | Some id -> (
+      let chaos_cfg =
+        match chaos with
+        | None -> Ok None
+        | Some spec -> Result.map Option.some (Fault.parse spec)
+      in
+      match (chaos_cfg, resolve_addr ~socket ~tcp) with
+      | Error msg, _ | _, Error msg ->
+        prerr_endline ("racedet: " ^ msg);
+        1
+      | Ok chaos, Ok listen ->
+        let sampler =
+          if rate >= 1.0 then Sampler.all else Sampler.bernoulli ~rate ~seed
+        in
+        (try
+           Router.run
+             {
+               Router.listen;
+               workers;
+               worker_shards;
+               engine = id;
+               sampler;
+               clock_size;
+               dir;
+               worker_tcp;
+               checkpoint = not no_checkpoint;
+               max_parked = Serve.default_max_parked;
+               backlog;
+               ready_file;
+               heartbeat_s = None;
+               metrics_json;
+               max_respawns;
+               chaos;
+             };
+           0
+         with
+        | Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "racedet: route: %s(%s): %s\n" fn arg (Unix.error_message err);
+          1
+        | Failure msg ->
+          prerr_endline ("racedet: route: " ^ msg);
+          1))
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ tcp_arg $ backlog_arg $ ready_file_arg $ engine
+      $ workers $ worker_shards $ dir $ worker_tcp $ no_checkpoint $ rate_arg
+      $ seed_arg $ clock_size_arg $ metrics_json $ max_respawns $ chaos_arg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Cluster router: partition locations across K worker processes (each an \
+          unchanged $(b,racedet serve) underneath) by consistent hashing, speak \
+          the same BATCH protocol to clients, and merge the workers' partial \
+          results into a report byte-identical to a single-process analyze. \
+          Worker death and MIGRATE reuse the .ftc checkpoint/restore machinery.")
+    term
+
+(* --- loadgen ---------------------------------------------------------------- *)
+
+let loadgen_cmd =
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket of the daemon under load.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP address of the daemon under load.")
+  in
+  let workload =
+    Arg.(value & opt string "tpcc" & info [ "workload" ] ~docv:"NAME"
+           ~doc:"db_sim profile driving the generated trace (tpcc, ycsb, ...).")
+  in
+  let events =
+    Arg.(value & opt int 200_000 & info [ "events" ] ~docv:"N"
+           ~doc:"Target trace length.")
+  in
+  let batch =
+    Arg.(value & opt int 512 & info [ "batch" ] ~docv:"N" ~doc:"Events per batch.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"C"
+           ~doc:"Concurrent client connections (batch i goes to connection i mod C).")
+  in
+  let report =
+    Arg.(value & flag & info [ "report" ]
+           ~doc:"Print the server's final analysis report after the run.")
+  in
+  let run connect tcp workload events batch clients report seed =
+    match resolve_connect_addr ~connect ~tcp with
+    | Error msg ->
+      prerr_endline ("racedet: " ^ msg);
+      1
+    | Ok addr -> (
+      match Loadgen.db_trace ~workload ~seed ~events with
+      | Error msg ->
+        prerr_endline ("racedet: loadgen: " ^ msg);
+        1
+      | Ok trace -> (
+        match Loadgen.drive ~clients ~batch ~addr trace with
+        | Error msg ->
+          prerr_endline ("racedet: loadgen: " ^ msg);
+          1
+        | Ok (result, report_text) ->
+          print_endline (Loadgen.summary result);
+          if report then print_string report_text;
+          0))
+  in
+  let term =
+    Term.(
+      const run $ connect $ tcp $ workload $ events $ batch $ clients $ report
+      $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a $(b,racedet serve) or $(b,racedet route) daemon with a db_sim \
+          workload over several client connections, reporting ingest throughput \
+          and per-batch latency.")
     term
 
 (* --- compare --------------------------------------------------------------- *)
@@ -896,8 +1125,8 @@ let main_cmd =
   let info = Cmd.info "racedet" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      generate_cmd; analyze_cmd; serve_cmd; emit_cmd; compare_cmd; report_cmd;
-      oracle_cmd; experiments_cmd; list_cmd;
+      generate_cmd; analyze_cmd; serve_cmd; emit_cmd; route_cmd; loadgen_cmd;
+      compare_cmd; report_cmd; oracle_cmd; experiments_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

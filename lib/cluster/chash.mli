@@ -1,0 +1,21 @@
+(** Deterministic consistent-hash partition of locations across cluster
+    workers.
+
+    A 64-vnode-per-worker hash ring: [owner] is a pure function of
+    [(workers, location)], identical across processes, platforms and
+    restarts — the property the router's recovery protocol and the
+    byte-identity tests rest on — and changing the worker count moves only
+    ~1/K of the keyspace. *)
+
+type t
+
+val vnodes : int
+(** Virtual nodes per worker (64). *)
+
+val create : workers:int -> t
+(** Raises [Invalid_argument] when [workers < 1]. *)
+
+val workers : t -> int
+
+val owner : t -> Ft_trace.Event.loc -> int
+(** The worker owning a location, in [\[0, workers)]. *)

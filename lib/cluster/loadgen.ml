@@ -1,0 +1,98 @@
+module Trace = Ft_trace.Trace
+module Serve = Ft_shard.Serve
+module Clock = Ft_support.Clock
+module Histogram = Ft_obs.Histogram
+module Db_sim = Ft_workloads.Db_sim
+
+(* Load generator for the cluster and serve daemons: a {!Db_sim}-generated
+   trace pushed over C connections, batch i on connection (i mod C), in
+   global index order — so the server side exercises interleaved clients
+   without ever tripping the parked-batch bound.  Single process, no
+   domains: safe to run from a test or bench parent that also forks
+   routers. *)
+
+type result = {
+  events : int;
+  batches : int;
+  clients : int;
+  wall_s : float;
+  events_per_s : float;
+  send_ms_mean : float;  (* per-batch round trip: send + OK *)
+  send_ms_p99 : float;
+  send_ms_max : float;
+}
+
+let summary r =
+  Printf.sprintf
+    "loadgen: %d events in %d batches over %d conns, %.2fs (%.0f events/s), send mean=%.3fms p99=%.3fms max=%.3fms"
+    r.events r.batches r.clients r.wall_s r.events_per_s r.send_ms_mean r.send_ms_p99
+    r.send_ms_max
+
+let slices trace ~batch =
+  let n = Trace.length trace in
+  let rec go base acc =
+    if base >= n then List.rev acc
+    else begin
+      let len = Stdlib.min batch (n - base) in
+      let sub =
+        Trace.make ~nthreads:trace.Trace.nthreads ~nlocks:trace.Trace.nlocks
+          ~nlocs:trace.Trace.nlocs
+          (Array.init len (fun i -> Trace.get trace (base + i)))
+      in
+      go (base + len) ((base, sub) :: acc)
+    end
+  in
+  go 0 []
+
+let drive ?(clients = 2) ?(batch = 512) ?(deadline_s = 120.0) ~addr trace =
+  if clients < 1 then invalid_arg "Loadgen.drive: clients must be positive";
+  let batches = slices trace ~batch in
+  let conns =
+    Array.init clients (fun c -> Serve.connect ~deadline_s ~seed:(0x10ad + c) addr)
+  in
+  let hist = Histogram.create () in
+  let t0 = Clock.now_ns () in
+  let outcome =
+    List.fold_left
+      (fun acc (base, sub) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok sent -> (
+          let fd = conns.(sent mod clients) in
+          let s0 = Clock.now_ns () in
+          match Serve.send_batch ~deadline_s fd ~base sub with
+          | Ok _ ->
+            Histogram.observe hist (Int64.to_int (Int64.sub (Clock.now_ns ()) s0));
+            Ok (sent + 1)
+          | Error msg -> Error (Printf.sprintf "batch at %d: %s" base msg)))
+      (Ok 0) batches
+  in
+  let wall_s = Clock.elapsed_s ~since:t0 in
+  let finish () = Array.iter Serve.close conns in
+  match outcome with
+  | Error msg ->
+    finish ();
+    Error msg
+  | Ok sent ->
+    let report = Serve.fetch_report ~deadline_s conns.(0) in
+    finish ();
+    Result.map
+      (fun report ->
+        let events = Trace.length trace in
+        ( {
+            events;
+            batches = sent;
+            clients;
+            wall_s;
+            events_per_s = (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
+            send_ms_mean = Histogram.mean hist /. 1e6;
+            send_ms_p99 = float_of_int (Histogram.quantile hist 0.99) /. 1e6;
+            send_ms_max = float_of_int (Histogram.max_value hist) /. 1e6;
+          },
+          report ))
+      report
+
+let db_trace ~workload ~seed ~events =
+  match Db_sim.profile workload with
+  | None -> Error (Printf.sprintf "unknown db_sim workload %S" workload)
+  | Some p -> Ok (Db_sim.generate p ~seed ~target_events:events)

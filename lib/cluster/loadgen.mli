@@ -1,0 +1,35 @@
+(** Load generator for the serve and cluster daemons.
+
+    Pushes a trace over several concurrent client connections (batch [i]
+    on connection [i mod clients], in global index order), measuring
+    per-batch round-trip latency and end-to-end ingest throughput, then
+    fetches the final [REPORT].  Single process, no domains — safe in a
+    parent that also forks routers. *)
+
+type result = {
+  events : int;
+  batches : int;
+  clients : int;
+  wall_s : float;
+  events_per_s : float;
+  send_ms_mean : float;
+  send_ms_p99 : float;
+  send_ms_max : float;
+}
+
+val summary : result -> string
+(** One human-readable line. *)
+
+val drive :
+  ?clients:int ->
+  ?batch:int ->
+  ?deadline_s:float ->
+  addr:Ft_shard.Serve.addr ->
+  Ft_trace.Trace.t ->
+  (result * string, string) Stdlib.result
+(** Send the whole trace ([clients] defaults to 2, [batch] to 512 events),
+    returning the measurements and the server's final report text. *)
+
+val db_trace :
+  workload:string -> seed:int -> events:int -> (Ft_trace.Trace.t, string) Stdlib.result
+(** A {!Ft_workloads.Db_sim} trace by profile name ([tpcc], [ycsb], …). *)

@@ -1,0 +1,725 @@
+module Trace = Ft_trace.Trace
+module Trace_binary = Ft_trace.Trace_binary
+module Event = Ft_trace.Event
+module Detector = Ft_core.Detector
+module Engine = Ft_core.Engine
+module Sampler = Ft_core.Sampler
+module Metrics = Ft_core.Metrics
+module Race = Ft_core.Race
+module Serve = Ft_shard.Serve
+module Evloop = Ft_shard.Evloop
+module Cmsg = Ft_shard.Cmsg
+module Clock = Ft_support.Clock
+module Json = Ft_obs.Json
+module Registry = Ft_obs.Registry
+module Histogram = Ft_obs.Histogram
+module Fault = Ft_fault.Fault
+
+(* The cluster router: one process speaking the plain BATCH protocol to
+   clients and the CBATCH protocol to K worker processes, each worker being
+   an unchanged [racedet serve] daemon (domain-sharded underneath).
+
+   Soundness rests on three facts, spelled out in DESIGN.md §6e:
+
+   - locations are partitioned whole onto workers ({!Chash}) and events
+     keep their original global indices, so each worker's own sampler
+     replays exactly the global run's decisions;
+   - the router mirrors {!Ft_shard.Sharded}'s routing algebra one level
+     up — sync events broadcast, accesses to the owner, pending-bit
+     transitions forwarded as [Mark] — and keeps its own sync-only
+     baseline, so [Metrics.merge_shards ~sync_baseline] over the workers'
+     partial results telescopes to the unsharded engine's counters;
+   - workers checkpoint each CBATCH {e before} acknowledging it, and the
+     router keeps the complete per-worker routed-message log, so any crash
+     is recovered by respawn → [SEQ] → replay of the unacknowledged
+     suffix, and even a worker whose checkpoint was lost entirely replays
+     from zero out of the log.
+
+   The router itself never spawns domains (its baseline is a plain
+   single-threaded detector instance): it forks worker processes, and
+   forking a multi-domain OCaml 5 process is not safe. *)
+
+type config = {
+  listen : Serve.addr;
+  workers : int;
+  worker_shards : int;  (* domains inside each worker *)
+  engine : Engine.id;
+  sampler : Sampler.t;
+  clock_size : int option;
+  dir : string;  (* run directory: worker sockets, ready/pid files, checkpoints *)
+  worker_tcp : bool;  (* workers listen on 127.0.0.1 ephemeral TCP ports *)
+  checkpoint : bool;  (* workers checkpoint every CBATCH (ack ⇒ durable) *)
+  max_parked : int;
+  backlog : int;
+  ready_file : string option;
+  heartbeat_s : float option;
+  metrics_json : string option;
+  max_respawns : int;  (* per-worker respawn budget before failing fast *)
+  chaos : Fault.config option;
+}
+
+let default_max_respawns = 8
+let cbatch_chunk = 8192  (* messages per CBATCH *)
+let spawn_deadline_s = 30.0
+
+(* --- worker processes ----------------------------------------------------- *)
+
+type worker = {
+  id : int;
+  mutable gen : int;  (* bumped on every respawn/migration: fresh socket names *)
+  mutable pid : int;
+  mutable fd : Unix.file_descr;
+  mutable sent : int;  (* messages the worker has acknowledged ingesting *)
+  mutable log : Cmsg.msg array;  (* complete routed history for this worker *)
+  mutable llen : int;
+  mutable respawns : int;
+}
+
+let log_push w m =
+  let cap = Array.length w.log in
+  if w.llen = cap then begin
+    let bigger = Array.make (Stdlib.max 64 (2 * cap)) m in
+    Array.blit w.log 0 bigger 0 w.llen;
+    w.log <- bigger
+  end;
+  w.log.(w.llen) <- m;
+  w.llen <- w.llen + 1
+
+type telemetry = {
+  reg : Registry.t;
+  batches_total : Registry.counter;
+  events_total : Registry.counter;
+  marks_total : Registry.counter;  (* cross-worker pending-bit forwards *)
+  parked_total : Registry.counter;
+  duplicate_total : Registry.counter;
+  worker_messages : Registry.counter array;  (* routed throughput, per worker *)
+  migrations_total : Registry.counter;
+  respawns_total : Registry.counter;
+  send_failures_total : Registry.counter;
+  conns_active : Registry.gauge;
+  uptime : Registry.gauge;
+  ingest_ns : Histogram.t;
+  started_ns : int64;
+}
+
+let make_telemetry ~workers =
+  let reg = Registry.create () in
+  {
+    reg;
+    batches_total =
+      Registry.counter reg "router_batches_ingested_total"
+        ~help:"Client batches routed to the workers";
+    events_total =
+      Registry.counter reg "router_events_ingested_total" ~help:"Events routed";
+    marks_total =
+      Registry.counter reg "router_marks_total"
+        ~help:"Cross-worker pending-bit transitions forwarded as Mark messages";
+    parked_total =
+      Registry.counter reg "router_batches_parked_total"
+        ~help:"Client batches parked for index-order ingestion";
+    duplicate_total =
+      Registry.counter reg "router_batches_duplicate_total"
+        ~help:"Client batches fully inside the ingested prefix (idempotent resend)";
+    worker_messages =
+      Array.init workers (fun k ->
+          Registry.counter reg "router_worker_messages_total"
+            ~help:"Messages routed to each worker's sub-stream"
+            ~labels:[ ("worker", string_of_int k) ]);
+    migrations_total =
+      Registry.counter reg "router_migrations_total"
+        ~help:"Graceful checkpoint migrations of a worker onto a fresh process";
+    respawns_total =
+      Registry.counter reg "router_worker_respawns_total"
+        ~help:"Workers respawned after a crash or send failure";
+    send_failures_total =
+      Registry.counter reg "router_send_failures_total"
+        ~help:"CBATCH sends that failed and triggered worker recovery";
+    conns_active =
+      Registry.gauge reg "router_connections_active" ~help:"Open client connections";
+    uptime = Registry.gauge reg "router_uptime_seconds" ~help:"Seconds since router start";
+    ingest_ns =
+      Registry.histogram reg "router_batch_ingest_ns"
+        ~help:"Per-batch route + flush latency, nanoseconds";
+    started_ns = Clock.now_ns ();
+  }
+
+type baseline = {
+  b_handle : int -> Event.t -> unit;
+  b_note : Event.tid -> unit;
+  b_result : unit -> Detector.result;
+}
+
+type state = {
+  cfg : config;
+  tel : telemetry;
+  ring : Chash.t;
+  workers : worker array;
+  mutable parent_fds : Unix.file_descr list;  (* closed in forked children *)
+  mutable universe : (int * int * int) option;
+  mutable baseline : baseline option;  (* sync-only detector + sampler mirror *)
+  mutable sampler_inst : Sampler.instance option;
+  mutable pending : bool array;
+  mutable expected : int;  (* next global event index *)
+  mutable nevents : int;
+  parked : (int, Trace.t) Hashtbl.t;
+  mutable quit : bool;
+  mutable stop_reason : string;
+  mutable failed : string option;
+}
+
+let worker_sock st w = Filename.concat st.cfg.dir (Printf.sprintf "worker-%d-g%d.sock" w.id w.gen)
+let worker_addr_file st w =
+  Filename.concat st.cfg.dir (Printf.sprintf "worker-%d-g%d.addr" w.id w.gen)
+let worker_pid_file st w = Filename.concat st.cfg.dir (Printf.sprintf "worker-%d.pid" w.id)
+let worker_ckpt_dir st w = Filename.concat st.cfg.dir (Printf.sprintf "ckpt-%d" w.id)
+
+let write_pid_file path pid =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (string_of_int pid ^ "\n");
+  close_out oc;
+  Sys.rename tmp path
+
+(* Fork one worker process running the unchanged serve daemon.  [resume]
+   points it at its checkpoint directory; a missing or torn checkpoint set
+   degrades to a fresh start there, which the router covers by replaying
+   the full log (SEQ comes back 0). *)
+let spawn_worker st w ~resume =
+  let addr_file = worker_addr_file st w in
+  (try Sys.remove addr_file with Sys_error _ -> ());
+  let listen =
+    if st.cfg.worker_tcp then Serve.Tcp ("127.0.0.1", 0) else Serve.Unix_path (worker_sock st w)
+  in
+  let ckpt = if st.cfg.checkpoint then Some (worker_ckpt_dir st w) else None in
+  let scfg =
+    {
+      Serve.listen;
+      engine = st.cfg.engine;
+      shards = st.cfg.worker_shards;
+      sampler = st.cfg.sampler;
+      clock_size = st.cfg.clock_size;
+      checkpoint_dir = ckpt;
+      resume_dir = (if resume then ckpt else None);
+      max_parked = Serve.default_max_parked;
+      backlog = Serve.default_backlog;
+      ready_file = Some addr_file;
+      heartbeat_s = None;
+      metrics_json = None;
+      max_restarts = Serve.default_max_restarts;
+      chaos = None;  (* an armed schedule is inherited through the fork *)
+    }
+  in
+  match Unix.fork () with
+  | 0 ->
+    (* the child must not hold the router's listener or its peers' sockets *)
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.parent_fds;
+    (try
+       Serve.run scfg;
+       exit 0
+     with e ->
+       Printf.eprintf "racedet route: worker %d died: %s\n%!" w.id (Printexc.to_string e);
+       exit 1)
+  | pid ->
+    w.pid <- pid;
+    write_pid_file (worker_pid_file st w) pid;
+    (* wait for the ready file, checking the child is still alive *)
+    let deadline = Clock.now_s () +. spawn_deadline_s in
+    let rec await () =
+      if Sys.file_exists addr_file then
+        match Serve.read_addr_file addr_file with
+        | Ok addr -> addr
+        | Error msg -> failwith (Printf.sprintf "worker %d ready file: %s" w.id msg)
+      else begin
+        (match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> ()
+        | _ -> failwith (Printf.sprintf "worker %d exited before becoming ready" w.id)
+        | exception Unix.Unix_error _ -> ());
+        if Clock.now_s () > deadline then
+          failwith (Printf.sprintf "worker %d not ready after %.0fs" w.id spawn_deadline_s);
+        Unix.sleepf 0.01;
+        await ()
+      end
+    in
+    let addr = await () in
+    let fd = Serve.connect ~deadline_s:spawn_deadline_s ~seed:(0x40 + w.id) addr in
+    w.fd <- fd;
+    st.parent_fds <- fd :: st.parent_fds
+
+let reap_worker w =
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ()
+
+let close_worker_fd st w =
+  st.parent_fds <- List.filter (fun fd -> fd != w.fd) st.parent_fds;
+  try Unix.close w.fd with Unix.Unix_error _ -> ()
+
+exception Router_failed of string
+
+let fail st msg =
+  st.failed <- Some msg;
+  st.stop_reason <- "worker failure";
+  st.quit <- true;
+  raise (Router_failed msg)
+
+let universe_of st =
+  match st.universe with
+  | Some u -> u
+  | None -> failwith "router: no universe yet"
+
+(* --- recovery and migration ----------------------------------------------- *)
+
+(* Replay [log[sent, llen)] in bounded CBATCH chunks.  A failed send (or an
+   injected [router.send] fault) marks the worker suspect and recovers it;
+   recovery re-reads SEQ, so the loop converges or exhausts the respawn
+   budget. *)
+let rec send_slice st w =
+  while w.sent < w.llen do
+    let nthreads, nlocks, nlocs = universe_of st in
+    let len = Stdlib.min cbatch_chunk (w.llen - w.sent) in
+    let payload = Cmsg.encode ~nthreads ~nlocks ~nlocs w.log ~off:w.sent ~len in
+    match
+      Fault.point ~lane:w.id ~supports:[ Fault.Exn; Fault.Delay ] "router.send";
+      Serve.send_cbatch w.fd ~seq:w.sent payload
+    with
+    | Ok total when total > w.sent -> w.sent <- Stdlib.min total w.llen
+    | Ok _ | Error _ ->
+      Registry.incr st.tel.send_failures_total;
+      recover_worker st w
+    | exception Fault.Injected _ ->
+      Registry.incr st.tel.send_failures_total;
+      recover_worker st w
+  done
+
+(* Crash recovery: whatever state the worker is in, kill it, respawn it
+   against its checkpoint directory, ask where its durable stream stands
+   and replay the rest of the log.  Checkpoint-before-ack on the worker
+   side makes SEQ a durable lower bound; the full log makes even SEQ = 0
+   (checkpoint lost or checkpointing disabled) recoverable. *)
+and recover_worker st w =
+  close_worker_fd st w;
+  reap_worker w;
+  w.respawns <- w.respawns + 1;
+  Registry.incr st.tel.respawns_total;
+  if w.respawns > st.cfg.max_respawns then
+    fail st
+      (Printf.sprintf "worker %d exceeded its respawn budget (%d)" w.id st.cfg.max_respawns);
+  w.gen <- w.gen + 1;
+  Printf.eprintf "racedet route: recovering worker %d (respawn %d, gen %d)\n%!" w.id
+    w.respawns w.gen;
+  spawn_worker st w ~resume:true;
+  (match Serve.fetch_seq w.fd with
+  | Ok seq -> w.sent <- Stdlib.min seq w.llen
+  | Error msg ->
+    Printf.eprintf "racedet route: worker %d SEQ after respawn failed (%s)\n%!" w.id msg;
+    recover_worker st w);
+  send_slice st w
+
+(* Graceful migration: flush, SHUTDOWN (the worker writes its final
+   checkpoint set), then hand the [.ftc]s to a fresh process and resume it
+   at the same stream position.  Without checkpointing this degrades to a
+   full-log replay — slower, still exact. *)
+let migrate_worker st w =
+  send_slice st w;
+  (match Serve.shutdown w.fd with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "racedet route: worker %d SHUTDOWN for migration failed (%s)\n%!" w.id msg);
+  close_worker_fd st w;
+  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+  w.gen <- w.gen + 1;
+  Registry.incr st.tel.migrations_total;
+  Printf.eprintf "racedet route: migrating worker %d to gen %d\n%!" w.id w.gen;
+  spawn_worker st w ~resume:true;
+  (match Serve.fetch_seq w.fd with
+  | Ok seq -> w.sent <- Stdlib.min seq w.llen
+  | Error msg ->
+    Printf.eprintf "racedet route: worker %d SEQ after migration failed (%s)\n%!" w.id msg;
+    recover_worker st w);
+  send_slice st w
+
+(* Drain every worker's unsent suffix, visiting the chaos points first so a
+   schedule can kill or migrate a worker between any two client batches. *)
+let flush_workers st =
+  Array.iter
+    (fun w ->
+      (match Fault.point ~lane:w.id ~supports:[ Fault.Exn ] "cluster.worker_crash" with
+      | () -> ()
+      | exception Fault.Injected _ ->
+        Printf.eprintf "racedet route: chaos killed worker %d\n%!" w.id;
+        close_worker_fd st w;
+        reap_worker w;
+        recover_worker st w);
+      (match Fault.point ~lane:w.id ~supports:[ Fault.Exn ] "cluster.migrate" with
+      | () -> ()
+      | exception Fault.Injected _ -> migrate_worker st w);
+      send_slice st w)
+    st.workers
+
+(* --- routing --------------------------------------------------------------- *)
+
+(* Mirror of {!Ft_shard.Sharded}'s routing, one level up: the router owns
+   the sampler and the pending bits, workers own locations.  The baseline
+   sees the sync substream plus one note per pending transition — exactly
+   what each worker's internal baseline sees — which is what makes the
+   metrics merge telescope (DESIGN.md §6e). *)
+let ensure_cluster st (nthreads, nlocks, nlocs) =
+  match st.universe with
+  | Some u ->
+    if u = (nthreads, nlocks, nlocs) then Ok ()
+    else Error "batch universe differs from the session's"
+  | None ->
+    let clock_size =
+      match st.cfg.clock_size with
+      | None -> nthreads
+      | Some s -> Stdlib.max s nthreads
+    in
+    let config =
+      { Detector.nthreads; nlocks; nlocs; clock_size; sampler = st.cfg.sampler }
+    in
+    let (module D : Detector.S) = Engine.detector st.cfg.engine in
+    let d = D.create config in
+    st.baseline <-
+      Some
+        {
+          b_handle = (fun i e -> D.handle d i e);
+          b_note = (fun th -> D.note_sampled d th);
+          b_result = (fun () -> D.result d);
+        };
+    st.sampler_inst <- Some (Sampler.fresh st.cfg.sampler);
+    st.pending <- Array.make nthreads false;
+    st.universe <- Some (nthreads, nlocks, nlocs);
+    Ok ()
+
+let route st i (e : Event.t) =
+  let baseline = Option.get st.baseline in
+  let sampler_inst = Option.get st.sampler_inst in
+  let nworkers = Array.length st.workers in
+  let append w m =
+    log_push st.workers.(w) m;
+    Registry.incr st.tel.worker_messages.(w)
+  in
+  let append_all m =
+    for w = 0 to nworkers - 1 do
+      append w m
+    done
+  in
+  (match e.Event.op with
+  | Event.Read x | Event.Write x ->
+    let o = Chash.owner st.ring x in
+    let sampled = Sampler.query sampler_inst i e in
+    if sampled && not st.pending.(e.Event.thread) then begin
+      st.pending.(e.Event.thread) <- true;
+      for w = 0 to nworkers - 1 do
+        (* the owner's own sampler makes the same decision when it
+           handles the event *)
+        if w <> o then append w (Cmsg.Mark e.Event.thread)
+      done;
+      Registry.add st.tel.marks_total (nworkers - 1);
+      baseline.b_note e.Event.thread
+    end;
+    append o (Cmsg.Ev (i, e))
+  | Event.Acquire _ | Event.Acquire_load _ ->
+    append_all (Cmsg.Ev (i, e));
+    baseline.b_handle i e
+  | Event.Release _ | Event.Release_store _ ->
+    append_all (Cmsg.Ev (i, e));
+    baseline.b_handle i e;
+    st.pending.(e.Event.thread) <- false
+  | Event.Fork _ ->
+    append_all (Cmsg.Ev (i, e));
+    baseline.b_handle i e;
+    st.pending.(e.Event.thread) <- false
+  | Event.Join u ->
+    append_all (Cmsg.Ev (i, e));
+    baseline.b_handle i e;
+    st.pending.(u) <- false);
+  st.nevents <- st.nevents + 1
+
+let feed st trace base =
+  let n = Trace.length trace in
+  for i = Stdlib.max 0 (st.expected - base) to n - 1 do
+    route st (base + i) (Trace.get trace i)
+  done;
+  st.expected <- Stdlib.max st.expected (base + n)
+
+let rec drain_parked st =
+  let eligible =
+    Hashtbl.fold
+      (fun base _ acc ->
+        if base <= st.expected then
+          Some (match acc with None -> base | Some b -> Stdlib.min b base)
+        else acc)
+      st.parked None
+  in
+  match eligible with
+  | None -> ()
+  | Some base ->
+    let trace = Hashtbl.find st.parked base in
+    Hashtbl.remove st.parked base;
+    feed st trace base;
+    drain_parked st
+
+(* --- merge ------------------------------------------------------------------ *)
+
+(* Each worker's races carry original global indices, and a given event is
+   handled by exactly one internal shard of exactly one worker, so indices
+   are unique across workers and sorting recovers the global declaration
+   order.  Metrics telescope: worker-internal merges already subtracted
+   their own baselines, and every internal baseline equals the router's, so
+   one more [merge_shards] against the router baseline leaves exactly the
+   unsharded engine's counters. *)
+let merge_results st (parts : Detector.result array) =
+  let baseline = (Option.get st.baseline).b_result () in
+  let races =
+    List.sort
+      (fun a b -> compare a.Race.index b.Race.index)
+      (List.concat_map (fun (r : Detector.result) -> r.Detector.races) (Array.to_list parts))
+  in
+  let metrics =
+    Metrics.merge_shards ~sync_baseline:baseline.Detector.metrics
+      (Array.map (fun (r : Detector.result) -> r.Detector.metrics) parts)
+  in
+  { Detector.engine = baseline.Detector.engine; races; metrics }
+
+let fetch_results st =
+  flush_workers st;
+  Array.map
+    (fun w ->
+      match Serve.fetch_result w.fd with
+      | Ok r -> r
+      | Error msg -> (
+        (* a worker that died since its last flush: recover and retry once *)
+        Printf.eprintf "racedet route: worker %d RESULT failed (%s); recovering\n%!" w.id msg;
+        Registry.incr st.tel.send_failures_total;
+        recover_worker st w;
+        match Serve.fetch_result w.fd with
+        | Ok r -> r
+        | Error msg ->
+          fail st (Printf.sprintf "worker %d RESULT failed after recovery: %s" w.id msg)))
+    st.workers
+
+let report st =
+  if st.nevents = 0 then Error "no events ingested"
+  else Ok (Serve.report_text ~events:st.nevents (merge_results st (fetch_results st)))
+
+(* --- protocol --------------------------------------------------------------- *)
+
+let refresh st =
+  Registry.set st.tel.uptime (int_of_float (Clock.elapsed_s ~since:st.tel.started_ns))
+
+let stats_json st =
+  refresh st;
+  Json.Obj
+    [
+      ("engine", Json.Str (Engine.name st.cfg.engine));
+      ("sampler", Json.Str (Sampler.name st.cfg.sampler));
+      ("workers", Json.Int st.cfg.workers);
+      ("worker_shards", Json.Int st.cfg.worker_shards);
+      ("events", Json.Int st.nevents);
+      ("next_index", Json.Int st.expected);
+      ("parked", Json.Int (Hashtbl.length st.parked));
+      ("uptime_s", Json.Float (Clock.elapsed_s ~since:st.tel.started_ns));
+      ( "worker_log_lengths",
+        Json.Arr (Array.to_list (Array.map (fun w -> Json.Int w.llen) st.workers)) );
+      ( "worker_respawns",
+        Json.Arr (Array.to_list (Array.map (fun w -> Json.Int w.respawns) st.workers)) );
+      ("telemetry", Registry.to_json st.tel.reg)
+    ]
+
+let reply = Evloop.reply
+
+let handle_batch st conn base payload =
+  if base < 0 then reply conn "ERR negative base index\n"
+  else
+    match Trace_binary.of_bytes (Bytes.unsafe_of_string payload) with
+    | Error msg -> reply conn (Printf.sprintf "ERR bad batch: %s\n" msg)
+    | Ok trace -> (
+      let u = (trace.Trace.nthreads, trace.Trace.nlocks, trace.Trace.nlocs) in
+      match ensure_cluster st u with
+      | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | Ok () -> (
+        try
+          if base > st.expected then
+            if Hashtbl.length st.parked >= st.cfg.max_parked then
+              reply conn "ERR parked batch limit exceeded\n"
+            else begin
+              Hashtbl.replace st.parked base trace;
+              Registry.incr st.tel.parked_total;
+              reply conn (Printf.sprintf "OK %d\n" st.expected)
+            end
+          else begin
+            let before = st.expected in
+            let t0 = Clock.now_ns () in
+            feed st trace base;
+            drain_parked st;
+            flush_workers st;
+            let ingested = st.expected - before in
+            if ingested = 0 then Registry.incr st.tel.duplicate_total
+            else begin
+              Registry.incr st.tel.batches_total;
+              Registry.add st.tel.events_total ingested
+            end;
+            Histogram.observe st.tel.ingest_ns
+              (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
+            reply conn (Printf.sprintf "OK %d\n" st.expected)
+          end
+        with Router_failed msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+
+let handle_line st conn line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "BATCH"; base; nbytes ] -> (
+    match (int_of_string_opt base, int_of_string_opt nbytes) with
+    | Some b, Some n when n >= 0 ->
+      Evloop.await_blob conn n (fun payload -> handle_batch st conn b payload)
+    | _ -> reply conn "ERR malformed BATCH header\n")
+  | [ "REPORT" ] -> (
+    match report st with
+    | Ok text -> reply conn (Printf.sprintf "REPORT %d\n%s" (String.length text) text)
+    | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+    | exception Router_failed msg -> reply conn (Printf.sprintf "ERR %s\n" msg))
+  | [ "SEQ" ] -> reply conn (Printf.sprintf "SEQ %d\n" st.expected)
+  | [ "MIGRATE"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 0 && k < Array.length st.workers -> (
+      match
+        (match st.universe with
+        | None -> ()
+        | Some _ -> flush_workers st);
+        migrate_worker st st.workers.(k)
+      with
+      | () -> reply conn (Printf.sprintf "OK %d\n" st.expected)
+      | exception Router_failed msg -> reply conn (Printf.sprintf "ERR %s\n" msg))
+    | _ -> reply conn "ERR bad worker id\n")
+  | [ "STATS" ] | [ "STATS"; "PROM" ] ->
+    refresh st;
+    let text = Registry.to_prometheus st.tel.reg in
+    reply conn (Printf.sprintf "STATS %d\n%s" (String.length text) text)
+  | [ "STATS"; "JSON" ] ->
+    let text = Json.to_string_pretty (stats_json st) in
+    reply conn (Printf.sprintf "STATS %d\n%s" (String.length text) text)
+  | [ "SHUTDOWN" ] ->
+    reply conn "BYE\n";
+    st.stop_reason <- "SHUTDOWN command";
+    st.quit <- true
+  | [ "" ] -> ()
+  | _ -> reply conn "ERR unknown command\n"
+
+(* --- lifecycle --------------------------------------------------------------- *)
+
+let write_metrics_json_file st =
+  match st.cfg.metrics_json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Json.to_string_pretty (stats_json st));
+    close_out oc
+
+let run (cfg : config) =
+  if cfg.workers < 1 then invalid_arg "Router.run: workers must be positive";
+  if cfg.worker_shards < 1 then invalid_arg "Router.run: worker_shards must be positive";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match cfg.chaos with
+  | None -> ()
+  | Some c ->
+    Fault.arm c;
+    Printf.eprintf "racedet route: chaos armed (%s)\n%!" (Fault.spec_of_config c));
+  (try Unix.mkdir cfg.dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  if cfg.checkpoint then
+    for k = 0 to cfg.workers - 1 do
+      try Unix.mkdir (Filename.concat cfg.dir (Printf.sprintf "ckpt-%d" k)) 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    done;
+  let st =
+    {
+      cfg;
+      tel = make_telemetry ~workers:cfg.workers;
+      ring = Chash.create ~workers:cfg.workers;
+      workers =
+        Array.init cfg.workers (fun id ->
+            {
+              id;
+              gen = 0;
+              pid = -1;
+              fd = Unix.stdin;
+              sent = 0;
+              log = [||];
+              llen = 0;
+              respawns = 0;
+            });
+      parent_fds = [];
+      universe = None;
+      baseline = None;
+      sampler_inst = None;
+      pending = [||];
+      expected = 0;
+      nevents = 0;
+      parked = Hashtbl.create 16;
+      quit = false;
+      stop_reason = "";
+      failed = None;
+    }
+  in
+  Array.iter (fun w -> spawn_worker st w ~resume:false) st.workers;
+  let listen_fd, actual = Serve.listen_socket ~backlog:cfg.backlog cfg.listen in
+  st.parent_fds <- listen_fd :: st.parent_fds;
+  (match cfg.ready_file with
+  | None -> ()
+  | Some path -> Serve.write_addr_file path actual);
+  let on_signal name =
+    Sys.Signal_handle
+      (fun _ ->
+        st.stop_reason <- name;
+        st.quit <- true)
+  in
+  Sys.set_signal Sys.sigterm (on_signal "SIGTERM");
+  Sys.set_signal Sys.sigint (on_signal "SIGINT");
+  let remaining =
+    Evloop.run ~listen_fd
+      ~quit:(fun () -> st.quit)
+      ~on_line:(fun conn line -> handle_line st conn line)
+      ~on_accept:(fun conn -> st.parent_fds <- Evloop.conn_fd conn :: st.parent_fds)
+      ~on_conns:(fun n -> Registry.set st.tel.conns_active n)
+      ()
+  in
+  if st.stop_reason <> "" then
+    Printf.eprintf "racedet route: shutting down (%s)\n%!" st.stop_reason;
+  (* Graceful teardown: flush the logs, then SHUTDOWN each worker so it
+     writes its final checkpoint set. *)
+  (match st.failed with
+  | Some _ -> ()
+  | None -> (
+    try
+      if st.universe <> None then flush_workers st;
+      Array.iter
+        (fun w ->
+          (match Serve.shutdown w.fd with Ok () | Error _ -> ());
+          close_worker_fd st w;
+          try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+        st.workers
+    with Router_failed _ -> ()));
+  (match st.failed with
+  | None -> ()
+  | Some _ ->
+    (* fail-fast path: make sure no worker process outlives the router *)
+    Array.iter
+      (fun w ->
+        close_worker_fd st w;
+        reap_worker w)
+      st.workers);
+  write_metrics_json_file st;
+  List.iter Evloop.close_conn remaining;
+  Unix.close listen_fd;
+  (match cfg.listen with
+  | Serve.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Serve.Tcp _ -> ());
+  (match cfg.chaos with
+  | None -> ()
+  | Some _ ->
+    Printf.eprintf
+      "racedet route: chaos summary: %d faults fired over %d checks, %d respawns, %d migrations\n%!"
+      (Fault.fired ()) (Fault.checks ())
+      (Registry.counter_value st.tel.respawns_total)
+      (Registry.counter_value st.tel.migrations_total));
+  match st.failed with
+  | Some msg -> failwith ("racedet route: " ^ msg)
+  | None -> ()

@@ -1,0 +1,63 @@
+(** The [racedet route] cluster router.
+
+    One process speaking the plain [BATCH] protocol to clients and the
+    [CBATCH] protocol to K worker processes, each worker an unchanged
+    [racedet serve] daemon (domain-sharded underneath).  The router
+    partitions locations across workers by consistent hashing ({!Chash}),
+    mirrors {!Ft_shard.Sharded}'s routing algebra one level up (sync
+    events broadcast, accesses to the owner, pending-bit transitions
+    forwarded as {!Ft_shard.Cmsg.msg} [Mark]s, a router-side sync-only
+    baseline), and merges the workers' partial [RESULT]s into a report
+    byte-identical to a single-process [racedet analyze] — the soundness
+    argument is DESIGN.md §6e.
+
+    Worker death and migration reuse the [.ftc] checkpoint machinery
+    end-to-end: workers checkpoint every acknowledged CBATCH, the router
+    keeps each worker's complete routed-message log, and recovery is
+    respawn → resume from checkpoint → [SEQ] → replay of the unacknowledged
+    suffix.  Chaos points [cluster.worker_crash], [cluster.migrate] (per
+    worker, [lane] = worker id) and [router.send] let the deterministic
+    fault layer kill or migrate workers between any two client batches.
+
+    Extra protocol verbs over {!Ft_shard.Serve}: [MIGRATE <k>] gracefully
+    moves worker [k] onto a fresh process; [SEQ] reports the router's
+    ingested-event count.
+
+    The router never spawns domains (forking a multi-domain OCaml 5
+    process is unsafe); its baseline is a plain in-process detector. *)
+
+type config = {
+  listen : Ft_shard.Serve.addr;
+  workers : int;
+  worker_shards : int;  (** domains inside each worker's {!Ft_shard.Sharded} *)
+  engine : Ft_core.Engine.id;
+  sampler : Ft_core.Sampler.t;
+  clock_size : int option;
+  dir : string;
+      (** run directory: worker sockets, ready files, [worker-<k>.pid]
+          files (for external kills), per-worker checkpoint dirs
+          [ckpt-<k>/] *)
+  worker_tcp : bool;  (** workers listen on 127.0.0.1 ephemeral TCP ports *)
+  checkpoint : bool;
+      (** workers checkpoint every CBATCH before acknowledging it; off,
+          recovery degrades to a full-log replay (slower, still exact) *)
+  max_parked : int;
+  backlog : int;
+  ready_file : string option;  (** publish the router's actual address *)
+  heartbeat_s : float option;  (** unused hook, reserved *)
+  metrics_json : string option;  (** dump router telemetry JSON on shutdown *)
+  max_respawns : int;
+      (** per-worker respawn budget before the router fails fast
+          ({!default_max_respawns}) *)
+  chaos : Ft_fault.Fault.config option;
+      (** armed at startup; worker processes inherit the armed schedule
+          through the fork *)
+}
+
+val default_max_respawns : int
+
+val run : config -> unit
+(** Serve until [SHUTDOWN]/[SIGTERM]/[SIGINT]; tears down workers
+    gracefully (each writes a final checkpoint).  Blocking; forks worker
+    processes — call from a process that has spawned no domains.  Raises
+    [Failure] after cleanup when a worker exhausted its respawn budget. *)

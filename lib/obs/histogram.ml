@@ -39,6 +39,10 @@ let count h = Atomic.get h.count
 let sum h = Atomic.get h.sum
 let max_value h = Atomic.get h.max
 
+let mean h =
+  let n = Atomic.get h.count in
+  if n = 0 then 0.0 else float_of_int (Atomic.get h.sum) /. float_of_int n
+
 let quantile h q =
   let n = count h in
   if n = 0 then 0

@@ -30,6 +30,9 @@ val sum : t -> int
 val max_value : t -> int
 (** Largest value observed; 0 when empty. *)
 
+val mean : t -> float
+(** [sum / count] as a float; 0 when empty. *)
+
 val quantile : t -> float -> int
 (** [quantile h q] for [q] in [0, 1]: an upper bound on the [q]-quantile
     (the upper edge of the bucket holding the rank-⌈q·count⌉ sample,

@@ -1,0 +1,48 @@
+(** The shared accept/read loop behind {!Serve.run} and the cluster router.
+
+    One thread, one [select] round per iteration: accept new connections
+    (EINTR-guarded, close-on-exec on the accepted descriptors), append each
+    readable connection's bytes to its {!Netbuf}, and hand complete protocol
+    units to the caller — lines via [on_line], sized binary payloads via the
+    consumer registered with {!await_blob}.  Closed connections are swept
+    and closed every round.  The loop never raises out of a signal landing
+    mid-syscall, so a SIGTERM-driven [quit] always reaches the caller's
+    graceful-drain path. *)
+
+type conn
+
+val conn_fd : conn -> Unix.file_descr
+(** The connection's descriptor — what a forking daemon (the cluster
+    router) closes in its children. *)
+
+val reply : conn -> string -> unit
+(** Blocking write of the full string; a write error marks the connection
+    closed instead of raising. *)
+
+val close_conn : conn -> unit
+(** Mark closed and close the descriptor now (idempotent). *)
+
+val await_blob : conn -> int -> (string -> unit) -> unit
+(** Called from [on_line] after parsing a [<verb> ... <nbytes>] header:
+    the next [n] raw bytes of this connection go to the consumer instead of
+    the line parser. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying partial writes and EINTR/EAGAIN. *)
+
+val run :
+  listen_fd:Unix.file_descr ->
+  quit:(unit -> bool) ->
+  on_line:(conn -> string -> unit) ->
+  ?on_accept:(conn -> unit) ->
+  ?on_conns:(int -> unit) ->
+  ?tick:(unit -> unit) ->
+  ?recv_fault:string ->
+  ?select_s:float ->
+  unit ->
+  conn list
+(** Serve until [quit ()] turns true, then return the connections still
+    open (the caller closes them after its drain).  [tick] runs once per
+    select round — heartbeats and deferred housekeeping.  [recv_fault]
+    names the {!Ft_fault.Fault} injection point armed over every receive
+    ([serve.recv] in the daemon); omitted, reads are not chaos-able. *)

@@ -13,8 +13,125 @@ module Histogram = Ft_obs.Histogram
 module Fault = Ft_fault.Fault
 module Prng = Ft_support.Prng
 
+(* --- transport addresses -------------------------------------------------- *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let tcp_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 -> Ok (Tcp (host, p))
+    | _ -> Error (Printf.sprintf "bad TCP port in %S" s))
+  | _ -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+
+let addr_of_string s =
+  let prefixed prefix =
+    let np = String.length prefix in
+    if String.length s > np && String.sub s 0 np = prefix then
+      Some (String.sub s np (String.length s - np))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some path -> Ok (Unix_path path)
+  | None -> (
+    match prefixed "tcp:" with
+    | Some hostport -> tcp_of_string hostport
+    | None -> Ok (Unix_path s))
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      raise (Unix.Unix_error (Unix.EHOSTUNREACH, "resolve", host))
+    | h -> h.Unix.h_addr_list.(0))
+
+let sockaddr_of_addr = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> Unix.ADDR_INET (resolve_host host, port)
+
+let socket_domain_of_addr = function
+  | Unix_path _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+(* A live daemon on [path] accepts; a stale socket file left by a crashed
+   one refuses (or the path is gone).  Probing before the bind keeps two
+   servers handed the same path from silently orphaning each other — the
+   second refuses to start instead of unlinking the first's socket. *)
+let unix_listener_alive path =
+  Sys.file_exists path
+  &&
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let live =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  live
+
+let default_backlog = 128
+
+(* Bind + listen, returning the descriptor and the *actual* address — a
+   TCP bind to port 0 resolves to the kernel-chosen port, which is what a
+   [ready_file] publishes.  Close-on-exec everywhere: a router that forks
+   worker processes must not leak its listener into them. *)
+let listen_socket ?(backlog = default_backlog) addr =
+  match addr with
+  | Unix_path path ->
+    if unix_listener_alive path then
+      failwith
+        (Printf.sprintf "socket %s already has a live server listening; refusing to start"
+           path);
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd backlog
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    (fd, addr)
+  | Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+       Unix.listen fd backlog
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let actual =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (a, p) -> Tcp (Unix.string_of_inet_addr a, p)
+      | _ -> addr
+    in
+    (fd, actual)
+
+(* Atomic publish (write + rename) so a poller never reads a torn line. *)
+let write_addr_file path addr =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (addr_to_string addr ^ "\n");
+  close_out oc;
+  Sys.rename tmp path
+
+let read_addr_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | "" -> Error (path ^ " is empty")
+  | text -> addr_of_string (String.trim text)
+  | exception Sys_error msg -> Error msg
+
 type config = {
-  socket : string;
+  listen : addr;
   engine : Engine.id;
   shards : int;
   sampler : Sampler.t;
@@ -22,6 +139,8 @@ type config = {
   checkpoint_dir : string option;
   resume_dir : string option;
   max_parked : int;
+  backlog : int;
+  ready_file : string option;
   heartbeat_s : float option;
   metrics_json : string option;
   max_restarts : int;  (* per-shard supervisor restart budget *)
@@ -60,17 +179,7 @@ let metrics_json_value (m : Metrics.t) =
 
 exception Recv_deadline of float
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      match Unix.write fd b off (n - off) with
-      | k -> go (off + k)
-      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        go off
-  in
-  go 0
+let write_all = Evloop.write_all
 
 (* One read, retrying [EINTR] (a signal landed) and [EAGAIN] (the
    descriptor's receive timeout fired mid-transfer — e.g. a slow or busy
@@ -218,20 +327,14 @@ let attach_shard_series tel ~shards =
 
 (* --- server state -------------------------------------------------------- *)
 
-type conn = {
-  fd : Unix.file_descr;
-  data : Netbuf.t;  (* unconsumed input, appended in amortized O(1) *)
-  mutable blob : (int * int) option;  (* BATCH header seen: base, bytes awaited *)
-  mutable closed : bool;
-}
-
 type state = {
   cfg : config;
   tel : telemetry;
   mutable det : Sharded.t option;
   mutable universe : (int * int * int) option;  (* nthreads, nlocks, nlocs *)
   mutable clock_size : int;
-  mutable expected : int;  (* next global event index *)
+  mutable expected : int;  (* next stream position: events (BATCH) or messages (CBATCH) *)
+  mutable mode : [ `Batch | `Cluster ] option;  (* fixed by the first ingested batch *)
   parked : (int, Trace.t) Hashtbl.t;
   mutable quit : bool;
   mutable stop_reason : string;  (* what ended the serve loop, for the log *)
@@ -353,6 +456,18 @@ let ensure_detector st (nthreads, nlocks, nlocs) =
     Ok det
   | Some _, None -> assert false
 
+(* The session speaks either plain BATCH streams (units: events) or cluster
+   CBATCH streams (units: messages); [expected] counts stream units, so
+   mixing the two would silently corrupt the idempotent-resend arithmetic. *)
+let ensure_mode st mode =
+  match st.mode with
+  | None ->
+    st.mode <- Some mode;
+    Ok ()
+  | Some m when m = mode -> Ok ()
+  | Some `Batch -> Error "session already ingests BATCH streams (not a cluster worker)"
+  | Some `Cluster -> Error "session already ingests CBATCH streams (cluster worker)"
+
 let feed st det trace base =
   let n = Trace.length trace in
   (* skip any already-ingested prefix: resends are idempotent *)
@@ -377,7 +492,7 @@ let rec drain_parked st det =
     feed st det trace base;
     drain_parked st det
 
-let reply conn s = try write_all conn.fd s with Unix.Unix_error _ -> conn.closed <- true
+let reply = Evloop.reply
 
 (* A shard past its restart budget is unrecoverable within this process:
    reply with the diagnostic, then fail fast — clients hold the full stream
@@ -397,7 +512,11 @@ let handle_batch st conn base payload =
     | Error msg -> reply conn (Printf.sprintf "ERR bad batch: %s\n" msg)
     | Ok trace -> (
       let u = (trace.Trace.nthreads, trace.Trace.nlocks, trace.Trace.nlocs) in
-      match ensure_detector st u with
+      match
+        match ensure_mode st `Batch with
+        | Error _ as e -> e
+        | Ok () -> ensure_detector st u
+      with
       | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
       | Ok det -> (
         try
@@ -422,6 +541,55 @@ let handle_batch st conn base payload =
               Registry.incr tel.batches_total;
               Registry.add tel.events_total ingested;
               if base < before then Registry.incr tel.resent_total
+            end;
+            Histogram.observe tel.ingest_ns
+              (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
+            reply conn (Printf.sprintf "OK %d\n" st.expected)
+          end
+        with
+        | Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+        | Sharded.Shard_failed msg -> fail_fast st conn msg))
+
+(* A cluster sub-stream batch.  The router is this worker's only client and
+   sends sequence-contiguous CBATCHes, so there is no parking here — only
+   the idempotent prefix skip that makes post-recovery replays (and a
+   restarted router replaying from zero) exact. *)
+let handle_cbatch st conn seq payload =
+  if seq < 0 then reply conn "ERR negative sequence number\n"
+  else
+    match Cmsg.decode payload with
+    | Error msg -> reply conn (Printf.sprintf "ERR bad cluster batch: %s\n" msg)
+    | Ok (u, msgs) -> (
+      match
+        match ensure_mode st `Cluster with
+        | Error _ as e -> e
+        | Ok () -> ensure_detector st u
+      with
+      | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | Ok det -> (
+        try
+          if seq > st.expected then
+            reply conn
+              (Printf.sprintf "ERR cluster batch from the future (seq %d, expected %d)\n"
+                 seq st.expected)
+          else begin
+            let n = Array.length msgs in
+            let before = st.expected in
+            let t0 = Clock.now_ns () in
+            for j = st.expected - seq to n - 1 do
+              match msgs.(j) with
+              | Cmsg.Ev (i, e) -> Sharded.handle det i e
+              | Cmsg.Mark th -> Sharded.note_sampled det th
+            done;
+            st.expected <- Stdlib.max st.expected (seq + n);
+            write_checkpoint st;
+            let ingested = st.expected - before in
+            let tel = st.tel in
+            if ingested = 0 then Registry.incr tel.duplicate_total
+            else begin
+              Registry.incr tel.batches_total;
+              Registry.add tel.events_total ingested;
+              if seq < before then Registry.incr tel.resent_total
             end;
             Histogram.observe tel.ingest_ns
               (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
@@ -528,8 +696,14 @@ let handle_line st conn line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "BATCH"; base; nbytes ] -> (
     match (int_of_string_opt base, int_of_string_opt nbytes) with
-    | Some b, Some n when n >= 0 -> conn.blob <- Some (b, n)
+    | Some b, Some n when n >= 0 ->
+      Evloop.await_blob conn n (fun payload -> handle_batch st conn b payload)
     | _ -> reply conn "ERR malformed BATCH header\n")
+  | [ "CBATCH"; seq; nbytes ] -> (
+    match (int_of_string_opt seq, int_of_string_opt nbytes) with
+    | Some s, Some n when n >= 0 ->
+      Evloop.await_blob conn n (fun payload -> handle_cbatch st conn s payload)
+    | _ -> reply conn "ERR malformed CBATCH header\n")
   | [ "REPORT" ] -> (
     match st.det with
     | None -> reply conn "ERR no events ingested\n"
@@ -540,6 +714,21 @@ let handle_line st conn line =
       with
       | Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
       | Sharded.Shard_failed msg -> fail_fast st conn msg))
+  | [ "RESULT" ] -> (
+    (* the raw partial result, for a cluster router's merge *)
+    match st.det with
+    | None -> reply conn "ERR no events ingested\n"
+    | Some det -> (
+      try
+        let blob = Cmsg.encode_result (Sharded.result det) in
+        reply conn (Printf.sprintf "RESULT %d\n%s" (String.length blob) blob)
+      with
+      | Failure msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | Sharded.Shard_failed msg -> fail_fast st conn msg))
+  | [ "SEQ" ] ->
+    (* where this session's stream stands — what a recovering router uses
+       to find the replay point after respawning a worker *)
+    reply conn (Printf.sprintf "SEQ %d\n" st.expected)
   | [ "STATS" ] | [ "STATS"; "PROM" ] -> (
     try
       let text = stats_payload st `Prometheus in
@@ -562,25 +751,6 @@ let handle_line st conn line =
   | [ "" ] -> ()
   | _ -> reply conn "ERR unknown command\n"
 
-let rec process st conn =
-  if not conn.closed then
-    match conn.blob with
-    | Some (base, nbytes) ->
-      if Netbuf.length conn.data >= nbytes then begin
-        let payload = Netbuf.take conn.data nbytes in
-        conn.blob <- None;
-        handle_batch st conn base payload;
-        process st conn
-      end
-    | None -> (
-      match Netbuf.index_newline conn.data with
-      | None -> ()
-      | Some nl ->
-        let line = Netbuf.take conn.data nl in
-        Netbuf.drop conn.data 1;
-        handle_line st conn line;
-        process st conn)
-
 let write_metrics_json_file st =
   match st.cfg.metrics_json with
   | None -> ()
@@ -599,10 +769,10 @@ let run cfg =
   | Some c ->
     Fault.arm c;
     Printf.eprintf "racedet serve: chaos armed (%s)\n%!" (Fault.spec_of_config c));
-  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
-  Unix.listen listen_fd 16;
+  let listen_fd, actual = listen_socket ~backlog:cfg.backlog cfg.listen in
+  (match cfg.ready_file with
+  | None -> ()
+  | Some path -> write_addr_file path actual);
   let st =
     {
       cfg;
@@ -611,6 +781,7 @@ let run cfg =
       universe = None;
       clock_size = 0;
       expected = 0;
+      mode = None;
       parked = Hashtbl.create 16;
       quit = false;
       stop_reason = "";
@@ -639,54 +810,22 @@ let run cfg =
     st.expected <- meta.Checkpoint.next_index;
     attach_shard_series st.tel ~shards:cfg.shards;
     Printf.eprintf "racedet serve: resumed at event %d\n%!" st.expected);
-  let conns = ref [] in
-  let chunk = Bytes.create 65536 in
   let last_beat = ref (Clock.now_ns ()) in
-  while not st.quit do
-    let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
-    let readable, _, _ =
-      try Unix.select fds [] [] 0.5
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    if List.memq listen_fd readable then begin
-      let fd, _ = Unix.accept listen_fd in
-      conns := { fd; data = Netbuf.create (); blob = None; closed = false } :: !conns;
-      Registry.incr st.tel.conns_total
-    end;
-    List.iter
-      (fun c ->
-        if (not c.closed) && List.memq c.fd readable then
-          (* Both faults act BEFORE the read so no received byte is ever
-             dropped: an Exn is a transient hiccup (retried next select
-             round, the data still queued in the socket), a Partial_io just
-             shortens the requested length. *)
-          match
-            Fault.point ~supports:[ Fault.Exn; Fault.Delay ] "serve.recv";
-            Unix.read c.fd chunk 0 (Fault.io_len "serve.recv" (Bytes.length chunk))
-          with
-          | 0 -> c.closed <- true
-          | n ->
-            Netbuf.append c.data chunk ~off:0 ~len:n;
-            process st c
-          (* a signal or a spurious wakeup is not a dead client *)
-          | exception
-              Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-          | exception Fault.Injected _ -> ()
-          | exception Unix.Unix_error _ -> c.closed <- true)
-      !conns;
-    conns :=
-      List.filter
-        (fun c ->
-          if c.closed then (try Unix.close c.fd with Unix.Unix_error _ -> ());
-          not c.closed)
-        !conns;
-    Registry.set st.tel.conns_active (List.length !conns);
-    (match cfg.heartbeat_s with
+  let tick () =
+    match cfg.heartbeat_s with
     | Some period when period > 0.0 && Clock.elapsed_s ~since:!last_beat >= period ->
       last_beat := Clock.now_ns ();
       Printf.eprintf "%s\n%!" (heartbeat_line st)
-    | _ -> ())
-  done;
+    | _ -> ()
+  in
+  let remaining =
+    Evloop.run ~listen_fd
+      ~quit:(fun () -> st.quit)
+      ~on_line:(fun conn line -> handle_line st conn line)
+      ~on_accept:(fun _ -> Registry.incr st.tel.conns_total)
+      ~on_conns:(fun n -> Registry.set st.tel.conns_active n)
+      ~tick ~recv_fault:"serve.recv" ()
+  in
   if st.stop_reason <> "" then
     Printf.eprintf "racedet serve: shutting down (%s)\n%!" st.stop_reason;
   (match st.failed with
@@ -698,9 +837,11 @@ let run cfg =
   (match st.det with
   | Some det -> ( try Sharded.stop det with Sharded.Shard_failed _ -> ())
   | None -> ());
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  List.iter Evloop.close_conn remaining;
   Unix.close listen_fd;
-  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  (match cfg.listen with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
   (match cfg.chaos with
   | None -> ()
   | Some _ ->
@@ -724,29 +865,31 @@ let run cfg =
 let backoff_base_s = 0.01
 let backoff_cap_s = 0.8
 
-let connect_stats ?(recv_timeout_s = 0.25) ?deadline_s ?(seed = 0) path =
+let connect_stats ?(recv_timeout_s = 0.25) ?deadline_s ?(seed = 0) addr =
   let deadline =
     Clock.now_s () +. Option.value deadline_s ~default:default_deadline_s
   in
   let prng = Prng.create ~seed:(seed lxor 0x5eeed) in
   let rec go ~attempt ~backoff =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let fd = Unix.socket ~cloexec:true (socket_domain_of_addr addr) Unix.SOCK_STREAM 0 in
     match
       Fault.point ~supports:[ Fault.Exn; Fault.Delay ] "emit.connect";
-      Unix.connect fd (Unix.ADDR_UNIX path)
+      Unix.connect fd (sockaddr_of_addr addr)
     with
     | () ->
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout_s;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
       (fd, attempt)
     | exception
-        (( Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        (( Unix.Unix_error
+             ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT), _, _)
          | Fault.Injected _ ) as e) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       if Clock.now_s () +. backoff > deadline then
         match e with
         | Fault.Injected _ ->
           raise
-            (Unix.Unix_error (Unix.ECONNREFUSED, "connect (chaos)", path))
+            (Unix.Unix_error (Unix.ECONNREFUSED, "connect (chaos)", addr_to_string addr))
         | e -> raise e
       else begin
         Unix.sleepf (backoff +. Prng.float prng (backoff /. 2.0));
@@ -755,8 +898,8 @@ let connect_stats ?(recv_timeout_s = 0.25) ?deadline_s ?(seed = 0) path =
   in
   go ~attempt:1 ~backoff:backoff_base_s
 
-let connect ?recv_timeout_s ?deadline_s ?seed path =
-  fst (connect_stats ?recv_timeout_s ?deadline_s ?seed path)
+let connect ?recv_timeout_s ?deadline_s ?seed addr =
+  fst (connect_stats ?recv_timeout_s ?deadline_s ?seed addr)
 
 let deadline_at deadline_s =
   Clock.now_s () +. Option.value deadline_s ~default:default_deadline_s
@@ -787,6 +930,17 @@ let expect_blob ~deadline_at fd ~verb =
       | None -> Error ("malformed reply: " ^ line))
     | _ -> Error line)
 
+let expect_ok ~deadline_at fd =
+  match expect_line ~deadline_at fd with
+  | Error _ as e -> e
+  | Ok line -> (
+    match String.split_on_char ' ' line with
+    | [ "OK"; total ] -> (
+      match int_of_string_opt total with
+      | Some t -> Ok t
+      | None -> Error ("malformed reply: " ^ line))
+    | _ -> Error line)
+
 let send_batch ?deadline_s fd ~base trace =
   let deadline_at = deadline_at deadline_s in
   let payload = Trace_binary.to_bytes trace in
@@ -794,22 +948,46 @@ let send_batch ?deadline_s fd ~base trace =
     write_all fd (Printf.sprintf "BATCH %d %d\n" base (Bytes.length payload));
     write_all fd (Bytes.to_string payload)
   with
-  | () -> (
-    match expect_line ~deadline_at fd with
-    | Error _ as e -> e
-    | Ok line -> (
-      match String.split_on_char ' ' line with
-      | [ "OK"; total ] -> (
-        match int_of_string_opt total with
-        | Some t -> Ok t
-        | None -> Error ("malformed reply: " ^ line))
-      | _ -> Error line))
+  | () -> expect_ok ~deadline_at fd
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let send_cbatch ?deadline_s fd ~seq payload =
+  let deadline_at = deadline_at deadline_s in
+  match
+    write_all fd (Printf.sprintf "CBATCH %d %d\n" seq (String.length payload));
+    write_all fd payload
+  with
+  | () -> expect_ok ~deadline_at fd
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
 let fetch_report ?deadline_s fd =
   let deadline_at = deadline_at deadline_s in
   match write_all fd "REPORT\n" with
   | () -> expect_blob ~deadline_at fd ~verb:"REPORT"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let fetch_result ?deadline_s fd =
+  let deadline_at = deadline_at deadline_s in
+  match write_all fd "RESULT\n" with
+  | () -> (
+    match expect_blob ~deadline_at fd ~verb:"RESULT" with
+    | Error _ as e -> e
+    | Ok blob -> Cmsg.decode_result blob)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let fetch_seq ?deadline_s fd =
+  let deadline_at = deadline_at deadline_s in
+  match write_all fd "SEQ\n" with
+  | () -> (
+    match expect_line ~deadline_at fd with
+    | Error _ as e -> e
+    | Ok line -> (
+      match String.split_on_char ' ' line with
+      | [ "SEQ"; n ] -> (
+        match int_of_string_opt n with
+        | Some v when v >= 0 -> Ok v
+        | _ -> Error ("malformed reply: " ^ line))
+      | _ -> Error line))
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
 let fetch_stats ?deadline_s ?(format = `Prometheus) fd =
@@ -827,6 +1005,12 @@ let shutdown ?deadline_s fd =
     | Ok "BYE" -> Ok ()
     | Ok line -> Error line
     | Error _ as e -> e)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let migrate ?deadline_s fd worker =
+  let deadline_at = deadline_at deadline_s in
+  match write_all fd (Printf.sprintf "MIGRATE %d\n" worker) with
+  | () -> Result.map (fun _ -> ()) (expect_ok ~deadline_at fd)
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
 let close fd = try Unix.close fd with Unix.Unix_error _ -> ()

@@ -1,13 +1,16 @@
 (** The [racedet serve] ingestion daemon and its client side.
 
-    A server listens on a Unix-domain socket and feeds a {!Sharded} detector
-    from event batches pushed by any number of client processes.  The wire
-    protocol is line-framed with binary payloads:
+    A server listens on a Unix-domain socket or a TCP address and feeds a
+    {!Sharded} detector from event batches pushed by any number of client
+    processes.  The wire protocol is line-framed with binary payloads:
 
     {v
     client → server                      server → client
     BATCH <base> <nbytes>\n  <.ftb blob> OK <total>\n   |  ERR <reason>\n
+    CBATCH <seq> <nbytes>\n  <cluster>   OK <total>\n   |  ERR <reason>\n
     REPORT\n                             REPORT <nbytes>\n <report text>
+    RESULT\n                             RESULT <nbytes>\n <partial result>
+    SEQ\n                                SEQ <n>\n
     STATS\n                              STATS <nbytes>\n <Prometheus text>
     STATS JSON\n                         STATS <nbytes>\n <JSON document>
     SHUTDOWN\n                           BYE\n
@@ -21,6 +24,15 @@
     prefixes idempotently — so a client may blindly resend after a crash.
     [OK <total>] reports how many events have been ingested so far.
 
+    [CBATCH]/[RESULT]/[SEQ] are the cluster-worker face of the same daemon
+    (see {!Cmsg} and DESIGN.md §6e): a {!Ft_cluster} router streams
+    consistent-hash sub-streams of routed messages, sequenced by a dense
+    per-worker counter, and merges the workers' [RESULT] blobs.  A session
+    speaks either [BATCH] or [CBATCH], fixed by the first ingested batch;
+    mixing them is refused.  [CBATCH] does not park — the router is the
+    only client and sends in order — but resent prefixes are skipped
+    idempotently, which is what makes post-recovery replay exact.
+
     [STATS] snapshots the daemon's telemetry ({!Ft_obs.Registry}): ingest
     counters (batches fed / parked / duplicate / resent, events), per-batch
     ingest-latency histogram (p50/p90/p99/max), per-shard ring occupancy
@@ -33,13 +45,15 @@
     so [REPORT] output stays byte-identical to [racedet analyze].
 
     With a checkpoint directory the server persists, after every ingested
-    batch and on shutdown, one [.ftc] per shard ([shard-<k>.ftc]) plus
-    [router.ftc] (pending bits, router sampler state, sync-only baseline) —
-    the {!Ft_snapshot.Checkpoint} container, so each file is individually
-    checksummed and written atomically.  A restarted server pointed at the
-    directory resumes exactly; if the set is missing or inconsistent it
-    logs the reason and starts fresh, which is still correct because
-    clients resend idempotently.
+    batch {e before acknowledging it} and on shutdown, one [.ftc] per shard
+    ([shard-<k>.ftc]) plus [router.ftc] (pending bits, router sampler
+    state, sync-only baseline) — the {!Ft_snapshot.Checkpoint} container,
+    so each file is individually checksummed and written atomically.
+    Checkpoint-before-OK means an acknowledged batch is durable, which is
+    the invariant the cluster router's recovery protocol builds on.  A
+    restarted server pointed at the directory resumes exactly; if the set
+    is missing or inconsistent it logs the reason and starts fresh, which
+    is still correct because clients resend idempotently.
 
     {2 Robustness}
 
@@ -50,15 +64,50 @@
     ([max_restarts]) fails the daemon fast with a non-zero exit, leaving
     the last good checkpoint set on disk for a replacement server to
     resume from.  [SIGTERM] and [SIGINT] trigger the same graceful path as
-    a [SHUTDOWN] command: drain the rings, write a final checkpoint set,
-    dump [metrics_json].  A [chaos] config arms the deterministic
-    fault-injection layer ({!Ft_fault.Fault}) over the daemon's injection
-    points ([serve.recv], [shard.step], [spsc.push], [checkpoint.write])
-    and reports fired faults through the [racedet_faults_injected] /
-    [racedet_shard_restarts] counters and a shutdown summary line. *)
+    a [SHUTDOWN] command — drain the rings, write a final checkpoint set,
+    dump [metrics_json] — even when the signal lands inside [accept] or a
+    blocking read (both are EINTR-guarded).  A [chaos] config arms the
+    deterministic fault-injection layer ({!Ft_fault.Fault}) over the
+    daemon's injection points ([serve.recv], [shard.step], [spsc.push],
+    [checkpoint.write]) and reports fired faults through the
+    [racedet_faults_injected] / [racedet_shard_restarts] counters and a
+    shutdown summary line. *)
+
+(** {1 Transport addresses} *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or dotted quad) and port; port 0 binds ephemeral *)
+
+val addr_to_string : addr -> string
+(** ["unix:PATH"] / ["tcp:HOST:PORT"] — the ready-file format. *)
+
+val addr_of_string : string -> (addr, string) result
+(** Inverse of {!addr_to_string}; a bare string with no scheme prefix is a
+    Unix path (backwards compatible with plain socket paths). *)
+
+val tcp_of_string : string -> (addr, string) result
+(** ["HOST:PORT"] → [Tcp] (the [--tcp] argument format). *)
+
+val listen_socket : ?backlog:int -> addr -> Unix.file_descr * addr
+(** Bind + listen (close-on-exec), returning the {e actual} address — a TCP
+    bind to port 0 resolves to the kernel-chosen port.  For a Unix path the
+    stale socket file of a crashed server is unlinked, but a path with a
+    {e live} listener (probed with a connect) raises [Failure] instead of
+    silently orphaning the running server. *)
+
+val write_addr_file : string -> addr -> unit
+(** Atomically (write + rename) publish an address, one
+    {!addr_to_string} line — how a server started on an ephemeral port
+    advertises itself ([ready_file]). *)
+
+val read_addr_file : string -> (addr, string) result
+
+val default_backlog : int
+(** Default listen(2) backlog, 128. *)
 
 type config = {
-  socket : string;  (** Unix-domain socket path *)
+  listen : addr;
   engine : Ft_core.Engine.id;
   shards : int;
   sampler : Ft_core.Sampler.t;
@@ -66,6 +115,10 @@ type config = {
   checkpoint_dir : string option;
   resume_dir : string option;
   max_parked : int;  (** bound on batches parked for reordering *)
+  backlog : int;  (** listen(2) backlog ({!default_backlog}) *)
+  ready_file : string option;
+      (** publish the actual listen address here once bound (atomic
+          write + rename) — how callers learn an ephemeral TCP port *)
   heartbeat_s : float option;
       (** period of the one-line stderr telemetry heartbeat; [None] (or a
           non-positive period) disables it.  The heartbeat reads only
@@ -90,10 +143,11 @@ val default_deadline_s : float
 val run : config -> unit
 (** Serve until a client sends [SHUTDOWN] or the process receives
     [SIGTERM]/[SIGINT] (both shut down gracefully: final checkpoint +
-    metrics dump).  Creates the socket (replacing a stale file), removes it
-    on exit.  Blocking; spawns the shard domains — call it from a dedicated
-    (child) process.  Raises [Failure] after cleanup if a shard exhausted
-    its restart budget (the CLI turns that into a non-zero exit). *)
+    metrics dump).  Refuses to start when [listen] is a Unix path with a
+    live listener; removes the socket file on exit.  Blocking; spawns the
+    shard domains — call it from a dedicated (child) process.  Raises
+    [Failure] after cleanup if a shard exhausted its restart budget (the
+    CLI turns that into a non-zero exit). *)
 
 val report_text : events:int -> Ft_core.Detector.result -> string
 (** The analysis report, byte-identical to [racedet analyze]'s output —
@@ -115,10 +169,10 @@ val metrics_json_value : Ft_core.Metrics.t -> Ft_obs.Json.t
     is just the poll granularity of that deadline check. *)
 
 val connect :
-  ?recv_timeout_s:float -> ?deadline_s:float -> ?seed:int -> string -> Unix.file_descr
+  ?recv_timeout_s:float -> ?deadline_s:float -> ?seed:int -> addr -> Unix.file_descr
 (** Connect, retrying with capped exponential backoff (10 ms doubling to
     0.8 s, plus deterministic jitter from {!Ft_support.Prng} seeded by
-    [?seed]) while the socket does not exist yet or refuses — covers the
+    [?seed]) while the address does not exist yet or refuses — covers the
     race with server startup without hammering a slow one.  Gives up once
     the next attempt would land past [?deadline_s]
     (default {!default_deadline_s}) of wall time, re-raising the last
@@ -130,7 +184,7 @@ val connect_stats :
   ?recv_timeout_s:float ->
   ?deadline_s:float ->
   ?seed:int ->
-  string ->
+  addr ->
   Unix.file_descr * int
 (** Like {!connect}, additionally returning how many attempts the backoff
     loop made (1 = connected first try) — surfaced by
@@ -141,7 +195,20 @@ val send_batch :
 (** Encode the batch as .ftb and send it; [Ok total] echoes the server's
     ingested-events count. *)
 
+val send_cbatch :
+  ?deadline_s:float -> Unix.file_descr -> seq:int -> string -> (int, string) result
+(** Send an already-encoded {!Cmsg} cluster batch; [Ok total] echoes the
+    worker's message count ([seq + messages] once ingested). *)
+
 val fetch_report : ?deadline_s:float -> Unix.file_descr -> (string, string) result
+
+val fetch_result :
+  ?deadline_s:float -> Unix.file_descr -> (Ft_core.Detector.result, string) result
+(** The worker's decoded partial result ([RESULT]). *)
+
+val fetch_seq : ?deadline_s:float -> Unix.file_descr -> (int, string) result
+(** The session's stream position ([SEQ]) — the router's replay point after
+    respawning a worker. *)
 
 val fetch_stats :
   ?deadline_s:float ->
@@ -151,5 +218,9 @@ val fetch_stats :
 (** The [STATS] payload (default [`Prometheus]). *)
 
 val shutdown : ?deadline_s:float -> Unix.file_descr -> (unit, string) result
+
+val migrate : ?deadline_s:float -> Unix.file_descr -> int -> (unit, string) result
+(** Ask a {e router} to checkpoint-migrate worker [k] onto a fresh process
+    ([MIGRATE <k>]); an [ERR] reply is returned as [Error]. *)
 
 val close : Unix.file_descr -> unit

@@ -381,6 +381,25 @@ let handle t i (e : Event.t) =
     t.pending.(u) <- false);
   t.nevents <- t.nevents + 1
 
+(* A pending-bit transition whose triggering access is owned elsewhere — a
+   cluster worker applying a [Mark] from its router (see {!Cmsg}).  From
+   this detector's point of view no internal shard owns the access, so the
+   mark goes to every shard, exactly as [handle] sends it to every
+   non-owner; the baseline notes it too, keeping the internal baseline
+   identical to the global run's.  Not an event: [nevents] and the routed
+   counters stay put. *)
+let note_sampled t th =
+  if t.stopped then failwith "Sharded.note_sampled: detector is stopped";
+  if th < 0 || th >= Array.length t.pending then
+    failwith (Printf.sprintf "Sharded.note_sampled: thread %d out of range" th);
+  if not t.pending.(th) then begin
+    t.pending.(th) <- true;
+    for s = 0 to t.k - 1 do
+      push_msg t s (Mark th)
+    done;
+    t.baseline.i_note th
+  end
+
 let events t = t.nevents
 
 let shard_event_counts t = Array.copy t.routed

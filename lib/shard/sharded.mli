@@ -77,6 +77,14 @@ val handle : t -> int -> Ft_trace.Event.t -> unit
     heal a failed shard in-line (replaying its backlog) before returning, and
     raises {!Shard_failed} once a shard is past its restart budget. *)
 
+val note_sampled : t -> Ft_trace.Event.tid -> unit
+(** Apply a pending-bit transition whose triggering access is owned by
+    {e another} detector — how a cluster worker replays a router [Mark]
+    ({!Cmsg.msg}).  Sets the bit, marks every internal shard and notes the
+    baseline, exactly as {!handle} does for a locally-owned sampled access;
+    a no-op when the bit is already set.  Not an event: {!events} and the
+    per-shard routed counts are unchanged. *)
+
 val events : t -> int
 (** Events routed so far. *)
 

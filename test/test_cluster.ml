@@ -1,0 +1,373 @@
+(* racedet route — the cluster router:
+
+   - byte-identity grid: a K-worker cluster (each worker a domain-sharded
+     serve daemon in its own process) produces REPORTs byte-identical to the
+     in-process unsharded analysis, for every engine and across samplers
+     with per-location state;
+   - out-of-order and duplicate client batches over TCP transport;
+   - worker death mid-ingest (chaos-injected SIGKILL and a real external
+     SIGKILL via the pid file), recovered through .ftc checkpoint resume +
+     SEQ + log replay — with checkpointing on and off;
+   - QCheck property: a single MIGRATE at a random cut point, of a random
+     worker, preserves REPORT bytes;
+   - Chash units: determinism, coverage, rough balance, K→K+1 stability.
+
+   The router forks worker processes and spawns no domains itself; this
+   parent likewise only forks, so the whole suite is fork-safe. *)
+
+module Trace = Ft_trace.Trace
+module Trace_gen = Ft_trace.Trace_gen
+module Prng = Ft_support.Prng
+module Engine = Ft_core.Engine
+module Sampler = Ft_core.Sampler
+module Serve = Ft_shard.Serve
+module Router = Ft_cluster.Router
+module Chash = Ft_cluster.Chash
+module Fault = Ft_fault.Fault
+
+let dir_counter = ref 0
+
+let temp_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftcluster-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Unix.mkdir d 0o700;
+  d
+
+(* cluster run dirs nest checkpoint directories *)
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let router_config ?(workers = 2) ?(worker_shards = 2) ?(worker_tcp = false)
+    ?(checkpoint = true) ~engine ~sampler ~dir listen =
+  {
+    Router.listen;
+    workers;
+    worker_shards;
+    engine;
+    sampler;
+    clock_size = None;
+    dir = Filename.concat dir "run";
+    worker_tcp;
+    checkpoint;
+    max_parked = Serve.default_max_parked;
+    backlog = Serve.default_backlog;
+    ready_file = None;
+    heartbeat_s = None;
+    metrics_json = None;
+    max_respawns = Router.default_max_respawns;
+    chaos = None;
+  }
+
+(* [arm] runs in the router child before the router starts — how a test
+   installs a single-shot chaos injection ([Fault.arm_exact]) that the
+   forked worker processes then inherit but never hit. *)
+let start_router ?(arm = fun () -> ()) cfg =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       arm ();
+       Router.run cfg
+     with exn ->
+       Printf.eprintf "router died: %s\n%!" (Printexc.to_string exn);
+       Unix._exit 1);
+    Unix._exit 0
+  | pid -> pid
+
+let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let kill_and_reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap pid
+
+let get_ok what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s failed: %s" what msg
+
+let sample_trace ?(nthreads = 4) ~seed ~length () =
+  let prng = Prng.create ~seed in
+  Trace_gen.random prng
+    {
+      Trace_gen.nthreads;
+      nlocks = 3;
+      nlocs = 16;
+      length;
+      atomics = true;
+      forkjoin = true;
+    }
+
+let slices trace ~batch =
+  let n = Trace.length trace in
+  let rec go base acc =
+    if base >= n then List.rev acc
+    else begin
+      let len = Stdlib.min batch (n - base) in
+      let sub =
+        Trace.make ~nthreads:trace.Trace.nthreads ~nlocks:trace.Trace.nlocks
+          ~nlocs:trace.Trace.nlocs
+          (Array.init len (fun i -> Trace.get trace (base + i)))
+      in
+      go (base + len) ((base, sub) :: acc)
+    end
+  in
+  go 0 []
+
+let expected_report ~engine ~sampler trace =
+  Serve.report_text ~events:(Trace.length trace) (Engine.run engine ~sampler trace)
+
+(* Run one cluster session: start a router, stream the batches (already
+   (base, sub) pairs, any order), fetch the REPORT, shut down cleanly.
+   [mid] runs after [mid_after] sends — kill/migrate hooks. *)
+let cluster_report ?arm ?(mid = fun _fd -> ()) ?(mid_after = max_int) ~cfg ~socket batches =
+  let pid = start_router ?arm cfg in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect ~deadline_s:60.0 (Serve.Unix_path socket) in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  List.iteri
+    (fun i (base, sub) ->
+      if i = mid_after then mid fd;
+      ignore (get_ok "send_batch" (Serve.send_batch ~deadline_s:60.0 fd ~base sub)))
+    batches;
+  let report = get_ok "fetch_report" (Serve.fetch_report ~deadline_s:60.0 fd) in
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid;
+  report
+
+(* --- byte-identity grid ------------------------------------------------------ *)
+
+(* Every engine at K=2; the paper's headline engines across K∈{1,4} and the
+   samplers whose correctness depends on whole-location partitioning
+   (per-location state: cold_region).  Each worker is itself domain-sharded
+   (worker_shards=2), so the grid also covers cluster-over-Sharded. *)
+let test_identity_grid () =
+  with_temp_dir @@ fun dir ->
+  let trace = sample_trace ~seed:7 ~length:900 () in
+  let run i ~engine ~sampler ~workers =
+    let sub = Filename.concat dir (string_of_int i) in
+    Unix.mkdir sub 0o700;
+    let socket = Filename.concat sub "route.sock" in
+    let cfg =
+      router_config ~workers ~worker_shards:2 ~engine ~sampler ~dir:sub
+        (Serve.Unix_path socket)
+    in
+    let report = cluster_report ~cfg ~socket (slices trace ~batch:200) in
+    Alcotest.(check string)
+      (Printf.sprintf "engine %s, K=%d ≡ analyze" (Engine.name engine) workers)
+      (expected_report ~engine ~sampler trace)
+      report
+  in
+  let i = ref 0 in
+  let bern = Sampler.bernoulli ~rate:0.3 ~seed:11 in
+  List.iter
+    (fun engine ->
+      incr i;
+      run !i ~engine ~sampler:bern ~workers:2)
+    Engine.all;
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun sampler ->
+              incr i;
+              run !i ~engine ~sampler ~workers)
+            [ Sampler.all; Sampler.cold_region ~threshold:2 ])
+        [ 1; 4 ])
+    [ Engine.So; Engine.O1; Engine.O1u ]
+
+(* --- TCP transport, out-of-order and duplicate batches ----------------------- *)
+
+let test_tcp_out_of_order_duplicates () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.So and sampler = Sampler.bernoulli ~rate:0.4 ~seed:3 in
+  let trace = sample_trace ~seed:13 ~length:1_200 () in
+  let ready = Filename.concat dir "route.addr" in
+  let cfg =
+    {
+      (router_config ~workers:2 ~worker_tcp:true ~engine ~sampler ~dir
+         (Serve.Tcp ("127.0.0.1", 0)))
+      with
+      Router.ready_file = Some ready;
+    }
+  in
+  let pid = start_router cfg in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let rec wait_ready tries =
+    if Sys.file_exists ready then ()
+    else if tries = 0 then Alcotest.failf "router never published %s" ready
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      wait_ready (tries - 1)
+    end
+  in
+  wait_ready 200;
+  let addr = get_ok "read_addr_file" (Serve.read_addr_file ready) in
+  (match addr with
+  | Serve.Tcp (_, port) -> Alcotest.(check bool) "ephemeral port bound" true (port > 0)
+  | Serve.Unix_path _ -> Alcotest.fail "expected a TCP address in the ready file");
+  let fd = Serve.connect ~deadline_s:60.0 addr in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  let batches = slices trace ~batch:150 in
+  (* odd batches first (they park), then evens (they drain), then every
+     third again as a duplicate (idempotent skip) *)
+  let scrambled =
+    List.filteri (fun i _ -> i mod 2 = 1) batches
+    @ List.filteri (fun i _ -> i mod 2 = 0) batches
+    @ List.filteri (fun i _ -> i mod 3 = 0) batches
+  in
+  List.iter
+    (fun (base, sub) ->
+      ignore (get_ok "send_batch" (Serve.send_batch ~deadline_s:60.0 fd ~base sub)))
+    scrambled;
+  let report = get_ok "fetch_report" (Serve.fetch_report ~deadline_s:60.0 fd) in
+  Alcotest.(check string) "TCP cluster, scrambled + duplicates ≡ analyze"
+    (expected_report ~engine ~sampler trace)
+    report;
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid
+
+(* --- worker death mid-ingest -------------------------------------------------- *)
+
+(* Chaos-injected: the router SIGKILLs worker 1 at its 3rd flush, respawns
+   it against its checkpoints, replays the unacknowledged suffix. *)
+let test_chaos_worker_crash ~checkpoint () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.So and sampler = Sampler.bernoulli ~rate:0.3 ~seed:17 in
+  let trace = sample_trace ~seed:19 ~length:1_000 () in
+  let socket = Filename.concat dir "route.sock" in
+  let cfg =
+    router_config ~workers:2 ~checkpoint ~engine ~sampler ~dir (Serve.Unix_path socket)
+  in
+  let arm () = Fault.arm_exact ~lane:1 ~point:"cluster.worker_crash" ~hit:3 Fault.Exn in
+  let report = cluster_report ~arm ~cfg ~socket (slices trace ~batch:120) in
+  Alcotest.(check string)
+    (Printf.sprintf "chaos worker kill (checkpoint=%b) ≡ analyze" checkpoint)
+    (expected_report ~engine ~sampler trace)
+    report
+
+(* External SIGKILL via the advertised pid file — the path a CI smoke or an
+   operator takes; the router discovers the death at the next send and
+   recovers through SEQ + replay. *)
+let test_external_sigkill () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.O1 and sampler = Sampler.bernoulli ~rate:0.5 ~seed:23 in
+  let trace = sample_trace ~seed:29 ~length:1_000 () in
+  let socket = Filename.concat dir "route.sock" in
+  let cfg = router_config ~workers:2 ~engine ~sampler ~dir (Serve.Unix_path socket) in
+  let kill_worker _fd =
+    let pidfile = Filename.concat (Filename.concat dir "run") "worker-0.pid" in
+    let text = In_channel.with_open_bin pidfile In_channel.input_all in
+    let wpid = int_of_string (String.trim text) in
+    Unix.kill wpid Sys.sigkill;
+    (* let it die before the next batch races the kill *)
+    ignore (Unix.select [] [] [] 0.05)
+  in
+  let report =
+    cluster_report ~mid:kill_worker ~mid_after:4 ~cfg ~socket (slices trace ~batch:120)
+  in
+  Alcotest.(check string) "external worker SIGKILL ≡ analyze"
+    (expected_report ~engine ~sampler trace)
+    report
+
+(* --- MIGRATE property --------------------------------------------------------- *)
+
+(* Any single migration — any worker, at any cut point in the stream —
+   preserves REPORT bytes: flush → graceful worker shutdown (final .ftc) →
+   fresh process resumes from the checkpoint → SEQ → empty replay. *)
+let migrate_property =
+  let trace = sample_trace ~seed:37 ~length:700 () in
+  let batches = slices trace ~batch:100 in
+  let nbatches = List.length batches in
+  let engine = Engine.So and sampler = Sampler.bernoulli ~rate:0.35 ~seed:41 in
+  let expected = expected_report ~engine ~sampler trace in
+  let gen = QCheck.Gen.(pair (int_range 0 nbatches) (int_range 0 2)) in
+  let arb =
+    QCheck.make ~print:(fun (cut, w) -> Printf.sprintf "cut=%d worker=%d" cut w) gen
+  in
+  QCheck.Test.make ~name:"single MIGRATE at a random cut preserves REPORT bytes"
+    ~count:4 arb
+    (fun (cut, w) ->
+      let dir = temp_dir () in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let socket = Filename.concat dir "route.sock" in
+      let cfg =
+        router_config ~workers:3 ~worker_shards:1 ~engine ~sampler ~dir
+          (Serve.Unix_path socket)
+      in
+      let mid fd = get_ok "migrate" (Serve.migrate ~deadline_s:60.0 fd w) in
+      let report = cluster_report ~mid ~mid_after:cut ~cfg ~socket batches in
+      if report <> expected then
+        QCheck.Test.fail_reportf "REPORT diverged after migrating worker %d at cut %d" w
+          cut;
+      true)
+
+(* --- Chash units -------------------------------------------------------------- *)
+
+let test_chash () =
+  let nlocs = 2_000 in
+  (* deterministic: two independent rings agree everywhere *)
+  let a = Chash.create ~workers:4 and b = Chash.create ~workers:4 in
+  for x = 0 to nlocs - 1 do
+    Alcotest.(check int) "owner deterministic" (Chash.owner a x) (Chash.owner b x)
+  done;
+  (* coverage and rough balance *)
+  let counts = Array.make 4 0 in
+  for x = 0 to nlocs - 1 do
+    let o = Chash.owner a x in
+    Alcotest.(check bool) "owner in range" true (o >= 0 && o < 4);
+    counts.(o) <- counts.(o) + 1
+  done;
+  Array.iteri
+    (fun w c ->
+      Alcotest.(check bool) (Printf.sprintf "worker %d owns a sane share" w) true
+        (c > 0 && c < nlocs))
+    counts;
+  let mean = nlocs / 4 in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "no worker above 3x the mean share" true (c < 3 * mean))
+    counts;
+  (* consistency: growing K=3 → K=4 moves well under half the keyspace *)
+  let three = Chash.create ~workers:3 and four = Chash.create ~workers:4 in
+  let moved = ref 0 in
+  for x = 0 to nlocs - 1 do
+    if Chash.owner three x <> Chash.owner four x then incr moved
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "only %d/%d locations moved" !moved nlocs)
+    true
+    (!moved < nlocs / 2);
+  Alcotest.(check int) "K=1 is total" 0 (Chash.owner (Chash.create ~workers:1) 12345)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "engines × samplers × K grid ≡ analyze" `Quick
+            test_identity_grid;
+          Alcotest.test_case "TCP transport, out-of-order + duplicates" `Quick
+            test_tcp_out_of_order_duplicates;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "chaos worker kill, checkpointed resume" `Quick
+            (test_chaos_worker_crash ~checkpoint:true);
+          Alcotest.test_case "chaos worker kill, full-log replay" `Quick
+            (test_chaos_worker_crash ~checkpoint:false);
+          Alcotest.test_case "external SIGKILL via pid file" `Quick test_external_sigkill;
+        ] );
+      ("migration", [ QCheck_alcotest.to_alcotest migrate_property ]);
+      ("chash", [ Alcotest.test_case "determinism, coverage, stability" `Quick test_chash ]);
+    ]

@@ -370,7 +370,7 @@ let with_temp_dir f =
 let server_config ?checkpoint_dir ?resume_dir ?metrics_json ?chaos ~engine ~shards ~sampler
     socket =
   {
-    Serve.socket;
+    Serve.listen = Serve.Unix_path socket;
     engine;
     shards;
     sampler;
@@ -378,6 +378,8 @@ let server_config ?checkpoint_dir ?resume_dir ?metrics_json ?chaos ~engine ~shar
     checkpoint_dir;
     resume_dir;
     max_parked = Serve.default_max_parked;
+    backlog = Serve.default_backlog;
+    ready_file = None;
     heartbeat_s = None;
     metrics_json;
     max_restarts = Serve.default_max_restarts;
@@ -445,7 +447,7 @@ let test_connect_backoff () =
   let cfg = server_config ~engine:Engine.So ~shards:1 ~sampler:Sampler.all socket in
   let pid = start_server ~delay_s:0.4 cfg in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd, attempts = Serve.connect_stats ~deadline_s:15.0 ~seed:3 socket in
+  let fd, attempts = Serve.connect_stats ~deadline_s:15.0 ~seed:3 (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   Alcotest.(check bool)
     (Printf.sprintf "slow bind forces retries (attempts=%d)" attempts)
@@ -472,7 +474,7 @@ let test_sigterm_graceful_then_resume () =
   let pid = start_server cfg in
   let status =
     Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-    let fd = Serve.connect socket in
+    let fd = Serve.connect (Serve.Unix_path socket) in
     Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
     for i = 0 to 2 do
       let base, sub = batches.(i) in
@@ -497,7 +499,7 @@ let test_sigterm_graceful_then_resume () =
       (server_config ~engine ~shards:3 ~sampler ~checkpoint_dir:ckpt ~resume_dir:ckpt socket)
   in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   let base0, sub0 = batches.(0) in
   let total = get_ok "resend 0" (Serve.send_batch fd ~base:base0 sub0) in
@@ -533,7 +535,7 @@ let test_serve_with_chaos () =
   let cfg = server_config ~engine ~shards:3 ~sampler ~checkpoint_dir:ckpt ~chaos socket in
   let pid = start_server cfg in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   List.iter
     (fun (base, sub) -> ignore (get_ok "chaos batch" (Serve.send_batch fd ~base sub)))

@@ -49,7 +49,7 @@ let start_server ?checkpoint_dir ?resume_dir ?metrics_json ?chaos ~engine ~shard
     (try
        Serve.run
          {
-           Serve.socket;
+           Serve.listen = Serve.Unix_path socket;
            engine;
            shards;
            sampler;
@@ -57,6 +57,8 @@ let start_server ?checkpoint_dir ?resume_dir ?metrics_json ?chaos ~engine ~shard
            checkpoint_dir;
            resume_dir;
            max_parked = Serve.default_max_parked;
+           backlog = Serve.default_backlog;
+           ready_file = None;
            heartbeat_s = None;
            metrics_json;
            max_restarts = Serve.default_max_restarts;
@@ -122,7 +124,7 @@ let test_roundtrip_out_of_order () =
   let socket = Filename.concat dir "serve.sock" in
   let pid = start_server ~engine ~shards:4 ~sampler socket in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   let batches = slices trace ~batch:300 in
   (* odd-numbered batches first: everything parks until the evens arrive *)
@@ -148,8 +150,8 @@ let test_two_clients_interleaved () =
   let socket = Filename.concat dir "serve.sock" in
   let pid = start_server ~engine ~shards:2 ~sampler socket in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let a = Serve.connect socket in
-  let b = Serve.connect socket in
+  let a = Serve.connect (Serve.Unix_path socket) in
+  let b = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close a; Serve.close b) @@ fun () ->
   let batches = Array.of_list (slices trace ~batch:250) in
   (* client A owns even batches, client B odd ones; B runs ahead of A *)
@@ -180,7 +182,7 @@ let test_protocol_edges () =
   let socket = Filename.concat dir "serve.sock" in
   let pid = start_server ~engine ~shards:3 ~sampler socket in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   let batches = Array.of_list (slices trace ~batch:200) in
   let base0, sub0 = batches.(0) in
@@ -252,7 +254,7 @@ let test_crash_and_resume () =
   let pid = start_server ~engine ~shards ~sampler ~checkpoint_dir:ckpt socket in
   let survived_events =
     Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-    let fd = Serve.connect socket in
+    let fd = Serve.connect (Serve.Unix_path socket) in
     Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
     let total = ref 0 in
     for i = 0 to 2 do
@@ -271,7 +273,7 @@ let test_crash_and_resume () =
     start_server ~engine ~shards ~sampler ~checkpoint_dir:ckpt ~resume_dir:ckpt socket
   in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   (* the first resent batch's reply proves state survived the crash *)
   let base0, sub0 = batches.(0) in
@@ -301,7 +303,7 @@ let test_resume_with_corrupt_checkpoint_starts_fresh () =
       Out_channel.output_string oc "FTCKgarbage");
   let pid = start_server ~engine ~shards:2 ~sampler ~resume_dir:ckpt socket in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   List.iter
     (fun (base, sub) -> ignore (get_ok "send" (Serve.send_batch fd ~base sub)))
@@ -401,9 +403,9 @@ let test_stats_during_ingestion () =
   let socket = Filename.concat dir "serve.sock" in
   let pid = start_server ~engine ~shards:3 ~sampler socket in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let a = Serve.connect socket in
-  let b = Serve.connect socket in
-  let c = Serve.connect socket in
+  let a = Serve.connect (Serve.Unix_path socket) in
+  let b = Serve.connect (Serve.Unix_path socket) in
+  let c = Serve.connect (Serve.Unix_path socket) in
   Fun.protect
     ~finally:(fun () -> Serve.close a; Serve.close b; Serve.close c)
   @@ fun () ->
@@ -477,7 +479,7 @@ let test_metrics_json_file () =
   let path = Filename.concat dir "metrics.json" in
   let pid = start_server ~engine ~shards:2 ~sampler ~metrics_json:path socket in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
   List.iter
     (fun (base, sub) -> ignore (get_ok "send" (Serve.send_batch fd ~base sub)))
@@ -519,7 +521,7 @@ let test_large_single_batch () =
   let socket = Filename.concat dir "serve.sock" in
   let pid = start_server ~engine ~shards:4 ~sampler socket in
   Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
-  let fd = Serve.connect socket in
+  let fd = Serve.connect (Serve.Unix_path socket) in
   Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let total =
@@ -530,6 +532,69 @@ let test_large_single_batch () =
   Alcotest.(check string) "single large batch ≡ analyze" expected report;
   Alcotest.(check bool) "ingestion throughput sane" true
     (Unix.gettimeofday () -. t0 < 30.0)
+
+(* A second daemon handed the path of a LIVE server must refuse to start
+   (probe-with-connect), not blindly unlink the listener out from under it;
+   the first server keeps serving.  (Stale socket files of crashed servers
+   are still replaced — the crash/resume test exercises that path.) *)
+let test_refuses_live_listener () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.So and sampler = Sampler.all in
+  let socket = Filename.concat dir "serve.sock" in
+  let pid = start_server ~engine ~shards:1 ~sampler socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect (Serve.Unix_path socket) in
+  Fun.protect ~finally:(fun () -> Serve.close fd) @@ fun () ->
+  let pid2 = start_server ~engine ~shards:1 ~sampler socket in
+  let _, status = Unix.waitpid [] pid2 in
+  (match status with
+  | Unix.WEXITED 1 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "second server exited %d, wanted 1" n
+  | _ -> Alcotest.fail "second server was killed by a signal");
+  (* the first server kept its socket and still answers *)
+  let trace = sample_trace ~seed:41 ~length:400 in
+  ignore (get_ok "send" (Serve.send_batch fd ~base:0 trace));
+  let report = get_ok "report" (Serve.fetch_report fd) in
+  Alcotest.(check string) "first server unharmed"
+    (expected_report ~engine ~sampler trace)
+    report;
+  get_ok "shutdown" (Serve.shutdown fd);
+  reap pid
+
+(* SIGTERM while the listener is under connect load must still take the
+   graceful path (drain → final checkpoint → metrics dump → exit 0): the
+   regression was an unguarded [accept] letting EINTR escape the loop. *)
+let test_sigterm_graceful_under_connect_load () =
+  with_temp_dir @@ fun dir ->
+  let engine = Engine.So and sampler = Sampler.all in
+  let trace = sample_trace ~seed:31 ~length:1_000 in
+  let socket = Filename.concat dir "serve.sock" in
+  let path = Filename.concat dir "metrics.json" in
+  let pid = start_server ~engine ~shards:2 ~sampler ~metrics_json:path socket in
+  Fun.protect ~finally:(fun () -> kill_and_reap pid) @@ fun () ->
+  let fd = Serve.connect (Serve.Unix_path socket) in
+  List.iter
+    (fun (base, sub) -> ignore (get_ok "send" (Serve.send_batch fd ~base sub)))
+    (slices trace ~batch:250);
+  (* open connections plus a burst of racing connect attempts while the
+     signal lands; attempts may fail once the listener is gone — fine *)
+  let churn = Array.init 5 (fun i -> Serve.connect ~seed:i (Serve.Unix_path socket)) in
+  Unix.kill pid Sys.sigterm;
+  for _ = 1 to 20 do
+    let fd2 = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd2 (Unix.ADDR_UNIX socket) with Unix.Unix_error _ -> ());
+    try Unix.close fd2 with Unix.Unix_error _ -> ()
+  done;
+  let _, status = Unix.waitpid [] pid in
+  Serve.close fd;
+  Array.iter Serve.close churn;
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "server exited %d after SIGTERM" n
+  | _ -> Alcotest.fail "server was killed by a signal");
+  Alcotest.(check bool) "graceful drain wrote --metrics-json" true (Sys.file_exists path);
+  Sys.remove path;
+  Alcotest.(check bool) "socket removed on exit" false (Sys.file_exists socket)
 
 let () =
   Alcotest.run "serve"
@@ -542,6 +607,10 @@ let () =
           Alcotest.test_case "protocol edges" `Quick test_protocol_edges;
           Alcotest.test_case "large single batch streams through" `Quick
             test_large_single_batch;
+          Alcotest.test_case "live listener refuses a second server" `Quick
+            test_refuses_live_listener;
+          Alcotest.test_case "SIGTERM under connect load drains gracefully" `Quick
+            test_sigterm_graceful_under_connect_load;
         ] );
       ( "client robustness",
         [
