@@ -391,6 +391,10 @@ let run_cluster_grid ~target_events =
           metrics_json = None;
           max_respawns = Router.default_max_respawns;
           chaos = None;
+          window = Router.default_window;
+          wal = true;
+          resume = false;
+          state_every = Router.default_state_every;
         }
       in
       let pid =
@@ -435,6 +439,8 @@ let run_cluster_grid ~target_events =
           [ ("workload", Json.Str "db:tpcc");
             ("engine", Json.Str (Engine.name Engine.So));
             ("rate", jf rate);
+            ("phase", Json.Str options.phase);
+            ("window", Json.Int Router.default_window);
             ("workers", Json.Int workers);
             ("clients", Json.Int r.Loadgen.clients);
             ("events", Json.Int r.Loadgen.events);

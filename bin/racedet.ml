@@ -518,6 +518,7 @@ let serve_cmd =
                  sampler;
                  clock_size;
                  checkpoint_dir = checkpoint;
+                 checkpoint_every = Serve.default_checkpoint_every;
                  resume_dir = resume;
                  max_parked = Serve.default_max_parked;
                  backlog;
@@ -599,8 +600,13 @@ let emit_cmd =
     Arg.(value & flag & info [ "stats-json" ]
            ~doc:"Fetch and print the server's telemetry as a JSON document.")
   in
-  let run connect tcp file batch stride offset report stats stats_json shutdown_flag seed
-      chaos =
+  let resize =
+    Arg.(value & opt (some int) None & info [ "resize" ] ~docv:"DELTA"
+           ~doc:"After streaming, ask a $(b,racedet route) server to resize its \
+                 worker ring by DELTA (+1 or -1).")
+  in
+  let run connect tcp file batch stride offset report stats stats_json shutdown_flag
+      resize seed chaos =
     if batch < 1 then begin
       prerr_endline "racedet: --batch must be positive";
       1
@@ -623,9 +629,31 @@ let emit_cmd =
         Printf.eprintf "racedet: cannot connect to %s: %s: %s\n" name fn
           (Unix.error_message err);
         1
-      | fd, attempts ->
-        if attempts > 1 then
-          Printf.eprintf "racedet: connected to %s after %d attempts\n%!" name attempts;
+      | fd0, attempts0 ->
+        if attempts0 > 1 then
+          Printf.eprintf "racedet: connected to %s after %d attempts\n%!" name attempts0;
+        let fd = ref fd0 in
+        let attempts = ref attempts0 in
+        let reconnects = ref 0 in
+        (* A dead connection mid-stream (router restarting after a crash,
+           say) is the same situation as a worker respawn seen one level
+           down: reconnect with the same capped backoff — connect_stats
+           already retries ECONNREFUSED/ENOENT — and blind-resend, which
+           the server dedups by base index. *)
+        let reconnect why =
+          Serve.close !fd;
+          incr reconnects;
+          Printf.eprintf "racedet: connection to %s lost (%s); reconnecting\n%!" name why;
+          match Serve.connect_stats ~seed:(seed + !reconnects) addr with
+          | nfd, a ->
+            fd := nfd;
+            attempts := !attempts + a
+          | exception Unix.Unix_error (err, fn, _) ->
+            raise
+              (Fail
+                 (Printf.sprintf "cannot reconnect to %s: %s: %s" name fn
+                    (Unix.error_message err)))
+        in
         let code = ref 0 in
         (try
            (match file with
@@ -645,30 +673,45 @@ let emit_cmd =
                        ~nlocks:trace.Trace.nlocks ~nlocs:trace.Trace.nlocs
                        (Array.init len (fun i -> Trace.get trace (base + i)))
                    in
-                   match Serve.send_batch fd ~base sub with
-                   | Ok total ->
-                     Printf.eprintf "batch %d (base %d): server has %d events\n%!" b
-                       base total
-                   | Error msg ->
-                     raise (Fail (Printf.sprintf "batch %d: %s" b msg))
+                   let rec send tries =
+                     match Serve.send_batch !fd ~base sub with
+                     | Ok total ->
+                       Printf.eprintf "batch %d (base %d): server has %d events\n%!" b
+                         base total
+                     | Error msg ->
+                       if tries >= 3 then
+                         raise (Fail (Printf.sprintf "batch %d: %s" b msg))
+                       else begin
+                         reconnect msg;
+                         send (tries + 1)
+                       end
+                   in
+                   send 0
                  end
                done));
+           (match resize with
+           | None -> ()
+           | Some delta -> (
+             match Serve.resize !fd delta with
+             | Ok k -> Printf.eprintf "racedet: cluster resized to %d worker(s)\n%!" k
+             | Error msg -> raise (Fail ("resize: " ^ msg))));
            if stats then begin
-             match Serve.fetch_stats fd ~format:`Prometheus with
+             match Serve.fetch_stats !fd ~format:`Prometheus with
              | Error msg -> raise (Fail ("stats: " ^ msg))
              | Ok text ->
                (* client-side backoff telemetry rides along as a Prometheus
                   comment: the server cannot know how hard we had to try *)
-               Printf.printf "# emit_connect_attempts %d\n" attempts;
+               Printf.printf "# emit_connect_attempts %d\n" !attempts;
+               Printf.printf "# emit_reconnects %d\n" !reconnects;
                print_string text
            end;
            if stats_json then begin
-             match Serve.fetch_stats fd ~format:`Json with
+             match Serve.fetch_stats !fd ~format:`Json with
              | Error msg -> raise (Fail ("stats: " ^ msg))
              | Ok text -> print_string text
            end;
            if report then begin
-             match Serve.fetch_report fd with
+             match Serve.fetch_report !fd with
              | Error msg -> raise (Fail msg)
              | Ok text ->
                print_string text;
@@ -684,7 +727,7 @@ let emit_cmd =
                if not (has_sub text clean) then code := 2
            end;
            if shutdown_flag then
-             match Serve.shutdown fd with
+             match Serve.shutdown !fd with
              | Ok () -> ()
              | Error msg -> raise (Fail ("shutdown: " ^ msg))
          with
@@ -694,14 +737,14 @@ let emit_cmd =
         | Unix.Unix_error (err, fn, _) ->
           Printf.eprintf "racedet: %s: %s\n" fn (Unix.error_message err);
           code := 1);
-        Serve.close fd;
+        Serve.close !fd;
         !code)
     end
   in
   let term =
     Term.(
       const run $ connect $ tcp $ file $ batch $ stride $ offset $ report $ stats_flag
-      $ stats_json_flag $ shutdown_flag $ seed_arg $ chaos_arg)
+      $ stats_json_flag $ shutdown_flag $ resize $ seed_arg $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "emit"
@@ -751,8 +794,36 @@ let route_cmd =
            ~doc:"Per-worker respawn budget; past it the router fails fast with a \
                  non-zero exit.")
   in
+  let window =
+    Arg.(value & opt int Router.default_window & info [ "window" ] ~docv:"N"
+           ~doc:"Per-worker in-flight CBATCH window; acks are drained \
+                 asynchronously and a full window applies backpressure. 1 \
+                 restores lockstep send-then-wait.")
+  in
+  let no_wal =
+    Arg.(value & flag & info [ "no-wal" ]
+           ~doc:"Disable the routed-event WAL (and with it --resume): batches \
+                 are acked without being made durable first.")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Recover the previous session from --dir's WAL and router-state \
+                 checkpoint: kill stale workers, replay the routed history, \
+                 respawn workers and align each at its durable SEQ. Clients \
+                 blind-resend unacked batches; the report stays byte-identical.")
+  in
+  let state_every =
+    Arg.(value & opt int Router.default_state_every & info [ "state-every" ] ~docv:"N"
+           ~doc:"Client batches between router-state checkpoints (0 disables \
+                 them; --resume then replays the whole WAL).")
+  in
+  let heartbeat =
+    Arg.(value & opt (some float) None & info [ "heartbeat" ] ~docv:"SECONDS"
+           ~doc:"Log a one-line liveness heartbeat to stderr every SECONDS.")
+  in
   let run socket tcp backlog ready_file engine workers worker_shards dir worker_tcp
-      no_checkpoint rate seed clock_size metrics_json max_respawns chaos =
+      no_checkpoint rate seed clock_size metrics_json max_respawns window no_wal resume
+      state_every heartbeat chaos =
     match Engine.of_name engine with
     | None ->
       prerr_endline ("racedet: unknown engine " ^ engine);
@@ -786,10 +857,14 @@ let route_cmd =
                max_parked = Serve.default_max_parked;
                backlog;
                ready_file;
-               heartbeat_s = None;
+               heartbeat_s = heartbeat;
                metrics_json;
                max_respawns;
                chaos;
+               window;
+               wal = not no_wal;
+               resume;
+               state_every;
              };
            0
          with
@@ -804,7 +879,8 @@ let route_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ backlog_arg $ ready_file_arg $ engine
       $ workers $ worker_shards $ dir $ worker_tcp $ no_checkpoint $ rate_arg
-      $ seed_arg $ clock_size_arg $ metrics_json $ max_respawns $ chaos_arg)
+      $ seed_arg $ clock_size_arg $ metrics_json $ max_respawns $ window $ no_wal
+      $ resume $ state_every $ heartbeat $ chaos_arg)
   in
   Cmd.v
     (Cmd.info "route"

@@ -20,13 +20,14 @@ type result = {
   send_ms_mean : float;  (* per-batch round trip: send + OK *)
   send_ms_p99 : float;
   send_ms_max : float;
+  reconnects : int;  (* connections re-established after a send failure *)
 }
 
 let summary r =
   Printf.sprintf
-    "loadgen: %d events in %d batches over %d conns, %.2fs (%.0f events/s), send mean=%.3fms p99=%.3fms max=%.3fms"
+    "loadgen: %d events in %d batches over %d conns, %.2fs (%.0f events/s), send mean=%.3fms p99=%.3fms max=%.3fms, %d reconnect(s)"
     r.events r.batches r.clients r.wall_s r.events_per_s r.send_ms_mean r.send_ms_p99
-    r.send_ms_max
+    r.send_ms_max r.reconnects
 
 let slices trace ~batch =
   let n = Trace.length trace in
@@ -51,6 +52,29 @@ let drive ?(clients = 2) ?(batch = 512) ?(deadline_s = 120.0) ~addr trace =
     Array.init clients (fun c -> Serve.connect ~deadline_s ~seed:(0x10ad + c) addr)
   in
   let hist = Histogram.create () in
+  let reconnects = ref 0 in
+  (* A failed send means the server end went away mid-session (router
+     restart); explicit bases make a blind resend idempotent, so the right
+     move is reconnect + resend, exactly like the worker-respawn path. *)
+  let send_retrying c ~base sub =
+    let rec go tries =
+      match Serve.send_batch ~deadline_s conns.(c) ~base sub with
+      | Ok _ -> Ok ()
+      | Error msg when tries < 3 -> (
+        incr reconnects;
+        Serve.close conns.(c);
+        match Serve.connect ~deadline_s ~seed:(0x10ad + c + (97 * !reconnects)) addr with
+        | fd ->
+          conns.(c) <- fd;
+          (go [@tailcall]) (tries + 1)
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "batch at %d: %s; reconnect: %s" base msg
+               (Unix.error_message e)))
+      | Error msg -> Error (Printf.sprintf "batch at %d: %s" base msg)
+    in
+    go 0
+  in
   let t0 = Clock.now_ns () in
   let outcome =
     List.fold_left
@@ -58,13 +82,12 @@ let drive ?(clients = 2) ?(batch = 512) ?(deadline_s = 120.0) ~addr trace =
         match acc with
         | Error _ as e -> e
         | Ok sent -> (
-          let fd = conns.(sent mod clients) in
           let s0 = Clock.now_ns () in
-          match Serve.send_batch ~deadline_s fd ~base sub with
-          | Ok _ ->
+          match send_retrying (sent mod clients) ~base sub with
+          | Ok () ->
             Histogram.observe hist (Int64.to_int (Int64.sub (Clock.now_ns ()) s0));
             Ok (sent + 1)
-          | Error msg -> Error (Printf.sprintf "batch at %d: %s" base msg)))
+          | Error _ as e -> e))
       (Ok 0) batches
   in
   let wall_s = Clock.elapsed_s ~since:t0 in
@@ -88,6 +111,7 @@ let drive ?(clients = 2) ?(batch = 512) ?(deadline_s = 120.0) ~addr trace =
             send_ms_mean = Histogram.mean hist /. 1e6;
             send_ms_p99 = float_of_int (Histogram.quantile hist 0.99) /. 1e6;
             send_ms_max = float_of_int (Histogram.max_value hist) /. 1e6;
+            reconnects = !reconnects;
           },
           report ))
       report

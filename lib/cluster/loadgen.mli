@@ -15,6 +15,10 @@ type result = {
   send_ms_mean : float;
   send_ms_p99 : float;
   send_ms_max : float;
+  reconnects : int;
+      (** connections re-established after a mid-session send failure (a
+          restarting router refuses briefly; the batch is blindly resent —
+          idempotent, because batches carry explicit bases) *)
 }
 
 val summary : result -> string

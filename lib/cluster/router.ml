@@ -6,6 +6,8 @@ module Engine = Ft_core.Engine
 module Sampler = Ft_core.Sampler
 module Metrics = Ft_core.Metrics
 module Race = Ft_core.Race
+module Snap = Ft_core.Snap
+module Checkpoint = Ft_snapshot.Checkpoint
 module Serve = Ft_shard.Serve
 module Evloop = Ft_shard.Evloop
 module Cmsg = Ft_shard.Cmsg
@@ -19,7 +21,7 @@ module Fault = Ft_fault.Fault
    clients and the CBATCH protocol to K worker processes, each worker being
    an unchanged [racedet serve] daemon (domain-sharded underneath).
 
-   Soundness rests on three facts, spelled out in DESIGN.md §6e:
+   Soundness rests on the facts spelled out in DESIGN.md §6e–§6f:
 
    - locations are partitioned whole onto workers ({!Chash}) and events
      keep their original global indices, so each worker's own sampler
@@ -29,11 +31,29 @@ module Fault = Ft_fault.Fault
      transitions forwarded as [Mark] — and keeps its own sync-only
      baseline, so [Metrics.merge_shards ~sync_baseline] over the workers'
      partial results telescopes to the unsharded engine's counters;
-   - workers checkpoint each CBATCH {e before} acknowledging it, and the
-     router keeps the complete per-worker routed-message log, so any crash
-     is recovered by respawn → [SEQ] → replay of the unacknowledged
-     suffix, and even a worker whose checkpoint was lost entirely replays
-     from zero out of the log.
+   - workers checkpoint each CBATCH {e before} acknowledging it, so a
+     worker's [SEQ] is a durable lower bound on its stream position and a
+     crashed worker is recovered by respawn → [SEQ] → replay of the
+     unacknowledged log suffix;
+   - the router appends every client batch to a {!Wal} and fsyncs it
+     {e before} acking, so a SIGKILLed router is recovered by
+     [--resume]: replay the WAL (or a router-state checkpoint plus the
+     WAL tail) through the same routing algebra, which deterministically
+     rebuilds the sampler mirror, pending bits, baseline and every
+     worker's log — then align each worker at its own durable [SEQ].
+
+   CBATCH sends are pipelined: each worker has an in-flight window of
+   unacked CBATCHes ([config.window]); acks are drained opportunistically
+   and the router only blocks when a window is full (backpressure) or a
+   barrier needs every message durable (RESULT, migration, resize,
+   graceful shutdown).  Per-worker streams stay strictly ordered, so the
+   §6e argument is untouched — the window only overlaps {e waiting}.
+
+   Resizing reuses determinism instead of surgically moving per-location
+   engine state: quiesce, log [Resize] in the WAL, rebuild each new
+   worker's routed log by replaying the event history against the new
+   ring (the sampler mirror, pending bits and baseline are
+   ring-independent), and stream the logs to fresh workers.
 
    The router itself never spawns domains (its baseline is a plain
    single-threaded detector instance): it forks worker processes, and
@@ -46,7 +66,7 @@ type config = {
   engine : Engine.id;
   sampler : Sampler.t;
   clock_size : int option;
-  dir : string;  (* run directory: worker sockets, ready/pid files, checkpoints *)
+  dir : string;  (* run directory: worker sockets, ready/pid files, checkpoints, WAL *)
   worker_tcp : bool;  (* workers listen on 127.0.0.1 ephemeral TCP ports *)
   checkpoint : bool;  (* workers checkpoint every CBATCH (ack ⇒ durable) *)
   max_parked : int;
@@ -56,9 +76,15 @@ type config = {
   metrics_json : string option;
   max_respawns : int;  (* per-worker respawn budget before failing fast *)
   chaos : Fault.config option;
+  window : int;  (* per-worker in-flight CBATCH window *)
+  wal : bool;  (* append+fsync every batch before acking it *)
+  resume : bool;  (* recover a previous session from dir's WAL *)
+  state_every : int;  (* batches between router-state checkpoints; 0 = off *)
 }
 
 let default_max_respawns = 8
+let default_window = 8
+let default_state_every = 16
 let cbatch_chunk = 8192  (* messages per CBATCH *)
 let spawn_deadline_s = 30.0
 
@@ -69,11 +95,33 @@ type worker = {
   mutable gen : int;  (* bumped on every respawn/migration: fresh socket names *)
   mutable pid : int;
   mutable fd : Unix.file_descr;
-  mutable sent : int;  (* messages the worker has acknowledged ingesting *)
-  mutable log : Cmsg.msg array;  (* complete routed history for this worker *)
+  mutable conn : Evloop.conn option;  (* the same fd, framed for async acks *)
+  mutable acked : int;  (* messages the worker has durably acknowledged *)
+  mutable pushed : int;  (* messages written to the socket (≥ acked) *)
+  inflight : int Queue.t;  (* end-seq of each unacked CBATCH, send order *)
+  mutable log : Cmsg.msg array;  (* retained routed history: [lbase, lbase+llen) *)
   mutable llen : int;
+  mutable lbase : int;  (* messages before the retained window (state-checkpoint cut) *)
   mutable respawns : int;
 }
+
+let total w = w.lbase + w.llen
+
+let make_worker id =
+  {
+    id;
+    gen = 0;
+    pid = -1;
+    fd = Unix.stdin;
+    conn = None;
+    acked = 0;
+    pushed = 0;
+    inflight = Queue.create ();
+    log = [||];
+    llen = 0;
+    lbase = 0;
+    respawns = 0;
+  }
 
 let log_push w m =
   let cap = Array.length w.log in
@@ -92,15 +140,27 @@ type telemetry = {
   marks_total : Registry.counter;  (* cross-worker pending-bit forwards *)
   parked_total : Registry.counter;
   duplicate_total : Registry.counter;
-  worker_messages : Registry.counter array;  (* routed throughput, per worker *)
+  mutable worker_messages : Registry.counter array;  (* grows on RESIZE +1 *)
   migrations_total : Registry.counter;
   respawns_total : Registry.counter;
   send_failures_total : Registry.counter;
+  wal_appends_total : Registry.counter;
+  wal_bytes_total : Registry.counter;
+  replayed_total : Registry.counter;  (* messages re-sent after crash/resume *)
+  resizes_total : Registry.counter;
+  handoff_bytes_total : Registry.counter;  (* CBATCH bytes streamed during a resize *)
   conns_active : Registry.gauge;
   uptime : Registry.gauge;
   ingest_ns : Histogram.t;
+  wal_fsync_ns : Histogram.t;
+  window_occupancy : Histogram.t;  (* in-flight CBATCHes observed at each send *)
   started_ns : int64;
 }
+
+let worker_counter_of reg k =
+  Registry.counter reg "router_worker_messages_total"
+    ~help:"Messages routed to each worker's sub-stream"
+    ~labels:[ ("worker", string_of_int k) ]
 
 let make_telemetry ~workers =
   let reg = Registry.create () in
@@ -120,11 +180,7 @@ let make_telemetry ~workers =
     duplicate_total =
       Registry.counter reg "router_batches_duplicate_total"
         ~help:"Client batches fully inside the ingested prefix (idempotent resend)";
-    worker_messages =
-      Array.init workers (fun k ->
-          Registry.counter reg "router_worker_messages_total"
-            ~help:"Messages routed to each worker's sub-stream"
-            ~labels:[ ("worker", string_of_int k) ]);
+    worker_messages = Array.init workers (worker_counter_of reg);
     migrations_total =
       Registry.counter reg "router_migrations_total"
         ~help:"Graceful checkpoint migrations of a worker onto a fresh process";
@@ -134,12 +190,31 @@ let make_telemetry ~workers =
     send_failures_total =
       Registry.counter reg "router_send_failures_total"
         ~help:"CBATCH sends that failed and triggered worker recovery";
+    wal_appends_total =
+      Registry.counter reg "router_wal_appends_total"
+        ~help:"Records appended (and fsynced) to the routed-event WAL";
+    wal_bytes_total =
+      Registry.counter reg "router_wal_bytes_total" ~help:"Bytes appended to the WAL";
+    replayed_total =
+      Registry.counter reg "router_replayed_messages_total"
+        ~help:"Log messages re-sent to workers after a crash, migration or resume";
+    resizes_total =
+      Registry.counter reg "router_resizes_total" ~help:"Completed RESIZE operations";
+    handoff_bytes_total =
+      Registry.counter reg "router_resize_handoff_bytes_total"
+        ~help:"CBATCH payload bytes streamed to fresh workers during resizes";
     conns_active =
       Registry.gauge reg "router_connections_active" ~help:"Open client connections";
     uptime = Registry.gauge reg "router_uptime_seconds" ~help:"Seconds since router start";
     ingest_ns =
       Registry.histogram reg "router_batch_ingest_ns"
         ~help:"Per-batch route + flush latency, nanoseconds";
+    wal_fsync_ns =
+      Registry.histogram reg "router_wal_fsync_ns"
+        ~help:"WAL append fsync latency, nanoseconds";
+    window_occupancy =
+      Registry.histogram reg "router_window_occupancy"
+        ~help:"In-flight CBATCHes per worker, observed at each send";
     started_ns = Clock.now_ns ();
   }
 
@@ -147,31 +222,50 @@ type baseline = {
   b_handle : int -> Event.t -> unit;
   b_note : Event.tid -> unit;
   b_result : unit -> Detector.result;
+  b_snapshot : unit -> Snap.t;
 }
 
 type state = {
   cfg : config;
   tel : telemetry;
-  ring : Chash.t;
-  workers : worker array;
+  mutable ring : Chash.t;
+  mutable workers : worker array;
+  mutable epoch : int;  (* bumped on every resize: fresh checkpoint dirs *)
+  mutable wal : Wal.t option;
+  mutable batches_since_ckpt : int;
+  mutable resizing : bool;  (* counts pump bytes as resize handoff *)
   mutable parent_fds : Unix.file_descr list;  (* closed in forked children *)
   mutable universe : (int * int * int) option;
+  mutable clock_size : int;
   mutable baseline : baseline option;  (* sync-only detector + sampler mirror *)
   mutable sampler_inst : Sampler.instance option;
   mutable pending : bool array;
   mutable expected : int;  (* next global event index *)
   mutable nevents : int;
-  parked : (int, Trace.t) Hashtbl.t;
+  parked : (int, Event.t array) Hashtbl.t;
   mutable quit : bool;
   mutable stop_reason : string;
   mutable failed : string option;
 }
 
+let ensure_worker_counters st k =
+  let have = Array.length st.tel.worker_messages in
+  if k > have then
+    st.tel.worker_messages <-
+      Array.init k (fun i ->
+          if i < have then st.tel.worker_messages.(i) else worker_counter_of st.tel.reg i)
+
 let worker_sock st w = Filename.concat st.cfg.dir (Printf.sprintf "worker-%d-g%d.sock" w.id w.gen)
 let worker_addr_file st w =
   Filename.concat st.cfg.dir (Printf.sprintf "worker-%d-g%d.addr" w.id w.gen)
 let worker_pid_file st w = Filename.concat st.cfg.dir (Printf.sprintf "worker-%d.pid" w.id)
-let worker_ckpt_dir st w = Filename.concat st.cfg.dir (Printf.sprintf "ckpt-%d" w.id)
+
+let worker_ckpt_dir st w =
+  Filename.concat st.cfg.dir
+    (if st.epoch = 0 then Printf.sprintf "ckpt-%d" w.id
+     else Printf.sprintf "ckpt-%d-e%d" w.id st.epoch)
+
+let state_ckpt_path dir = Filename.concat dir "router-state.ftc"
 
 let write_pid_file path pid =
   let tmp = path ^ ".tmp" in
@@ -190,7 +284,14 @@ let spawn_worker st w ~resume =
   let listen =
     if st.cfg.worker_tcp then Serve.Tcp ("127.0.0.1", 0) else Serve.Unix_path (worker_sock st w)
   in
-  let ckpt = if st.cfg.checkpoint then Some (worker_ckpt_dir st w) else None in
+  let ckpt =
+    if st.cfg.checkpoint then begin
+      let d = worker_ckpt_dir st w in
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Some d
+    end
+    else None
+  in
   let scfg =
     {
       Serve.listen;
@@ -199,6 +300,12 @@ let spawn_worker st w ~resume =
       sampler = st.cfg.sampler;
       clock_size = st.cfg.clock_size;
       checkpoint_dir = ckpt;
+      (* The WAL makes acked client batches durable; worker checkpoints
+         only bound the post-crash replay, so amortize their fsyncs over
+         the in-flight window instead of paying one per CBATCH in every
+         worker at once (capped so a huge window cannot push the replay
+         bound arbitrarily far). *)
+      checkpoint_every = Stdlib.min 32 (Stdlib.max 1 st.cfg.window);
       resume_dir = (if resume then ckpt else None);
       max_parked = Serve.default_max_parked;
       backlog = Serve.default_backlog;
@@ -243,6 +350,7 @@ let spawn_worker st w ~resume =
     let addr = await () in
     let fd = Serve.connect ~deadline_s:spawn_deadline_s ~seed:(0x40 + w.id) addr in
     w.fd <- fd;
+    w.conn <- Some (Evloop.make_conn fd);
     st.parent_fds <- fd :: st.parent_fds
 
 let reap_worker w =
@@ -251,6 +359,7 @@ let reap_worker w =
 
 let close_worker_fd st w =
   st.parent_fds <- List.filter (fun fd -> fd != w.fd) st.parent_fds;
+  w.conn <- None;
   try Unix.close w.fd with Unix.Unix_error _ -> ()
 
 exception Router_failed of string
@@ -266,179 +375,71 @@ let universe_of st =
   | Some u -> u
   | None -> failwith "router: no universe yet"
 
-(* --- recovery and migration ----------------------------------------------- *)
-
-(* Replay [log[sent, llen)] in bounded CBATCH chunks.  A failed send (or an
-   injected [router.send] fault) marks the worker suspect and recovers it;
-   recovery re-reads SEQ, so the loop converges or exhausts the respawn
-   budget. *)
-let rec send_slice st w =
-  while w.sent < w.llen do
-    let nthreads, nlocks, nlocs = universe_of st in
-    let len = Stdlib.min cbatch_chunk (w.llen - w.sent) in
-    let payload = Cmsg.encode ~nthreads ~nlocks ~nlocs w.log ~off:w.sent ~len in
-    match
-      Fault.point ~lane:w.id ~supports:[ Fault.Exn; Fault.Delay ] "router.send";
-      Serve.send_cbatch w.fd ~seq:w.sent payload
-    with
-    | Ok total when total > w.sent -> w.sent <- Stdlib.min total w.llen
-    | Ok _ | Error _ ->
-      Registry.incr st.tel.send_failures_total;
-      recover_worker st w
-    | exception Fault.Injected _ ->
-      Registry.incr st.tel.send_failures_total;
-      recover_worker st w
-  done
-
-(* Crash recovery: whatever state the worker is in, kill it, respawn it
-   against its checkpoint directory, ask where its durable stream stands
-   and replay the rest of the log.  Checkpoint-before-ack on the worker
-   side makes SEQ a durable lower bound; the full log makes even SEQ = 0
-   (checkpoint lost or checkpointing disabled) recoverable. *)
-and recover_worker st w =
-  close_worker_fd st w;
-  reap_worker w;
-  w.respawns <- w.respawns + 1;
-  Registry.incr st.tel.respawns_total;
-  if w.respawns > st.cfg.max_respawns then
-    fail st
-      (Printf.sprintf "worker %d exceeded its respawn budget (%d)" w.id st.cfg.max_respawns);
-  w.gen <- w.gen + 1;
-  Printf.eprintf "racedet route: recovering worker %d (respawn %d, gen %d)\n%!" w.id
-    w.respawns w.gen;
-  spawn_worker st w ~resume:true;
-  (match Serve.fetch_seq w.fd with
-  | Ok seq -> w.sent <- Stdlib.min seq w.llen
-  | Error msg ->
-    Printf.eprintf "racedet route: worker %d SEQ after respawn failed (%s)\n%!" w.id msg;
-    recover_worker st w);
-  send_slice st w
-
-(* Graceful migration: flush, SHUTDOWN (the worker writes its final
-   checkpoint set), then hand the [.ftc]s to a fresh process and resume it
-   at the same stream position.  Without checkpointing this degrades to a
-   full-log replay — slower, still exact. *)
-let migrate_worker st w =
-  send_slice st w;
-  (match Serve.shutdown w.fd with
-  | Ok () -> ()
-  | Error msg ->
-    Printf.eprintf "racedet route: worker %d SHUTDOWN for migration failed (%s)\n%!" w.id msg);
-  close_worker_fd st w;
-  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
-  w.gen <- w.gen + 1;
-  Registry.incr st.tel.migrations_total;
-  Printf.eprintf "racedet route: migrating worker %d to gen %d\n%!" w.id w.gen;
-  spawn_worker st w ~resume:true;
-  (match Serve.fetch_seq w.fd with
-  | Ok seq -> w.sent <- Stdlib.min seq w.llen
-  | Error msg ->
-    Printf.eprintf "racedet route: worker %d SEQ after migration failed (%s)\n%!" w.id msg;
-    recover_worker st w);
-  send_slice st w
-
-(* Drain every worker's unsent suffix, visiting the chaos points first so a
-   schedule can kill or migrate a worker between any two client batches. *)
-let flush_workers st =
-  Array.iter
-    (fun w ->
-      (match Fault.point ~lane:w.id ~supports:[ Fault.Exn ] "cluster.worker_crash" with
-      | () -> ()
-      | exception Fault.Injected _ ->
-        Printf.eprintf "racedet route: chaos killed worker %d\n%!" w.id;
-        close_worker_fd st w;
-        reap_worker w;
-        recover_worker st w);
-      (match Fault.point ~lane:w.id ~supports:[ Fault.Exn ] "cluster.migrate" with
-      | () -> ()
-      | exception Fault.Injected _ -> migrate_worker st w);
-      send_slice st w)
-    st.workers
-
 (* --- routing --------------------------------------------------------------- *)
 
 (* Mirror of {!Ft_shard.Sharded}'s routing, one level up: the router owns
    the sampler and the pending bits, workers own locations.  The baseline
    sees the sync substream plus one note per pending transition — exactly
    what each worker's internal baseline sees — which is what makes the
-   metrics merge telescope (DESIGN.md §6e). *)
-let ensure_cluster st (nthreads, nlocks, nlocs) =
-  match st.universe with
-  | Some u ->
-    if u = (nthreads, nlocks, nlocs) then Ok ()
-    else Error "batch universe differs from the session's"
-  | None ->
-    let clock_size =
-      match st.cfg.clock_size with
-      | None -> nthreads
-      | Some s -> Stdlib.max s nthreads
-    in
-    let config =
-      { Detector.nthreads; nlocks; nlocs; clock_size; sampler = st.cfg.sampler }
-    in
-    let (module D : Detector.S) = Engine.detector st.cfg.engine in
-    let d = D.create config in
-    st.baseline <-
-      Some
-        {
-          b_handle = (fun i e -> D.handle d i e);
-          b_note = (fun th -> D.note_sampled d th);
-          b_result = (fun () -> D.result d);
-        };
-    st.sampler_inst <- Some (Sampler.fresh st.cfg.sampler);
-    st.pending <- Array.make nthreads false;
-    st.universe <- Some (nthreads, nlocks, nlocs);
-    Ok ()
+   metrics merge telescope (DESIGN.md §6e).
 
-let route st i (e : Event.t) =
-  let baseline = Option.get st.baseline in
-  let sampler_inst = Option.get st.sampler_inst in
-  let nworkers = Array.length st.workers in
-  let append w m =
-    log_push st.workers.(w) m;
-    Registry.incr st.tel.worker_messages.(w)
-  in
+   The algebra is shared between live routing, WAL replay and resize log
+   rebuilds: the callbacks differ, the transition structure cannot. *)
+let route_core ~ring ~nworkers ~sampler ~pending ~append ~on_mark ~on_sync i (e : Event.t)
+    =
   let append_all m =
     for w = 0 to nworkers - 1 do
       append w m
     done
   in
-  (match e.Event.op with
+  match e.Event.op with
   | Event.Read x | Event.Write x ->
-    let o = Chash.owner st.ring x in
-    let sampled = Sampler.query sampler_inst i e in
-    if sampled && not st.pending.(e.Event.thread) then begin
-      st.pending.(e.Event.thread) <- true;
+    let o = Chash.owner ring x in
+    let sampled = Sampler.query sampler i e in
+    if sampled && not pending.(e.Event.thread) then begin
+      pending.(e.Event.thread) <- true;
       for w = 0 to nworkers - 1 do
         (* the owner's own sampler makes the same decision when it
            handles the event *)
         if w <> o then append w (Cmsg.Mark e.Event.thread)
       done;
-      Registry.add st.tel.marks_total (nworkers - 1);
-      baseline.b_note e.Event.thread
+      on_mark e.Event.thread
     end;
     append o (Cmsg.Ev (i, e))
   | Event.Acquire _ | Event.Acquire_load _ ->
     append_all (Cmsg.Ev (i, e));
-    baseline.b_handle i e
+    on_sync i e
   | Event.Release _ | Event.Release_store _ ->
     append_all (Cmsg.Ev (i, e));
-    baseline.b_handle i e;
-    st.pending.(e.Event.thread) <- false
+    on_sync i e;
+    pending.(e.Event.thread) <- false
   | Event.Fork _ ->
     append_all (Cmsg.Ev (i, e));
-    baseline.b_handle i e;
-    st.pending.(e.Event.thread) <- false
+    on_sync i e;
+    pending.(e.Event.thread) <- false
   | Event.Join u ->
     append_all (Cmsg.Ev (i, e));
-    baseline.b_handle i e;
-    st.pending.(u) <- false);
+    on_sync i e;
+    pending.(u) <- false
+
+let route st i (e : Event.t) =
+  let baseline = Option.get st.baseline in
+  let sampler = Option.get st.sampler_inst in
+  let nworkers = Array.length st.workers in
+  route_core ~ring:st.ring ~nworkers ~sampler ~pending:st.pending
+    ~append:(fun k m ->
+      log_push st.workers.(k) m;
+      Registry.incr st.tel.worker_messages.(k))
+    ~on_mark:(fun th ->
+      Registry.add st.tel.marks_total (nworkers - 1);
+      baseline.b_note th)
+    ~on_sync:baseline.b_handle i e;
   st.nevents <- st.nevents + 1
 
-let feed st trace base =
-  let n = Trace.length trace in
+let feed_events st base (evs : Event.t array) =
+  let n = Array.length evs in
   for i = Stdlib.max 0 (st.expected - base) to n - 1 do
-    route st (base + i) (Trace.get trace i)
+    route st (base + i) evs.(i)
   done;
   st.expected <- Stdlib.max st.expected (base + n)
 
@@ -454,10 +455,627 @@ let rec drain_parked st =
   match eligible with
   | None -> ()
   | Some base ->
-    let trace = Hashtbl.find st.parked base in
+    let evs = Hashtbl.find st.parked base in
     Hashtbl.remove st.parked base;
-    feed st trace base;
+    feed_events st base evs;
     drain_parked st
+
+(* --- event-history rebuilds ------------------------------------------------ *)
+
+(* The full routed prefix [0, expected) in index order.  Every routed event
+   is in at least one in-memory log (accesses on their owner, sync
+   everywhere), so when the logs are complete (lbase = 0) the history comes
+   from memory; after a state-checkpoint restore truncated them it comes
+   from the WAL's Events records (duplicates harmlessly overwrite). *)
+let history_events st =
+  let n = st.expected in
+  let evs = Array.make n None in
+  let from_wal () =
+    match Wal.replay (Wal.path ~dir:st.cfg.dir) with
+    | Error msg -> fail st ("event-history rebuild: " ^ msg)
+    | Ok (records, _) ->
+      List.iter
+        (fun (r, _) ->
+          match r with
+          | Wal.Events (base, arr) ->
+            Array.iteri
+              (fun j e ->
+                let i = base + j in
+                if i >= 0 && i < n then evs.(i) <- Some e)
+              arr
+          | Wal.Session _ | Wal.Resize _ -> ())
+        records
+  in
+  if Array.for_all (fun w -> w.lbase = 0) st.workers then
+    Array.iter
+      (fun w ->
+        for j = 0 to w.llen - 1 do
+          match w.log.(j) with
+          | Cmsg.Ev (i, e) -> if i < n then evs.(i) <- Some e
+          | Cmsg.Mark _ -> ()
+        done)
+      st.workers
+  else if st.wal <> None then from_wal ()
+  else fail st "cannot rebuild event history: WAL disabled and logs truncated";
+  Array.mapi
+    (fun i -> function
+      | Some e -> e
+      | None -> fail st (Printf.sprintf "event %d missing from the retained history" i))
+    evs
+
+(* Re-route the whole history against [ring]: a scratch sampler instance
+   makes the same decisions the live one made (same strategy, same queries,
+   same order), the scratch pending bits go through the same transitions,
+   and the result is the per-worker logs this ring would have produced had
+   it been in place from event 0. *)
+let rebuild_logs st ~ring ~nworkers =
+  let history = history_events st in
+  let nthreads, _, _ = universe_of st in
+  let logs = Array.make nworkers [||] in
+  let lens = Array.make nworkers 0 in
+  let push k m =
+    let cap = Array.length logs.(k) in
+    if lens.(k) = cap then begin
+      let bigger = Array.make (Stdlib.max 64 (2 * cap)) m in
+      Array.blit logs.(k) 0 bigger 0 lens.(k);
+      logs.(k) <- bigger
+    end;
+    logs.(k).(lens.(k)) <- m;
+    lens.(k) <- lens.(k) + 1
+  in
+  let sampler = Sampler.fresh st.cfg.sampler in
+  let pending = Array.make nthreads false in
+  Array.iteri
+    (fun i e ->
+      route_core ~ring ~nworkers ~sampler ~pending ~append:push ~on_mark:ignore
+        ~on_sync:(fun _ _ -> ()) i e)
+    history;
+  (logs, lens)
+
+(* Re-materialize full logs (lbase = 0) for the current ring — the escape
+   hatch when a worker's durable SEQ fell behind the retained suffix. *)
+let expand_logs st =
+  let nworkers = Array.length st.workers in
+  let logs, lens = rebuild_logs st ~ring:st.ring ~nworkers in
+  Array.iteri
+    (fun k w ->
+      if lens.(k) <> total w then
+        fail st
+          (Printf.sprintf "worker %d: rebuilt log has %d messages, retained state says %d"
+             w.id lens.(k) (total w));
+      w.log <- logs.(k);
+      w.llen <- lens.(k);
+      w.lbase <- 0)
+    st.workers
+
+(* --- pipelined sends, recovery and migration ------------------------------- *)
+
+exception Worker_suspect of string
+
+(* One "OK <total>" per in-flight CBATCH, in send order; anything else —
+   an ERR, an unsolicited line, a reply regressing below the window we
+   sent — marks the worker suspect and recovery takes over. *)
+let ack_line w line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "OK"; t ] -> (
+    match (int_of_string_opt t, Queue.take_opt w.inflight) with
+    | Some v, Some endseq when v >= endseq -> w.acked <- endseq
+    | _ -> raise (Worker_suspect (Printf.sprintf "worker %d: unexpected ack %S" w.id line)))
+  | _ -> raise (Worker_suspect (Printf.sprintf "worker %d: %S instead of an ack" w.id line))
+
+let service_acks w ~timeout_s =
+  match w.conn with
+  | None -> raise (Worker_suspect (Printf.sprintf "worker %d: no connection" w.id))
+  | Some conn ->
+    (match Evloop.feed ~timeout_s conn with
+    | `Eof -> raise (Worker_suspect (Printf.sprintf "worker %d: connection closed" w.id))
+    | `Timeout | `Data _ -> ());
+    Evloop.process ~on_line:(fun _ line -> ack_line w line) conn
+
+(* Block until at least one in-flight CBATCH is acked — the backpressure
+   point of the pipelined window. *)
+let wait_for_ack w =
+  let before = Queue.length w.inflight in
+  if before > 0 then begin
+    let deadline = Clock.now_s () +. spawn_deadline_s in
+    while Queue.length w.inflight >= before do
+      service_acks w ~timeout_s:0.05;
+      if Queue.length w.inflight >= before && Clock.now_s () > deadline then
+        raise (Worker_suspect (Printf.sprintf "worker %d: ack timeout" w.id))
+    done
+  end
+
+let push_chunk st w =
+  let nthreads, nlocks, nlocs = universe_of st in
+  let len = Stdlib.min cbatch_chunk (total w - w.pushed) in
+  let payload = Cmsg.encode ~nthreads ~nlocks ~nlocs w.log ~off:(w.pushed - w.lbase) ~len in
+  Fault.point ~lane:w.id ~supports:[ Fault.Exn; Fault.Delay ] "router.send";
+  Serve.send_cbatch_nowait w.fd ~seq:w.pushed payload;
+  w.pushed <- w.pushed + len;
+  Queue.add w.pushed w.inflight;
+  Histogram.observe st.tel.window_occupancy (Queue.length w.inflight);
+  if st.resizing then Registry.add st.tel.handoff_bytes_total (String.length payload)
+
+(* Stream the worker's unsent log suffix through the in-flight window;
+   with [drain], additionally wait until every message is acked (the
+   barrier before RESULT/SHUTDOWN/migration).  Any failure — send error,
+   ack protocol violation, injected fault — recovers the worker. *)
+let rec pump ?(drain = false) st w =
+  match
+    service_acks w ~timeout_s:0.0;
+    while w.pushed < total w do
+      if Queue.length w.inflight >= Stdlib.max 1 st.cfg.window then wait_for_ack w
+      else push_chunk st w
+    done;
+    if drain then while not (Queue.is_empty w.inflight) do wait_for_ack w done
+  with
+  | () -> ()
+  | exception Worker_suspect msg ->
+    Printf.eprintf "racedet route: %s\n%!" msg;
+    Registry.incr st.tel.send_failures_total;
+    recover_worker ~drain st w
+  | exception Fault.Injected _ ->
+    Registry.incr st.tel.send_failures_total;
+    recover_worker ~drain st w
+  | exception Unix.Unix_error _ ->
+    Registry.incr st.tel.send_failures_total;
+    recover_worker ~drain st w
+
+(* Crash recovery: whatever state the worker is in, kill it, respawn it
+   against its checkpoint directory, ask where its durable stream stands
+   and replay the rest of the log.  Checkpoint-before-ack on the worker
+   side makes SEQ a durable lower bound; a SEQ behind even the retained
+   log suffix re-materializes full logs out of the WAL. *)
+and recover_worker ?(drain = false) st w =
+  close_worker_fd st w;
+  reap_worker w;
+  w.respawns <- w.respawns + 1;
+  Registry.incr st.tel.respawns_total;
+  if w.respawns > st.cfg.max_respawns then
+    fail st
+      (Printf.sprintf "worker %d exceeded its respawn budget (%d)" w.id st.cfg.max_respawns);
+  w.gen <- w.gen + 1;
+  Queue.clear w.inflight;
+  Printf.eprintf "racedet route: recovering worker %d (respawn %d, gen %d)\n%!" w.id
+    w.respawns w.gen;
+  spawn_worker st w ~resume:true;
+  (match Serve.fetch_seq w.fd with
+  | Ok seq ->
+    if seq < w.lbase then expand_logs st;
+    let pos = Stdlib.min seq (total w) in
+    Registry.add st.tel.replayed_total (total w - pos);
+    w.acked <- pos;
+    w.pushed <- pos
+  | Error msg ->
+    Printf.eprintf "racedet route: worker %d SEQ after respawn failed (%s)\n%!" w.id msg;
+    recover_worker ~drain st w);
+  pump ~drain st w
+
+(* Graceful migration: drain, SHUTDOWN (the worker writes its final
+   checkpoint set), then hand the [.ftc]s to a fresh process and resume it
+   at the same stream position.  Without checkpointing this degrades to a
+   full-log replay — slower, still exact. *)
+let migrate_worker st w =
+  pump ~drain:true st w;
+  (match Serve.shutdown w.fd with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "racedet route: worker %d SHUTDOWN for migration failed (%s)\n%!" w.id msg);
+  close_worker_fd st w;
+  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+  w.gen <- w.gen + 1;
+  Queue.clear w.inflight;
+  Registry.incr st.tel.migrations_total;
+  Printf.eprintf "racedet route: migrating worker %d to gen %d\n%!" w.id w.gen;
+  spawn_worker st w ~resume:true;
+  (match Serve.fetch_seq w.fd with
+  | Ok seq ->
+    if seq < w.lbase then expand_logs st;
+    let pos = Stdlib.min seq (total w) in
+    Registry.add st.tel.replayed_total (total w - pos);
+    w.acked <- pos;
+    w.pushed <- pos;
+    pump ~drain:true st w
+  | Error msg ->
+    Printf.eprintf "racedet route: worker %d SEQ after migration failed (%s)\n%!" w.id msg;
+    recover_worker ~drain:true st w)
+
+(* Pump every worker, visiting the chaos points first so a schedule can
+   kill or migrate a worker between any two client batches. *)
+let flush_workers ?(drain = false) st =
+  Array.iter
+    (fun w ->
+      (match Fault.point ~lane:w.id ~supports:[ Fault.Exn ] "cluster.worker_crash" with
+      | () -> ()
+      | exception Fault.Injected _ ->
+        Printf.eprintf "racedet route: chaos killed worker %d\n%!" w.id;
+        Registry.incr st.tel.send_failures_total;
+        recover_worker ~drain st w);
+      (match Fault.point ~lane:w.id ~supports:[ Fault.Exn ] "cluster.migrate" with
+      | () -> ()
+      | exception Fault.Injected _ -> migrate_worker st w);
+      pump ~drain st w)
+    st.workers
+
+(* --- WAL and router-state checkpoints -------------------------------------- *)
+
+exception Wal_failed of string
+
+(* Append + fsync one record; the ack a client is waiting on rides on this
+   durability point.  Any failure (including an injected torn write at
+   [router.wal_write]) rolls the file back to the last record boundary and
+   refuses the batch — an un-refused batch MUST be in the log. *)
+let wal_append st record =
+  match st.wal with
+  | None -> ()
+  | Some wal -> (
+    match
+      let n = Wal.append wal record in
+      let t0 = Clock.now_ns () in
+      Wal.sync wal;
+      Histogram.observe st.tel.wal_fsync_ns (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
+      Registry.incr st.tel.wal_appends_total;
+      Registry.add st.tel.wal_bytes_total n
+    with
+    | () -> ()
+    | exception e ->
+      (try Wal.rollback wal with _ -> ());
+      raise (Wal_failed (Printexc.to_string e)))
+
+let make_baseline st config ~snap =
+  let (module D : Detector.S) = Engine.detector st.cfg.engine in
+  let d = match snap with None -> D.create config | Some s -> D.restore config s in
+  {
+    b_handle = (fun i e -> D.handle d i e);
+    b_note = (fun th -> D.note_sampled d th);
+    b_result = (fun () -> D.result d);
+    b_snapshot = (fun () -> D.snapshot d);
+  }
+
+let detector_config st (nthreads, nlocks, nlocs) =
+  let clock_size =
+    match st.cfg.clock_size with None -> nthreads | Some s -> Stdlib.max s nthreads
+  in
+  st.clock_size <- clock_size;
+  { Detector.nthreads; nlocks; nlocs; clock_size; sampler = st.cfg.sampler }
+
+let init_universe st ((nthreads, _, _) as u) ~snap =
+  st.baseline <- Some (make_baseline st (detector_config st u) ~snap);
+  (match snap with
+  | None ->
+    st.sampler_inst <- Some (Sampler.fresh st.cfg.sampler);
+    st.pending <- Array.make nthreads false
+  | Some _ -> () (* restore installs sampler/pending itself *));
+  st.universe <- Some u
+
+let ensure_cluster st ((nthreads, nlocks, nlocs) as u) =
+  match st.universe with
+  | Some u' ->
+    if u' = u then Ok () else Error "batch universe differs from the session's"
+  | None ->
+    (* the Session record goes in first: if its append fails the universe
+       stays unset and the client's retry re-runs this initialization *)
+    wal_append st
+      (Wal.Session
+         {
+           nthreads;
+           nlocks;
+           nlocs;
+           engine = Engine.name st.cfg.engine;
+           sampler = Sampler.name st.cfg.sampler;
+           workers = Array.length st.workers;
+         });
+    init_universe st u ~snap:None;
+    Ok ()
+
+(* Periodic router-state checkpoint: everything replay would otherwise
+   recompute from the whole WAL — sampler mirror, pending bits, baseline
+   snapshot, and each worker's acked high-water mark plus unacked log
+   suffix — anchored at the current WAL offset so resume only replays the
+   tail.  Only taken when nothing is parked: a parked batch lives in the
+   WAL prefix a tail-replay would skip.  Failure is a warning, never an
+   error — the WAL alone is always sufficient. *)
+let write_state_checkpoint st =
+  match (st.universe, st.baseline, st.sampler_inst, st.wal) with
+  | Some ((nthreads, nlocks, nlocs) as _u), Some b, Some inst, Some wal
+    when st.cfg.checkpoint && Hashtbl.length st.parked = 0 -> (
+    try
+      let enc = Snap.Enc.create () in
+      Snap.Enc.int enc (Array.length st.workers);
+      Snap.Enc.int enc st.epoch;
+      Snap.Enc.int enc st.nevents;
+      Snap.Enc.bool_array enc st.pending;
+      inst.Sampler.save enc;
+      Snap.Enc.string enc (b.b_snapshot ());
+      Array.iter
+        (fun w ->
+          Snap.Enc.int enc w.acked;
+          Snap.Enc.int enc (total w);
+          Snap.Enc.string enc
+            (Cmsg.encode ~nthreads ~nlocks ~nlocs w.log ~off:(w.acked - w.lbase)
+               ~len:(total w - w.acked)))
+        st.workers;
+      let meta =
+        {
+          Checkpoint.engine = st.cfg.engine;
+          sampler = Sampler.name st.cfg.sampler;
+          nthreads;
+          nlocks;
+          nlocs;
+          clock_size = st.clock_size;
+          next_index = st.expected;
+          byte_offset = Wal.offset wal;
+        }
+      in
+      Checkpoint.save (state_ckpt_path st.cfg.dir)
+        { Checkpoint.meta; detector = Snap.Enc.to_snap enc }
+    with e ->
+      Printf.eprintf "racedet route: state checkpoint failed (%s); WAL still authoritative\n%!"
+        (Printexc.to_string e))
+  | _ -> ()
+
+let maybe_state_checkpoint st =
+  st.batches_since_ckpt <- st.batches_since_ckpt + 1;
+  if
+    st.cfg.state_every > 0 && st.cfg.checkpoint && st.wal <> None
+    && st.batches_since_ckpt >= st.cfg.state_every
+    && Hashtbl.length st.parked = 0
+  then begin
+    write_state_checkpoint st;
+    st.batches_since_ckpt <- 0
+  end
+
+(* --- resume ----------------------------------------------------------------- *)
+
+(* Park/feed logic of live ingestion, minus the WAL append and the ack —
+   replaying a WAL record must route exactly what routing the original
+   batch routed. *)
+let ingest_replay st base evs =
+  if base > st.expected then Hashtbl.replace st.parked base evs
+  else begin
+    feed_events st base evs;
+    drain_parked st
+  end
+
+(* Try to restore sampler/pending/baseline/worker-suffixes from the
+   router-state checkpoint.  Returns the WAL byte offset it was anchored
+   at; any mismatch or corruption degrades to full WAL replay. *)
+let try_restore_state st ~k_final =
+  let path = state_ckpt_path st.cfg.dir in
+  if (not st.cfg.checkpoint) || not (Sys.file_exists path) then None
+  else
+    match Checkpoint.load path with
+    | Error msg ->
+      Printf.eprintf "racedet route: ignoring state checkpoint (%s)\n%!" msg;
+      None
+    | Ok { Checkpoint.meta; detector = payload } -> (
+      if meta.Checkpoint.engine <> st.cfg.engine
+         || meta.Checkpoint.sampler <> Sampler.name st.cfg.sampler
+      then begin
+        Printf.eprintf
+          "racedet route: ignoring state checkpoint (engine/sampler mismatch)\n%!";
+        None
+      end
+      else
+        try
+          let u = (meta.Checkpoint.nthreads, meta.Checkpoint.nlocks, meta.Checkpoint.nlocs) in
+          let dec = Snap.Dec.of_snap payload in
+          let k = Snap.Dec.int dec in
+          Snap.expect (k = k_final) "state checkpoint worker count";
+          let epoch = Snap.Dec.int dec in
+          let nevents = Snap.Dec.int dec in
+          let pending = Snap.Dec.bool_array_n dec meta.Checkpoint.nthreads in
+          let inst = Sampler.fresh st.cfg.sampler in
+          inst.Sampler.load dec;
+          let base_snap = Snap.Dec.string dec in
+          let per_worker =
+            Array.init k (fun _ ->
+                let acked = Snap.Dec.int dec in
+                let tot = Snap.Dec.int dec in
+                let blob = Snap.Dec.string dec in
+                match Cmsg.decode blob with
+                | Ok (u', msgs) ->
+                  Snap.expect (u' = u) "state checkpoint worker universe";
+                  Snap.expect (Array.length msgs = tot - acked)
+                    "state checkpoint worker suffix length";
+                  (acked, tot, msgs)
+                | Error msg -> raise (Snap.Corrupt msg))
+          in
+          Snap.Dec.finish dec;
+          (* commit *)
+          init_universe st u ~snap:(Some base_snap);
+          st.sampler_inst <- Some inst;
+          st.pending <- pending;
+          st.epoch <- epoch;
+          st.nevents <- nevents;
+          st.expected <- meta.Checkpoint.next_index;
+          Array.iteri
+            (fun i w ->
+              let acked, tot, msgs = per_worker.(i) in
+              w.lbase <- acked;
+              w.log <- msgs;
+              w.llen <- tot - acked;
+              w.acked <- acked;
+              w.pushed <- acked)
+            st.workers;
+          Some meta.Checkpoint.byte_offset
+        with Snap.Corrupt msg ->
+          Printf.eprintf "racedet route: ignoring state checkpoint (%s)\n%!" msg;
+          None)
+
+(* A previous router was SIGKILLed: its workers are orphans still holding
+   their sockets and checkpoint directories.  Kill them by pid file before
+   spawning replacements on the same names. *)
+let kill_stale_workers dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    let killed = ref 0 in
+    Array.iter
+      (fun f ->
+        if
+          String.length f > 7
+          && String.sub f 0 7 = "worker-"
+          && Filename.check_suffix f ".pid"
+        then begin
+          let path = Filename.concat dir f in
+          (match
+             let ic = open_in path in
+             let line = try input_line ic with End_of_file -> "" in
+             close_in_noerr ic;
+             int_of_string_opt (String.trim line)
+           with
+          | Some pid when pid > 0 -> (
+            match Unix.kill pid Sys.sigkill with
+            | () -> incr killed
+            | exception Unix.Unix_error _ -> ())
+          | _ | (exception Sys_error _) -> ());
+          try Sys.remove path with Sys_error _ -> ()
+        end)
+      files;
+    if !killed > 0 then begin
+      Printf.eprintf "racedet route: killed %d stale worker(s) from a previous run\n%!"
+        !killed;
+      (* give the kernel a beat to tear their listeners down before fresh
+         workers probe the same socket paths *)
+      Unix.sleepf 0.05
+    end
+
+(* Rebuild the pre-crash router state from the run directory: prefer the
+   state checkpoint + WAL tail, fall back to replaying the whole WAL.  The
+   final ring size is the Session's worker count overridden by the last
+   Resize record; a tail Resize invalidates the checkpoint's per-worker
+   logs, so that path always takes the full replay.  Workers are spawned
+   by the caller afterwards and aligned at their own durable SEQs. *)
+let resume_session st =
+  let records, _len =
+    match Wal.replay (Wal.path ~dir:st.cfg.dir) with
+    | Ok r -> r
+    | Error msg -> failwith ("racedet route --resume: " ^ msg)
+  in
+  match records with
+  | [] -> false
+  | (Wal.Session { nthreads; nlocks; nlocs; engine; sampler; workers }, _) :: _ ->
+    if engine <> Engine.name st.cfg.engine then
+      failwith
+        (Printf.sprintf "racedet route --resume: WAL session used engine %s, not %s"
+           engine (Engine.name st.cfg.engine));
+    if sampler <> Sampler.name st.cfg.sampler then
+      failwith
+        (Printf.sprintf "racedet route --resume: WAL session used sampler %s, not %s"
+           sampler (Sampler.name st.cfg.sampler));
+    let k_final, epoch =
+      List.fold_left
+        (fun (k, ep) (r, _) ->
+          match r with Wal.Resize k' -> (k', ep + 1) | _ -> (k, ep))
+        (workers, 0) records
+    in
+    if st.cfg.workers <> k_final then
+      Printf.eprintf
+        "racedet route: resuming with %d worker(s) from the WAL (ignoring --workers %d)\n%!"
+        k_final st.cfg.workers;
+    st.epoch <- epoch;
+    st.ring <- Chash.create ~workers:k_final;
+    st.workers <- Array.init k_final make_worker;
+    ensure_worker_counters st k_final;
+    let ckpt_off = try_restore_state st ~k_final in
+    (match ckpt_off with
+    | Some off
+      when List.for_all
+             (fun (r, e) -> match r with Wal.Resize _ -> e <= off | _ -> true)
+             records ->
+      (* tail replay: records fully past the checkpoint's anchor *)
+      List.iter
+        (fun (r, e) ->
+          match r with
+          | Wal.Events (base, evs) when e > off -> ingest_replay st base evs
+          | _ -> ())
+        records
+    | _ ->
+      if ckpt_off <> None then
+        Printf.eprintf
+          "racedet route: state checkpoint predates a resize; replaying the full WAL\n%!";
+      init_universe st (nthreads, nlocks, nlocs) ~snap:None;
+      List.iter
+        (fun (r, _) ->
+          match r with
+          | Wal.Events (base, evs) -> ingest_replay st base evs
+          | Wal.Session _ | Wal.Resize _ -> ())
+        records);
+    true
+  | _ -> failwith "racedet route --resume: WAL does not start with a session record"
+
+(* After spawning a resumed/recovered epoch: ask each worker where its
+   durable stream stands and replay only what it is missing. *)
+let align_worker st w =
+  match Serve.fetch_seq w.fd with
+  | Ok seq ->
+    if seq < w.lbase then expand_logs st;
+    let pos = Stdlib.min seq (total w) in
+    Registry.add st.tel.replayed_total (total w - pos);
+    w.acked <- pos;
+    w.pushed <- pos
+  | Error msg ->
+    Printf.eprintf "racedet route: worker %d SEQ at resume failed (%s)\n%!" w.id msg;
+    recover_worker st w
+
+(* --- resize ------------------------------------------------------------------ *)
+
+(* Grow or shrink the ring by one worker.  Instead of moving per-location
+   engine state between processes (one surgical path per engine family),
+   resizing replays: quiesce so every routed message is durable, log the
+   new size in the WAL, rebuild the per-worker logs the new ring would
+   have produced from event 0 (sampler mirror, pending bits and baseline
+   are ring-independent and stay untouched), and stream them to a fresh
+   worker epoch through the normal pipelined pump.  Byte-identity of the
+   final report is then just §6e applied to the new ring. *)
+let resize_cluster st delta =
+  let k_old = Array.length st.workers in
+  let k_new = k_old + delta in
+  if delta <> 1 && delta <> -1 then Error "resize delta must be +1 or -1"
+  else if k_new < 1 then Error "cannot shrink below one worker"
+  else
+    match Fault.point ~supports:[ Fault.Exn; Fault.Delay ] "cluster.resize" with
+    | exception Fault.Injected inc -> Error ("resize aborted: " ^ Fault.describe inc)
+    | () ->
+      (* quiesce: every routed message durable on its current owner *)
+      if st.universe <> None then flush_workers ~drain:true st;
+      wal_append st (Wal.Resize k_new);
+      let rebuilt =
+        if st.universe = None then None
+        else Some (rebuild_logs st ~ring:(Chash.create ~workers:k_new) ~nworkers:k_new)
+      in
+      (* retire the old epoch *)
+      Array.iter
+        (fun w ->
+          (match Serve.shutdown w.fd with Ok () | Error _ -> ());
+          close_worker_fd st w;
+          (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+          try Sys.remove (worker_pid_file st w) with Sys_error _ -> ())
+        st.workers;
+      st.epoch <- st.epoch + 1;
+      st.ring <- Chash.create ~workers:k_new;
+      st.workers <- Array.init k_new make_worker;
+      ensure_worker_counters st k_new;
+      (match rebuilt with
+      | None -> ()
+      | Some (logs, lens) ->
+        Array.iteri
+          (fun k w ->
+            w.log <- logs.(k);
+            w.llen <- lens.(k))
+          st.workers);
+      Array.iter (fun w -> spawn_worker st w ~resume:false) st.workers;
+      st.resizing <- true;
+      (match if st.universe <> None then flush_workers ~drain:true st with
+      | () -> st.resizing <- false
+      | exception e ->
+        st.resizing <- false;
+        raise e);
+      Registry.incr st.tel.resizes_total;
+      st.batches_since_ckpt <- 0;
+      write_state_checkpoint st;
+      Ok k_new
 
 (* --- merge ------------------------------------------------------------------ *)
 
@@ -482,7 +1100,7 @@ let merge_results st (parts : Detector.result array) =
   { Detector.engine = baseline.Detector.engine; races; metrics }
 
 let fetch_results st =
-  flush_workers st;
+  flush_workers ~drain:true st;
   Array.map
     (fun w ->
       match Serve.fetch_result w.fd with
@@ -491,7 +1109,7 @@ let fetch_results st =
         (* a worker that died since its last flush: recover and retry once *)
         Printf.eprintf "racedet route: worker %d RESULT failed (%s); recovering\n%!" w.id msg;
         Registry.incr st.tel.send_failures_total;
-        recover_worker st w;
+        recover_worker ~drain:true st w;
         match Serve.fetch_result w.fd with
         | Ok r -> r
         | Error msg ->
@@ -513,14 +1131,21 @@ let stats_json st =
     [
       ("engine", Json.Str (Engine.name st.cfg.engine));
       ("sampler", Json.Str (Sampler.name st.cfg.sampler));
-      ("workers", Json.Int st.cfg.workers);
+      ("workers", Json.Int (Array.length st.workers));
       ("worker_shards", Json.Int st.cfg.worker_shards);
+      ("epoch", Json.Int st.epoch);
+      ("window", Json.Int st.cfg.window);
+      ("wal", Json.Bool (st.wal <> None));
       ("events", Json.Int st.nevents);
       ("next_index", Json.Int st.expected);
       ("parked", Json.Int (Hashtbl.length st.parked));
       ("uptime_s", Json.Float (Clock.elapsed_s ~since:st.tel.started_ns));
       ( "worker_log_lengths",
-        Json.Arr (Array.to_list (Array.map (fun w -> Json.Int w.llen) st.workers)) );
+        Json.Arr (Array.to_list (Array.map (fun w -> Json.Int (total w)) st.workers)) );
+      ( "worker_acked",
+        Json.Arr (Array.to_list (Array.map (fun w -> Json.Int w.acked) st.workers)) );
+      ( "worker_pushed",
+        Json.Arr (Array.to_list (Array.map (fun w -> Json.Int w.pushed) st.workers)) );
       ( "worker_respawns",
         Json.Arr (Array.to_list (Array.map (fun w -> Json.Int w.respawns) st.workers)) );
       ("telemetry", Registry.to_json st.tel.reg)
@@ -535,22 +1160,38 @@ let handle_batch st conn base payload =
     | Error msg -> reply conn (Printf.sprintf "ERR bad batch: %s\n" msg)
     | Ok trace -> (
       let u = (trace.Trace.nthreads, trace.Trace.nlocks, trace.Trace.nlocs) in
-      match ensure_cluster st u with
-      | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
-      | Ok () -> (
-        try
+      try
+        match ensure_cluster st u with
+        | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+        | Ok () ->
+          let evs = Array.init (Trace.length trace) (Trace.get trace) in
+          let n = Array.length evs in
           if base > st.expected then
             if Hashtbl.length st.parked >= st.cfg.max_parked then
               reply conn "ERR parked batch limit exceeded\n"
             else begin
-              Hashtbl.replace st.parked base trace;
+              (* WAL before ack, park included: a parked batch is acked,
+                 so it must survive a router crash *)
+              wal_append st (Wal.Events (base, evs));
+              Hashtbl.replace st.parked base evs;
               Registry.incr st.tel.parked_total;
               reply conn (Printf.sprintf "OK %d\n" st.expected)
             end
           else begin
             let before = st.expected in
             let t0 = Clock.now_ns () in
-            feed st trace base;
+            (* a batch entirely inside the ingested prefix is an idempotent
+               resend — nothing new to make durable *)
+            if base + n > st.expected then wal_append st (Wal.Events (base, evs));
+            (* the router.crash point sits exactly on the durability edge:
+               the WAL holds the batch, the client never saw an ack *)
+            (match Fault.point ~supports:[ Fault.Exn; Fault.Delay ] "router.crash" with
+            | () -> ()
+            | exception Fault.Injected inc ->
+              Printf.eprintf "racedet route: %s — simulating a router crash\n%!"
+                (Fault.describe inc);
+              Unix._exit 137);
+            feed_events st base evs;
             drain_parked st;
             flush_workers st;
             let ingested = st.expected - before in
@@ -561,9 +1202,12 @@ let handle_batch st conn base payload =
             end;
             Histogram.observe st.tel.ingest_ns
               (Int64.to_int (Int64.sub (Clock.now_ns ()) t0));
+            maybe_state_checkpoint st;
             reply conn (Printf.sprintf "OK %d\n" st.expected)
           end
-        with Router_failed msg -> reply conn (Printf.sprintf "ERR %s\n" msg)))
+      with
+      | Router_failed msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | Wal_failed msg -> reply conn (Printf.sprintf "ERR wal append failed: %s\n" msg))
 
 let handle_line st conn line =
   match String.split_on_char ' ' (String.trim line) with
@@ -590,6 +1234,16 @@ let handle_line st conn line =
       | () -> reply conn (Printf.sprintf "OK %d\n" st.expected)
       | exception Router_failed msg -> reply conn (Printf.sprintf "ERR %s\n" msg))
     | _ -> reply conn "ERR bad worker id\n")
+  | [ "RESIZE"; d ] -> (
+    match int_of_string_opt d with
+    | Some delta -> (
+      match resize_cluster st delta with
+      | Ok k -> reply conn (Printf.sprintf "OK %d\n" k)
+      | Error msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | exception Router_failed msg -> reply conn (Printf.sprintf "ERR %s\n" msg)
+      | exception Wal_failed msg ->
+        reply conn (Printf.sprintf "ERR wal append failed: %s\n" msg))
+    | None -> reply conn "ERR malformed RESIZE\n")
   | [ "STATS" ] | [ "STATS"; "PROM" ] ->
     refresh st;
     let text = Registry.to_prometheus st.tel.reg in
@@ -614,9 +1268,29 @@ let write_metrics_json_file st =
     output_string oc (Json.to_string_pretty (stats_json st));
     close_out oc
 
+(* Refuse a ready file that still points at a live listener (another
+   router owns this address); remove one left by a crashed router. *)
+let check_ready_file cfg =
+  match cfg.ready_file with
+  | None -> ()
+  | Some path ->
+    if Sys.file_exists path then begin
+      (match Serve.read_addr_file path with
+      | Ok addr when Serve.addr_alive addr ->
+        failwith
+          (Printf.sprintf
+             "ready file %s points at a live listener (%s); refusing to start" path
+             (Serve.addr_to_string addr))
+      | Ok _ | Error _ ->
+        Printf.eprintf "racedet route: removing stale ready file %s\n%!" path);
+      try Sys.remove path with Sys_error _ -> ()
+    end
+
 let run (cfg : config) =
   if cfg.workers < 1 then invalid_arg "Router.run: workers must be positive";
   if cfg.worker_shards < 1 then invalid_arg "Router.run: worker_shards must be positive";
+  if cfg.resume && not cfg.wal then
+    invalid_arg "Router.run: --resume requires the WAL";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (match cfg.chaos with
   | None -> ()
@@ -624,30 +1298,21 @@ let run (cfg : config) =
     Fault.arm c;
     Printf.eprintf "racedet route: chaos armed (%s)\n%!" (Fault.spec_of_config c));
   (try Unix.mkdir cfg.dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  if cfg.checkpoint then
-    for k = 0 to cfg.workers - 1 do
-      try Unix.mkdir (Filename.concat cfg.dir (Printf.sprintf "ckpt-%d" k)) 0o755
-      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    done;
+  check_ready_file cfg;
+  if cfg.resume then kill_stale_workers cfg.dir;
   let st =
     {
       cfg;
       tel = make_telemetry ~workers:cfg.workers;
       ring = Chash.create ~workers:cfg.workers;
-      workers =
-        Array.init cfg.workers (fun id ->
-            {
-              id;
-              gen = 0;
-              pid = -1;
-              fd = Unix.stdin;
-              sent = 0;
-              log = [||];
-              llen = 0;
-              respawns = 0;
-            });
+      workers = Array.init cfg.workers make_worker;
+      epoch = 0;
+      wal = None;
+      batches_since_ckpt = 0;
+      resizing = false;
       parent_fds = [];
       universe = None;
+      clock_size = 0;
       baseline = None;
       sampler_inst = None;
       pending = [||];
@@ -659,7 +1324,19 @@ let run (cfg : config) =
       failed = None;
     }
   in
-  Array.iter (fun w -> spawn_worker st w ~resume:false) st.workers;
+  if cfg.wal then st.wal <- Some (Wal.open_append (Wal.path ~dir:cfg.dir));
+  let resumed = cfg.resume && resume_session st in
+  if resumed then
+    Printf.eprintf
+      "racedet route: resumed session: %d events, %d parked batch(es), %d worker(s), epoch %d\n%!"
+      st.nevents (Hashtbl.length st.parked) (Array.length st.workers) st.epoch;
+  Array.iter (fun w -> spawn_worker st w ~resume:resumed) st.workers;
+  (try
+     if resumed then begin
+       Array.iter (fun w -> align_worker st w) st.workers;
+       flush_workers st
+     end
+   with Router_failed _ -> ());
   let listen_fd, actual = Serve.listen_socket ~backlog:cfg.backlog cfg.listen in
   st.parent_fds <- listen_fd :: st.parent_fds;
   (match cfg.ready_file with
@@ -673,23 +1350,39 @@ let run (cfg : config) =
   in
   Sys.set_signal Sys.sigterm (on_signal "SIGTERM");
   Sys.set_signal Sys.sigint (on_signal "SIGINT");
+  let last_beat = ref (Clock.now_s ()) in
+  let tick () =
+    match cfg.heartbeat_s with
+    | Some hb when Clock.now_s () -. !last_beat >= hb ->
+      last_beat := Clock.now_s ();
+      Printf.eprintf "racedet route: alive: %d events, %d parked, %d worker(s)\n%!"
+        st.nevents (Hashtbl.length st.parked) (Array.length st.workers)
+    | _ -> ()
+  in
   let remaining =
-    Evloop.run ~listen_fd
-      ~quit:(fun () -> st.quit)
-      ~on_line:(fun conn line -> handle_line st conn line)
-      ~on_accept:(fun conn -> st.parent_fds <- Evloop.conn_fd conn :: st.parent_fds)
-      ~on_conns:(fun n -> Registry.set st.tel.conns_active n)
-      ()
+    if st.failed <> None then []
+    else
+      Evloop.run ~listen_fd
+        ~quit:(fun () -> st.quit)
+        ~on_line:(fun conn line -> handle_line st conn line)
+        ~on_accept:(fun conn -> st.parent_fds <- Evloop.conn_fd conn :: st.parent_fds)
+        ~on_conns:(fun n -> Registry.set st.tel.conns_active n)
+        ~tick ()
   in
   if st.stop_reason <> "" then
     Printf.eprintf "racedet route: shutting down (%s)\n%!" st.stop_reason;
-  (* Graceful teardown: flush the logs, then SHUTDOWN each worker so it
-     writes its final checkpoint set. *)
+  (* Graceful drain: every routed message durable on its worker, a final
+     router-state checkpoint, then SHUTDOWN each worker so it writes its
+     final checkpoint set. *)
   (match st.failed with
   | Some _ -> ()
   | None -> (
     try
-      if st.universe <> None then flush_workers st;
+      if st.universe <> None then begin
+        flush_workers ~drain:true st;
+        st.batches_since_ckpt <- 0;
+        write_state_checkpoint st
+      end;
       Array.iter
         (fun w ->
           (match Serve.shutdown w.fd with Ok () | Error _ -> ());
@@ -706,12 +1399,18 @@ let run (cfg : config) =
         close_worker_fd st w;
         reap_worker w)
       st.workers);
+  (match st.wal with
+  | None -> ()
+  | Some wal -> Wal.close wal);
   write_metrics_json_file st;
   List.iter Evloop.close_conn remaining;
   Unix.close listen_fd;
   (match cfg.listen with
   | Serve.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Serve.Tcp _ -> ());
+  (match cfg.ready_file with
+  | None -> ()
+  | Some path -> ( try Sys.remove path with Sys_error _ -> ()));
   (match cfg.chaos with
   | None -> ()
   | Some _ ->

@@ -17,6 +17,16 @@ type msg =
       (** a false→true pending-bit transition whose triggering access is
           owned by another worker — applied via {!Sharded.note_sampled} *)
 
+val op_tag : Ft_trace.Event.op -> int
+(** Stable wire tag of an event operation — shared with the cluster
+    router's WAL so both codecs agree byte-for-byte. *)
+
+val op_operand : Ft_trace.Event.op -> int
+
+val op_of : tag:int -> operand:int -> Ft_trace.Event.op
+(** Inverse of {!op_tag}/{!op_operand}; raises {!Ft_core.Snap.Corrupt} on an
+    unknown tag. *)
+
 val encode :
   nthreads:int -> nlocks:int -> nlocs:int -> msg array -> off:int -> len:int -> string
 (** Encode the slice [\[off, off+len)] of a routed-message log. *)

@@ -36,6 +36,8 @@ let close_conn conn =
 
 let await_blob conn n k = conn.await <- Some (n, k)
 
+let make_conn fd = { fd; data = Netbuf.create (); await = None; closed = false }
+
 (* Consume everything currently buffered: sized blobs first (a pending
    header owns the next [n] bytes), then complete lines. *)
 let rec process ~on_line conn =
@@ -56,6 +58,33 @@ let rec process ~on_line conn =
         Netbuf.drop conn.data 1;
         on_line conn line;
         process ~on_line conn)
+
+(* One bounded receive step for a caller driving a connection outside the
+   main loop (the router servicing worker acks between sends): wait up to
+   [timeout_s] for readability, then pull one chunk into the Netbuf.  The
+   caller runs [process] afterwards to consume whatever completed. *)
+let feed ?(timeout_s = 0.0) conn =
+  if conn.closed then `Eof
+  else
+    let readable, _, _ =
+      try Unix.select [ conn.fd ] [] [] timeout_s
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if readable = [] then `Timeout
+    else
+      let chunk = Bytes.create 65536 in
+      match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+        conn.closed <- true;
+        `Eof
+      | n ->
+        Netbuf.append conn.data chunk ~off:0 ~len:n;
+        `Data n
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        -> `Timeout
+      | exception Unix.Unix_error _ ->
+        conn.closed <- true;
+        `Eof
 
 let run ~listen_fd ~quit ~on_line ?(on_accept = fun _ -> ()) ?(on_conns = fun _ -> ())
     ?(tick = fun () -> ()) ?recv_fault ?(select_s = 0.5) () =

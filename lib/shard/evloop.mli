@@ -30,6 +30,21 @@ val await_blob : conn -> int -> (string -> unit) -> unit
 val write_all : Unix.file_descr -> string -> unit
 (** Write the whole string, retrying partial writes and EINTR/EAGAIN. *)
 
+val make_conn : Unix.file_descr -> conn
+(** Wrap an outbound descriptor (e.g. the router's socket to a worker) so
+    {!feed}/{!process} can drive its reply stream with the same framing as
+    loop-owned connections. *)
+
+val feed : ?timeout_s:float -> conn -> [ `Data of int | `Eof | `Timeout ]
+(** One bounded receive step: wait up to [timeout_s] (default 0 — poll)
+    for readability and append one chunk to the connection's buffer.
+    [`Eof] marks the connection closed (peer gone or read error).  Run
+    {!process} afterwards to consume completed protocol units. *)
+
+val process : on_line:(conn -> string -> unit) -> conn -> unit
+(** Consume everything buffered: pending sized blobs, then complete
+    lines.  The same consumer {!run} applies after each receive. *)
+
 val run :
   listen_fd:Unix.file_descr ->
   quit:(unit -> bool) ->

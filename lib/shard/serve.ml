@@ -137,6 +137,7 @@ type config = {
   sampler : Sampler.t;
   clock_size : int option;
   checkpoint_dir : string option;
+  checkpoint_every : int;  (* ingested batches between checkpoint sets; 1 = every batch *)
   resume_dir : string option;
   max_parked : int;
   backlog : int;
@@ -148,6 +149,7 @@ type config = {
 }
 
 let default_max_parked = 1024
+let default_checkpoint_every = 1
 let default_deadline_s = 30.0
 let default_max_restarts = 8
 
@@ -335,6 +337,7 @@ type state = {
   mutable clock_size : int;
   mutable expected : int;  (* next stream position: events (BATCH) or messages (CBATCH) *)
   mutable mode : [ `Batch | `Cluster ] option;  (* fixed by the first ingested batch *)
+  mutable since_ckpt : int;  (* ingested batches since the last checkpoint set *)
   parked : (int, Trace.t) Hashtbl.t;
   mutable quit : bool;
   mutable stop_reason : string;  (* what ended the serve loop, for the log *)
@@ -377,6 +380,22 @@ let write_checkpoint st =
       Printf.eprintf "racedet serve: checkpoint write faulted (%s); continuing\n%!"
         (Printexc.to_string e))
   | _ -> ()
+
+(* The per-batch checkpoint cadence: a standalone daemon checkpoints every
+   ingested batch (ack ⇒ durable, [default_checkpoint_every]); a cluster
+   worker is spawned with a larger [checkpoint_every] because the router's
+   WAL already makes every acknowledged client batch durable — the worker
+   checkpoint is then only a recovery-speed bound (the router replays the
+   suffix since the worker's last checkpoint from its routed log), and
+   fsyncing every CBATCH in K processes at once turns the disk into the
+   cluster's bottleneck.  The final checkpoint on shutdown/SIGTERM is
+   unconditional either way. *)
+let maybe_checkpoint st =
+  st.since_ckpt <- st.since_ckpt + 1;
+  if st.since_ckpt >= Stdlib.max 1 st.cfg.checkpoint_every then begin
+    st.since_ckpt <- 0;
+    write_checkpoint st
+  end
 
 (* Resume from a checkpoint directory.  Any inconsistency (missing file,
    checksum failure, metadata drift between the per-shard files) degrades to
@@ -533,7 +552,7 @@ let handle_batch st conn base payload =
             let t0 = Clock.now_ns () in
             feed st det trace base;
             drain_parked st det;
-            write_checkpoint st;
+            maybe_checkpoint st;
             let ingested = st.expected - before in
             let tel = st.tel in
             if ingested = 0 then Registry.incr tel.duplicate_total
@@ -582,7 +601,7 @@ let handle_cbatch st conn seq payload =
               | Cmsg.Mark th -> Sharded.note_sampled det th
             done;
             st.expected <- Stdlib.max st.expected (seq + n);
-            write_checkpoint st;
+            maybe_checkpoint st;
             let ingested = st.expected - before in
             let tel = st.tel in
             if ingested = 0 then Registry.incr tel.duplicate_total
@@ -782,6 +801,7 @@ let run cfg =
       clock_size = 0;
       expected = 0;
       mode = None;
+      since_ckpt = 0;
       parked = Hashtbl.create 16;
       quit = false;
       stop_reason = "";
@@ -951,6 +971,13 @@ let send_batch ?deadline_s fd ~base trace =
   | () -> expect_ok ~deadline_at fd
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
+(* Fire-and-forget half of [send_cbatch] for the router's pipelined window:
+   the CBATCH goes out now, its "OK <total>" ack is collected later by the
+   ack pump.  Raises on write errors — the caller owns worker recovery. *)
+let send_cbatch_nowait fd ~seq payload =
+  write_all fd (Printf.sprintf "CBATCH %d %d\n" seq (String.length payload));
+  write_all fd payload
+
 let send_cbatch ?deadline_s fd ~seq payload =
   let deadline_at = deadline_at deadline_s in
   match
@@ -1012,5 +1039,27 @@ let migrate ?deadline_s fd worker =
   match write_all fd (Printf.sprintf "MIGRATE %d\n" worker) with
   | () -> Result.map (fun _ -> ()) (expect_ok ~deadline_at fd)
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let resize ?deadline_s fd delta =
+  let deadline_at = deadline_at deadline_s in
+  match write_all fd (Printf.sprintf "RESIZE %+d\n" delta) with
+  | () -> expect_ok ~deadline_at fd
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* Generalizes [unix_listener_alive] to both address kinds: one connect
+   probe, no protocol exchange.  A loopback TCP port with no listener
+   refuses immediately, so this stays a fast check for stale ready-files. *)
+let addr_alive addr =
+  match addr with
+  | Unix_path path -> unix_listener_alive path
+  | Tcp _ -> (
+    let fd = Unix.socket ~cloexec:true (socket_domain_of_addr addr) Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (sockaddr_of_addr addr) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    live)
 
 let close fd = try Unix.close fd with Unix.Unix_error _ -> ()

@@ -113,6 +113,15 @@ type config = {
   sampler : Ft_core.Sampler.t;
   clock_size : int option;  (** default: the batch universe's thread count *)
   checkpoint_dir : string option;
+  checkpoint_every : int;
+      (** ingested batches between checkpoint sets
+          ({!default_checkpoint_every} = 1: every batch, ack ⇒ durable — the
+          standalone-daemon contract).  A cluster worker is spawned with its
+          router's window here: the router's WAL already makes acknowledged
+          client batches durable, so the worker checkpoint is only a bound
+          on post-crash replay, and per-CBATCH fsyncs across K workers
+          would serialize the whole cluster on the disk.  The shutdown
+          checkpoint is unconditional regardless. *)
   resume_dir : string option;
   max_parked : int;  (** bound on batches parked for reordering *)
   backlog : int;  (** listen(2) backlog ({!default_backlog}) *)
@@ -134,6 +143,7 @@ type config = {
 }
 
 val default_max_parked : int
+val default_checkpoint_every : int
 val default_max_restarts : int
 
 val default_deadline_s : float
@@ -200,6 +210,12 @@ val send_cbatch :
 (** Send an already-encoded {!Cmsg} cluster batch; [Ok total] echoes the
     worker's message count ([seq + messages] once ingested). *)
 
+val send_cbatch_nowait : Unix.file_descr -> seq:int -> string -> unit
+(** The write half of {!send_cbatch} only — the ack is collected
+    asynchronously (the router's pipelined in-flight window).  Raises
+    [Unix.Unix_error] on write failure instead of returning [Error]: the
+    caller owns worker recovery. *)
+
 val fetch_report : ?deadline_s:float -> Unix.file_descr -> (string, string) result
 
 val fetch_result :
@@ -222,5 +238,15 @@ val shutdown : ?deadline_s:float -> Unix.file_descr -> (unit, string) result
 val migrate : ?deadline_s:float -> Unix.file_descr -> int -> (unit, string) result
 (** Ask a {e router} to checkpoint-migrate worker [k] onto a fresh process
     ([MIGRATE <k>]); an [ERR] reply is returned as [Error]. *)
+
+val resize : ?deadline_s:float -> Unix.file_descr -> int -> (int, string) result
+(** Ask a {e router} to resize its worker ring by [delta] ∈ {[+1], [-1]}
+    ([RESIZE +1] / [RESIZE -1]); [Ok k] echoes the new worker count. *)
+
+val addr_alive : addr -> bool
+(** One connect probe: is something accepting on this address right now?
+    Generalizes the Unix-socket staleness check to TCP — how the router
+    decides whether an existing [--ready-file] points at a live listener
+    (refuse) or a crashed one (remove and take over). *)
 
 val close : Unix.file_descr -> unit

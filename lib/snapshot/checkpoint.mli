@@ -32,6 +32,11 @@ type meta = {
 
 type t = { meta : meta; detector : Ft_core.Snap.t }
 
+val fnv64 : string -> int64
+(** The container's checksum primitive (FNV-1a 64) — shared with the
+    cluster router's WAL framing so both on-disk formats validate bytes
+    the same way. *)
+
 val to_string : t -> string
 
 val of_string : string -> (t, string) result

@@ -377,6 +377,7 @@ let server_config ?checkpoint_dir ?resume_dir ?metrics_json ?chaos ~engine ~shar
     clock_size = None;
     checkpoint_dir;
     resume_dir;
+    checkpoint_every = Serve.default_checkpoint_every;
     max_parked = Serve.default_max_parked;
     backlog = Serve.default_backlog;
     ready_file = None;
